@@ -1,0 +1,1 @@
+bin/baton_cli.ml: Arg Array Baton Baton_sim Baton_util Baton_workload Cmd Cmdliner Hashtbl List Option P2p_overlay Printf Sys Term

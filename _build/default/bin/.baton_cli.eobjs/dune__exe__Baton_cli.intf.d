@@ -1,0 +1,1 @@
+bin/baton_cli.mli:

@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Baton_experiments Cmd Cmdliner List Printf String Term

@@ -1,0 +1,302 @@
+(* baton — command-line driver for the BATON simulator.
+
+   Subcommands:
+     simulate   build a network, load data, run queries, report costs
+     churn      run a join/leave/failure schedule and verify recovery
+     inspect    build a network and print its structure summary *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Metrics = Baton_sim.Metrics
+module Rng = Baton_util.Rng
+module Stats = Baton_util.Stats
+module Datagen = Baton_workload.Datagen
+module Churn = Baton_workload.Churn
+
+open Cmdliner
+
+let nodes_arg =
+  Arg.(value & opt int 1000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Network size.")
+
+let seed_arg =
+  Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+let keys_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "keys-per-node" ] ~docv:"K" ~doc:"Data volume per peer.")
+
+let queries_arg =
+  Arg.(value & opt int 1000 & info [ "q"; "queries" ] ~docv:"Q" ~doc:"Queries to run.")
+
+let zipf_arg =
+  Arg.(value & flag & info [ "zipf" ] ~doc:"Use Zipf(1.0) keys instead of uniform.")
+
+let capacity_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "balance-capacity" ] ~docv:"C"
+        ~doc:"Enable load balancing with this per-node capacity.")
+
+let print_kind_breakdown metrics =
+  Printf.printf "\nMessage breakdown by kind:\n";
+  List.iter
+    (fun (kind, count) -> Printf.printf "  %-16s %10d\n" kind count)
+    (Metrics.kinds metrics)
+
+let load_summary net =
+  let loads =
+    List.map (fun n -> float_of_int (Node.load n)) (Net.peers net) |> Array.of_list
+  in
+  Printf.printf "Load per node: %s\n" (Stats.summary loads)
+
+let simulate nodes seed keys_per_node queries zipf capacity =
+  Printf.printf "Building a %d-peer BATON network (seed %d)...\n%!" nodes seed;
+  let net = N.build ~seed nodes in
+  let metrics = Net.metrics net in
+  let build_msgs = Metrics.total metrics in
+  Printf.printf "  height %d (1.44 log2 N = %.1f), %d messages to build\n%!"
+    (N.height net)
+    (1.44 *. (log (float_of_int nodes) /. log 2.))
+    build_msgs;
+  let rng = Rng.create (seed + 1) in
+  let gen = if zipf then Datagen.zipf rng else Datagen.uniform rng in
+  let cfg = Option.map (fun c -> Baton.Balance.default_config ~capacity:c) capacity in
+  let total_keys = keys_per_node * nodes in
+  Printf.printf "Inserting %d %s keys%s...\n%!" total_keys
+    (if zipf then "Zipf(1.0)" else "uniform")
+    (match capacity with
+    | Some c -> Printf.sprintf " with balancing (capacity %d)" c
+    | None -> "");
+  let keys = Array.init total_keys (fun _ -> Datagen.next gen) in
+  let insert_cp = Metrics.checkpoint metrics in
+  Array.iter
+    (fun k ->
+      let st = Baton.Update.insert net ~from:(Net.random_peer net) k in
+      match cfg with
+      | Some cfg ->
+        ignore (Baton.Balance.maybe_balance net cfg (Net.peer net st.Baton.Update.node))
+      | None -> ())
+    keys;
+  Printf.printf "  %.2f messages per insertion\n%!"
+    (float_of_int (Metrics.since metrics insert_cp) /. float_of_int total_keys);
+  load_summary net;
+  let qrng = Rng.create (seed + 2) in
+  let exact_hops =
+    Array.init queries (fun _ ->
+        let k = Rng.pick qrng keys in
+        let found, hops = Baton.Search.lookup net ~from:(Net.random_peer net) k in
+        assert found;
+        float_of_int hops)
+  in
+  Printf.printf "Exact queries:  %s\n" (Stats.summary exact_hops);
+  let span = (Datagen.domain_hi - Datagen.domain_lo) / max 1 nodes * 5 in
+  let range_hops =
+    Array.init queries (fun _ ->
+        let lo = Rng.int_in_range qrng ~lo:Datagen.domain_lo ~hi:(Datagen.domain_hi - span) in
+        let r = Baton.Search.range net ~from:(Net.random_peer net) ~lo ~hi:(lo + span) in
+        float_of_int r.Baton.Search.range_hops)
+  in
+  Printf.printf "Range queries:  %s\n" (Stats.summary range_hops);
+  print_kind_breakdown metrics;
+  Baton.Check.all net;
+  Printf.printf "\nAll structural invariants hold.\n"
+
+let churn nodes seed rounds fail_percent =
+  Printf.printf "Building a %d-peer network (seed %d)...\n%!" nodes seed;
+  let net = N.build ~seed nodes in
+  let rng = Rng.create (seed + 3) in
+  let gen = Datagen.uniform (Rng.create (seed + 4)) in
+  let keys = Array.init (5 * nodes) (fun _ -> Datagen.next gen) in
+  Array.iter (N.insert net) keys;
+  let metrics = Net.metrics net in
+  let cp = Metrics.checkpoint metrics in
+  let fails = rounds * fail_percent / 100 in
+  let schedule =
+    Churn.schedule rng ~joins:(rounds - fails) ~leaves:(rounds - fails) ~fails:(2 * fails)
+  in
+  Array.iter
+    (fun event ->
+      match event with
+      | Churn.Join -> ignore (N.join net)
+      | Churn.Leave ->
+        if Net.size net > 2 then
+          let ids = Net.live_ids net in
+          N.leave net (Rng.pick rng ids)
+      | Churn.Fail ->
+        if Net.size net > 2 then begin
+          let ids = Net.live_ids net in
+          let victim = Rng.pick rng ids in
+          N.crash net victim;
+          N.repair net victim
+        end)
+    schedule;
+  Printf.printf "  %d churn events, %d messages (%.1f per event)\n"
+    (Array.length schedule)
+    (Metrics.since metrics cp)
+    (float_of_int (Metrics.since metrics cp) /. float_of_int (max 1 (Array.length schedule)));
+  Printf.printf "  final size %d, height %d\n" (Net.size net) (N.height net);
+  let survivors =
+    Array.to_list keys
+    |> List.filter (fun k -> N.lookup net k)
+    |> List.length
+  in
+  Printf.printf "  %d of %d keys survive (failures lose unreplicated data)\n"
+    survivors (Array.length keys);
+  Baton.Check.all net;
+  Printf.printf "All structural invariants hold after churn.\n"
+
+let inspect nodes seed show_tree snapshot =
+  let net =
+    match snapshot with
+    | Some path when Sys.file_exists path ->
+      Printf.printf "(loaded snapshot %s)\n" path;
+      Net.load path
+    | _ ->
+      let net = N.build ~seed nodes in
+      (match snapshot with
+      | Some path ->
+        Net.save net path;
+        Printf.printf "(saved snapshot to %s)\n" path
+      | None -> ());
+      net
+  in
+  Printf.printf "BATON network: %d peers, height %d\n" (Net.size net) (N.height net);
+  if show_tree then print_string (Baton.Viz.tree ~max_depth:5 net);
+  let by_level = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let l = Node.level n in
+      Hashtbl.replace by_level l (1 + Option.value ~default:0 (Hashtbl.find_opt by_level l)))
+    (Net.peers net);
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) by_level []
+  |> List.sort compare
+  |> List.iter (fun (l, c) ->
+         Printf.printf "  level %2d: %4d nodes (capacity %d)\n" l c
+           (Baton.Position.level_width l));
+  let leaves = List.filter Node.is_leaf (Net.peers net) in
+  Printf.printf "  %d leaves; routing-table fill: " (List.length leaves);
+  let fills =
+    List.map
+      (fun n ->
+        float_of_int
+          (Baton.Routing_table.filled_count n.Node.left_table
+          + Baton.Routing_table.filled_count n.Node.right_table))
+      (Net.peers net)
+    |> Array.of_list
+  in
+  Printf.printf "%s\n" (Stats.summary fills);
+  Baton.Check.all net;
+  Printf.printf "All structural invariants hold.\n"
+
+let trace nodes seed key =
+  let net = N.build ~seed nodes in
+  let hops = ref [] in
+  Baton_sim.Bus.set_trace (Net.bus net)
+    (Some (fun ~src ~dst ~kind -> hops := (src, dst, kind) :: !hops));
+  let origin = Net.random_peer net in
+  let outcome = Baton.Search.exact net ~from:origin key in
+  Baton_sim.Bus.set_trace (Net.bus net) None;
+  Printf.printf "exact search for key %d from peer %d:\n" key origin.Node.id;
+  Printf.printf "  start  %s\n" (Baton.Viz.node_line origin);
+  List.iter
+    (fun (src, dst, kind) ->
+      let node = Net.peer net dst in
+      Printf.printf "  %d->%d  %s  (%s)\n" src dst (Baton.Viz.node_line node) kind)
+    (List.rev !hops);
+  Printf.printf "answered at %s in %d hops\n"
+    (Baton.Viz.node_line outcome.Baton.Search.node)
+    outcome.Baton.Search.hops
+
+let compare_overlays nodes seed ops =
+  let rng = Rng.create (seed + 9) in
+  let keys = Array.init ops (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Printf.printf "%-10s %10s %12s %12s %12s %14s\n" "overlay" "build" "msgs/insert"
+    "msgs/lookup" "msgs/churn" "range query";
+  List.iter
+    (fun (module O : P2p_overlay.Overlay.S) ->
+      let t = O.create ~seed ~n:nodes in
+      let build = O.messages t in
+      let before = O.messages t in
+      Array.iter (O.insert t) keys;
+      let insert_cost = float_of_int (O.messages t - before) /. float_of_int ops in
+      let before = O.messages t in
+      Array.iter (fun k -> assert (O.lookup t k)) keys;
+      let lookup_cost = float_of_int (O.messages t - before) /. float_of_int ops in
+      let before = O.messages t in
+      let churn_rng = Rng.create (seed + 11) in
+      for _ = 1 to 20 do
+        O.join t;
+        O.leave_random t churn_rng
+      done;
+      let churn_cost = float_of_int (O.messages t - before) /. 40. in
+      let range =
+        match O.range_query t ~lo:1 ~hi:50_000_000 with
+        | Some answer -> Printf.sprintf "%d keys" (List.length answer)
+        | None -> "unsupported"
+      in
+      O.check t;
+      Printf.printf "%-10s %10d %12.2f %12.2f %12.2f %14s\n" O.name build
+        insert_cost lookup_cost churn_cost range)
+    P2p_overlay.Overlay.all;
+  print_endline "\nall overlays pass their structural checks"
+
+let ops_arg =
+  Arg.(value & opt int 500 & info [ "ops" ] ~docv:"K" ~doc:"Operations per phase.")
+
+let compare_cmd =
+  let doc = "Run the same workload on BATON, Chord and the multiway tree." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const compare_overlays $ nodes_arg $ seed_arg $ ops_arg)
+
+let key_arg =
+  Arg.(
+    value & opt int 123_456_789
+    & info [ "key" ] ~docv:"KEY" ~doc:"Key to trace a query for.")
+
+let trace_cmd =
+  let doc = "Trace an exact-match query hop by hop." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ nodes_arg $ seed_arg $ key_arg)
+
+let simulate_cmd =
+  let doc = "Build a network, load data, answer queries, report message costs." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ nodes_arg $ seed_arg $ keys_arg $ queries_arg $ zipf_arg
+      $ capacity_arg)
+
+let rounds_arg =
+  Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"R" ~doc:"Churn rounds.")
+
+let fail_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "fail-percent" ] ~docv:"P" ~doc:"Percentage of rounds that are failures.")
+
+let churn_cmd =
+  let doc = "Run a churn schedule (joins, leaves, failures) and verify recovery." in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(const churn $ nodes_arg $ seed_arg $ rounds_arg $ fail_arg)
+
+let tree_arg =
+  Arg.(value & flag & info [ "tree" ] ~doc:"Render the tree (depth-limited).")
+
+let snapshot_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:"Load the network from FILE if it exists, else build and save it there.")
+
+let inspect_cmd =
+  let doc = "Print the structure of a network (freshly built or from a snapshot)." in
+  Cmd.v (Cmd.info "inspect" ~doc)
+    Term.(const inspect $ nodes_arg $ seed_arg $ tree_arg $ snapshot_arg)
+
+let main =
+  let doc = "BATON: balanced tree overlay simulator (VLDB 2005 reproduction)" in
+  Cmd.group (Cmd.info "baton" ~doc)
+    [ simulate_cmd; churn_cmd; inspect_cmd; trace_cmd; compare_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/churn_resilience.ml: Array Baton Baton_sim Baton_util List Printf

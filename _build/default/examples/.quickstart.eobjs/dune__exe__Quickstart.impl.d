@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baton List Printf String

@@ -1,0 +1,1 @@
+examples/range_index.ml: Array Baton Baton_sim Baton_util List Printf

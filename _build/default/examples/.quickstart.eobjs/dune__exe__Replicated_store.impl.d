@@ -1,0 +1,1 @@
+examples/replicated_store.ml: Array Baton Baton_util List Printf

@@ -1,0 +1,1 @@
+examples/skewed_load.ml: Array Baton Baton_util Baton_workload List Printf String

@@ -1,0 +1,68 @@
+(* Churn resilience: peers keep joining, leaving and crashing while
+   clients keep querying — Section III-C/D of the paper in action.
+
+   The example runs waves of churn. Within each wave some peers crash
+   abruptly; queries issued before the repairs route around the dead
+   peers by dropping stale links and reconstituting them through the
+   surviving neighbourhood, then repairs restore the full invariants.
+
+   Run with: dune exec examples/churn_resilience.exe *)
+
+module Net = Baton.Net
+module Metrics = Baton_sim.Metrics
+module Rng = Baton_util.Rng
+
+let () =
+  let net = Baton.Network.build ~seed:21 300 in
+  let rng = Rng.create 5 in
+  let keys = Array.init 2_000 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (Baton.Network.insert net) keys;
+  Printf.printf "initial: %d peers, %d keys indexed\n" (Baton.Network.size net)
+    (Array.length keys);
+
+  let m = Net.metrics net in
+  for wave = 1 to 5 do
+    (* Churn: joins and graceful leaves. *)
+    for _ = 1 to 10 do
+      ignore (Baton.Network.join net);
+      let ids = Net.live_ids net in
+      Baton.Network.leave net (Rng.pick rng ids)
+    done;
+    (* Crashes: abrupt departures, not yet repaired. *)
+    let victims =
+      List.init 5 (fun _ -> Rng.pick rng (Net.live_ids net)) |> List.sort_uniq compare
+    in
+    List.iter (fun id -> Baton.Network.crash net id) victims;
+    (* Clients keep querying while the failures are unrepaired: the
+       sideways and adjacency links route around the holes. Keys that
+       lived on crashed peers are lost (the paper does not replicate). *)
+    let cp = Metrics.checkpoint m in
+    let asked = ref 0 and answered = ref 0 in
+    for _ = 1 to 200 do
+      let k = Rng.pick rng keys in
+      incr asked;
+      match Baton.Search.lookup net ~from:(Net.random_peer net) k with
+      | true, _ -> incr answered
+      | false, _ -> ()
+      | exception _ -> ()
+    done;
+    let during = Metrics.since m cp in
+    (* Now the failures are discovered and repaired. *)
+    List.iter (fun id -> Baton.Network.repair net id) victims;
+    let repair_msgs = Metrics.since m cp - during in
+    Baton.Check.all net;
+    Printf.printf
+      "wave %d: %d crashed; %3d/%3d queries answered mid-failure \
+       (%.1f msg/query); repairs cost %d messages; invariants restored\n"
+      wave (List.length victims) !answered !asked
+      (float_of_int during /. 200.)
+      repair_msgs
+  done;
+
+  let survivors =
+    Array.to_list keys |> List.filter (Baton.Network.lookup net) |> List.length
+  in
+  Printf.printf
+    "final: %d peers; %d/%d keys survive (crashed peers lose their \
+     unreplicated data)\n"
+    (Baton.Network.size net) survivors (Array.length keys)

@@ -1,0 +1,39 @@
+(* Quickstart: the smallest useful BATON program.
+
+   Build a network, store some keys, run an exact query and a range
+   query, and look at what it cost in messages — the paper's metric.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 50-peer network over the default key domain [1, 10^9). Each join
+     runs the paper's Algorithm 1 against a random existing peer. *)
+  let net = Baton.Network.build ~seed:42 50 in
+  Printf.printf "network: %d peers, tree height %d\n"
+    (Baton.Network.size net) (Baton.Network.height net);
+
+  (* Store a few keys. Each insert routes from a random peer to the
+     node whose range covers the key (O(log N) messages). *)
+  let keys = [ 17; 42_000_000; 123_456_789; 500_000_000; 999_999_000 ] in
+  List.iter (Baton.Network.insert net) keys;
+
+  (* Exact-match query. *)
+  let before = Baton.Network.messages net in
+  let found = Baton.Network.lookup net 123_456_789 in
+  Printf.printf "lookup 123456789 -> %b (%d messages)\n" found
+    (Baton.Network.messages net - before);
+
+  (* Range query: every key in [1, 200_000_000]. DHTs cannot do this;
+     BATON's in-order adjacency makes it O(log N + answer). *)
+  let before = Baton.Network.messages net in
+  let answer = Baton.Network.range_query net ~lo:1 ~hi:200_000_000 in
+  Printf.printf "range [1, 2e8] -> %s (%d messages)\n"
+    (String.concat ", " (List.map string_of_int answer))
+    (Baton.Network.messages net - before);
+
+  (* Peers can come and go; the tree stays balanced. *)
+  let id = Baton.Network.join net in
+  Baton.Network.leave net id;
+  Baton.Check.all net;
+  Printf.printf "after churn: %d peers, all invariants hold\n"
+    (Baton.Network.size net)

@@ -1,0 +1,1 @@
+lib/chord/chord.ml: Array Baton_sim Baton_util Format Hashtbl Id List Option

@@ -1,0 +1,1 @@
+lib/chord/chord.mli: Baton_sim Id

@@ -1,0 +1,1 @@
+lib/chord/id.ml: Int64

@@ -1,0 +1,25 @@
+let bits = 24
+let ring_size = 1 lsl bits
+let mask = ring_size - 1
+
+let scramble salt v =
+  let z = Int64.add (Int64.mul (Int64.of_int v) 0x9E3779B97F4A7C15L) (Int64.of_int salt) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.logand z (Int64.of_int mask))
+
+let of_key v = scramble 0x1234 v
+let of_peer v = scramble 0xBEEF v
+
+let add_pow id i = (id + (1 lsl i)) land mask
+
+let in_open x ~lo ~hi =
+  if lo < hi then x > lo && x < hi
+  else if lo > hi then x > lo || x < hi
+  else x <> lo
+
+let in_open_closed x ~lo ~hi =
+  if lo < hi then x > lo && x <= hi
+  else if lo > hi then x > lo || x <= hi
+  else true

@@ -1,0 +1,30 @@
+(** Identifier-ring arithmetic for Chord.
+
+    Identifiers live on the ring [\[0, 2^bits)]; all interval tests are
+    modular. The default ring size (24 bits) comfortably hosts the
+    paper's largest network (10^4 peers). *)
+
+val bits : int
+(** Ring size in bits. *)
+
+val ring_size : int
+(** [2^bits]. *)
+
+val of_key : int -> int
+(** Deterministic hash of a data key onto the ring. *)
+
+val of_peer : int -> int
+(** Deterministic hash of a peer id onto the ring (independent of
+    {!of_key}). *)
+
+val add_pow : int -> int -> int
+(** [add_pow id i] is [(id + 2^i) mod ring_size]. *)
+
+val in_open : int -> lo:int -> hi:int -> bool
+(** [x ∈ (lo, hi)] on the ring (empty when [lo = hi]... the whole ring
+    minus the endpoints, following Chord's convention). *)
+
+val in_open_closed : int -> lo:int -> hi:int -> bool
+(** [x ∈ (lo, hi\]] on the ring; when [lo = hi] the interval is the
+    whole ring (every x qualifies), matching Chord's successor rule for
+    a single-node ring. *)

@@ -1,0 +1,1 @@
+lib/core/baton.ml: Balance Baton_sim Check Failure Join Leave Link Msg Net Node Position Range Replication Restructure Routing_table Search Update Viz Wiring

@@ -1,0 +1,1 @@
+lib/core/balance.ml: Baton_sim Baton_util Link List Msg Net Node Range Restructure Wiring

@@ -1,0 +1,1 @@
+lib/core/check.ml: Baton_util Format Link List Net Node Option Position Printf Range Routing_table Wiring

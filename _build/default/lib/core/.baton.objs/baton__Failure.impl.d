@@ -1,0 +1,1 @@
+lib/core/failure.ml: Baton_sim Baton_util Leave List Msg Net Node Option Position Routing_table Wiring

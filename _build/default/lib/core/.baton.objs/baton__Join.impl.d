@@ -1,0 +1,1 @@
+lib/core/join.ml: Baton_sim Baton_util Hashtbl Link List Msg Net Node Option Position Range Routing_table

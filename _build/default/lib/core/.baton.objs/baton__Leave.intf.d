@@ -1,0 +1,1 @@
+lib/core/leave.mli: Net Node

@@ -1,0 +1,1 @@
+lib/core/link.mli: Format Position Range

@@ -1,0 +1,1 @@
+lib/core/net.mli: Baton_sim Baton_util Node Position Range

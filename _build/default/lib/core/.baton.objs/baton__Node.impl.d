@@ -1,0 +1,1 @@
+lib/core/node.ml: Baton_util Format Link Option Position Range Routing_table

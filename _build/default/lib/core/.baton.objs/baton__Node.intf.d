@@ -1,0 +1,1 @@
+lib/core/node.mli: Baton_util Format Link Position Range Routing_table

@@ -1,0 +1,1 @@
+lib/core/position.mli: Format

@@ -1,0 +1,1 @@
+lib/core/replication.ml: Baton_sim Baton_util Hashtbl Link List Msg Net Node Option Search Update

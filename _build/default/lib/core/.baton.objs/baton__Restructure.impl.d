@@ -1,0 +1,1 @@
+lib/core/restructure.ml: Baton_util Join List Msg Net Node Option Position Range Wiring

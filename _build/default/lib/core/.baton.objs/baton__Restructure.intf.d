@@ -1,0 +1,1 @@
+lib/core/restructure.mli: Net Node

@@ -1,0 +1,1 @@
+lib/core/routing_table.ml: Array Format Link Option Position

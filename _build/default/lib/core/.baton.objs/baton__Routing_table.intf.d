@@ -1,0 +1,1 @@
+lib/core/routing_table.mli: Format Link Position

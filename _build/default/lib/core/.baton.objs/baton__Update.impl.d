@@ -1,0 +1,1 @@
+lib/core/update.ml: Baton_sim Baton_util Link List Msg Net Node Range Search Wiring

@@ -1,0 +1,1 @@
+lib/core/viz.ml: Buffer Hashtbl List Net Node Position Printf Range String Wiring

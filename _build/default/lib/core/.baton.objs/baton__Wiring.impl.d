@@ -1,0 +1,1 @@
+lib/core/wiring.ml: Baton_sim Link List Net Node Option Position Routing_table

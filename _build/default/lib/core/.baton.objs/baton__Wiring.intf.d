@@ -1,0 +1,1 @@
+lib/core/wiring.mli: Net Node Position

@@ -1,0 +1,169 @@
+module Bus = Baton_sim.Bus
+module Sorted_store = Baton_util.Sorted_store
+
+type config = { capacity : int; light_load : int }
+
+let default_config ~capacity =
+  if capacity < 4 then invalid_arg "Balance.default_config: capacity too small";
+  { capacity; light_load = capacity / 4 }
+
+let nth_key store i = Sorted_store.nth store i
+
+let balance_with_adjacent net (u : Node.t) side =
+  match Node.adjacent u side with
+  | None -> false
+  | Some v_link -> (
+    match Net.send net ~src:u.Node.id ~dst:v_link.Link.peer ~kind:Msg.balance with
+    | exception Bus.Unreachable _ -> false
+    | exception Not_found -> false
+    | v ->
+      let lu = Node.load u and lv = Node.load v in
+      if lu <= lv then false
+      else begin
+        let keep = (lu + lv + 1) / 2 in
+        match side with
+        | `Right ->
+          (* u keeps its [keep] smallest keys; [boundary, ...) moves to
+             the right adjacent and the shared boundary slides left. *)
+          if keep >= lu then false
+          else
+            let boundary = nth_key u.Node.store keep in
+            if boundary <= u.Node.range.Range.lo then false
+            else begin
+              let moved = Sorted_store.split_at_or_above u.Node.store boundary in
+              if Sorted_store.is_empty moved then false
+              else begin
+                ignore (Net.send net ~src:u.Node.id ~dst:v.Node.id ~kind:Msg.balance);
+                Sorted_store.absorb v.Node.store moved;
+                u.Node.range <- { u.Node.range with Range.hi = boundary };
+                v.Node.range <- { v.Node.range with Range.lo = boundary };
+                Wiring.announce net u ~kind:Msg.balance;
+                Wiring.announce net v ~kind:Msg.balance;
+                true
+              end
+            end
+        | `Left ->
+          (* u keeps its [keep] largest keys; [..., boundary) moves to
+             the left adjacent. *)
+          if keep >= lu then false
+          else
+            let boundary = nth_key u.Node.store (lu - keep) in
+            if boundary >= u.Node.range.Range.hi || boundary <= u.Node.range.Range.lo
+            then false
+            else begin
+              let moved = Sorted_store.split_below u.Node.store boundary in
+              if Sorted_store.is_empty moved then false
+              else begin
+                ignore (Net.send net ~src:u.Node.id ~dst:v.Node.id ~kind:Msg.balance);
+                Sorted_store.absorb v.Node.store moved;
+                u.Node.range <- { u.Node.range with Range.lo = boundary };
+                v.Node.range <- { v.Node.range with Range.hi = boundary };
+                Wiring.announce net u ~kind:Msg.balance;
+                Wiring.announce net v ~kind:Msg.balance;
+                true
+              end
+            end
+      end)
+
+(* Ask a linked peer for its current load: one request, one reply. *)
+let probe_load net (u : Node.t) (target : Link.info) =
+  match Net.send net ~src:u.Node.id ~dst:target.Link.peer ~kind:Msg.balance with
+  | exception Bus.Unreachable _ -> None
+  | exception Not_found -> None
+  | t ->
+    ignore (Net.send net ~src:t.Node.id ~dst:u.Node.id ~kind:Msg.balance);
+    Some t
+
+(* Recruit the lightly loaded leaf [f]: it hands its content and range
+   to an adjacent node, force-leaves, and force-rejoins as the
+   overloaded node's child, taking half of its content (Figure 7). *)
+let recruit net (u : Node.t) (f : Node.t) =
+  let absorbed =
+    let give side =
+      match Node.adjacent f side with
+      | None -> false
+      | Some g_link -> (
+        match Net.send net ~src:f.Node.id ~dst:g_link.Link.peer ~kind:Msg.balance with
+        | exception Bus.Unreachable _ -> false
+        | exception Not_found -> false
+        | g ->
+          Sorted_store.absorb g.Node.store f.Node.store;
+          g.Node.range <- Range.merge g.Node.range f.Node.range;
+          Wiring.announce net g ~kind:Msg.balance;
+          true)
+    in
+    give `Right || give `Left
+  in
+  if not absorbed then false
+  else begin
+    Restructure.forced_leave net f;
+    let fresh = Restructure.forced_join net ~parent:u f.Node.id in
+    ignore fresh;
+    true
+  end
+
+let maybe_balance net cfg (u : Node.t) =
+  (* A range of width < 2 cannot be split further: the overload is a
+     single hot key, which no partitioning scheme can spread (the
+     paper's duplicate-key footnote applies; entries would have to
+     overflow to adjacent nodes, which we do not model). A node whose
+     last attempt failed backs off until its load has grown further,
+     rather than re-probing its neighbours on every insertion. *)
+  if
+    Node.load u <= cfg.capacity
+    || Range.width u.Node.range < 2
+    || Node.load u < u.Node.balance_backoff
+  then false
+  else begin
+    u.Node.balance_backoff <- Node.load u + max 1 (cfg.capacity / 10);
+    (* First preference: even out with an adjacent node. *)
+    let adjacent_candidates =
+      List.filter_map
+        (fun side ->
+          match Node.adjacent u side with
+          | None -> None
+          | Some link -> (
+            match probe_load net u link with
+            | Some v when (Node.load u + Node.load v) / 2 <= cfg.capacity ->
+              Some (side, Node.load v)
+            | Some _ | None -> None))
+        [ `Right; `Left ]
+    in
+    let by_load = List.sort (fun (_, a) (_, b) -> compare a b) adjacent_candidates in
+    let reset_on_success acted =
+      if acted then u.Node.balance_backoff <- 0;
+      acted
+    in
+    match by_load with
+    | (side, _) :: _ -> reset_on_success (balance_with_adjacent net u side)
+    | [] ->
+      if not (Node.is_leaf u) then false
+      else begin
+        (* Probe the routing tables for a lightly loaded leaf. *)
+        let candidates =
+          List.filter_map
+            (fun (_, (link : Link.info)) ->
+              if link.Link.has_left_child || link.Link.has_right_child then None
+              else
+                match probe_load net u link with
+                | Some f
+                  when Node.is_leaf f
+                       && Node.load f <= cfg.light_load
+                       && f.Node.id <> u.Node.id ->
+                  Some f
+                | Some _ | None -> None)
+            (Node.neighbor_entries u)
+        in
+        let lightest =
+          List.fold_left
+            (fun best (f : Node.t) ->
+              match best with
+              | None -> Some f
+              | Some b -> if Node.load f < Node.load b then Some f else best)
+            None candidates
+        in
+        match lightest with
+        | None -> false
+        | Some f -> reset_on_success (recruit net u f)
+      end
+  end

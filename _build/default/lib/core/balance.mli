@@ -1,0 +1,30 @@
+(** Load balancing (paper Section IV-D).
+
+    A non-leaf node balances only with its adjacent nodes (moving the
+    shared range boundary so the two loads even out). An overloaded
+    leaf first tries its adjacent nodes too; when those are also
+    heavily loaded it probes its routing tables for a lightly loaded
+    leaf, which hands its own data to its adjacent node, force-leaves
+    its position (restructuring if required) and force-rejoins as the
+    overloaded node's child, taking half of its content — the flow of
+    the paper's Figure 7. *)
+
+type config = {
+  capacity : int;
+      (** a node holding more than this many keys is overloaded *)
+  light_load : int;
+      (** a leaf holding at most this many keys may be recruited *)
+}
+
+val default_config : capacity:int -> config
+(** [light_load = capacity / 4]. *)
+
+val balance_with_adjacent : Net.t -> Node.t -> [ `Left | `Right ] -> bool
+(** Move the boundary between the node and its adjacent on the given
+    side so their loads even out. Returns [false] when there is no
+    adjacent there, no legal key boundary achieves the split, or no
+    load would move. *)
+
+val maybe_balance : Net.t -> config -> Node.t -> bool
+(** Run the paper's balancing policy on the node if it is overloaded.
+    Returns [true] if any load moved. *)

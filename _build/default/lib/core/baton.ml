@@ -1,0 +1,73 @@
+(** BATON: a balanced tree overlay for peer-to-peer networks.
+
+    Library entry point. The protocol modules are re-exported below;
+    {!Network} offers a convenience API that covers the common
+    lifecycle (build a network, churn it, query it) used by the
+    examples and experiments. *)
+
+module Position = Position
+module Range = Range
+module Link = Link
+module Routing_table = Routing_table
+module Node = Node
+module Msg = Msg
+module Net = Net
+module Wiring = Wiring
+module Search = Search
+module Join = Join
+module Leave = Leave
+module Failure = Failure
+module Restructure = Restructure
+module Update = Update
+module Balance = Balance
+module Replication = Replication
+module Viz = Viz
+module Check = Check
+
+(** High-level convenience API over the protocol modules. *)
+module Network = struct
+  type t = Net.t
+
+  let default_domain = Range.make ~lo:1 ~hi:1_000_000_000
+
+  let create ?seed ?(domain = default_domain) () = Net.create ?seed ~domain ()
+
+  (** Grow the network to [n] peers, each join routed via a random
+      existing peer (as a fresh peer would: it must know at least one
+      node inside the network). *)
+  let build ?seed ?domain n =
+    if n < 1 then invalid_arg "Network.build: need at least one peer";
+    let net = create ?seed ?domain () in
+    let _root = Join.join_new_network net in
+    for _ = 2 to n do
+      ignore (Join.join net ~via:(Net.random_peer net))
+    done;
+    net
+
+  let size = Net.size
+  let height = Check.height
+
+  let join net =
+    if Net.size net = 0 then (Join.join_new_network net).Node.id
+    else (Join.join net ~via:(Net.random_peer net)).Join.new_peer
+
+  let leave net id = ignore (Leave.leave net (Net.peer net id))
+  let crash net id = Failure.crash net (Net.peer net id)
+
+  let repair net id =
+    Failure.repair net ~reporter:(Net.random_peer net) id
+
+  let insert net key =
+    ignore (Update.insert net ~from:(Net.random_peer net) key)
+
+  let delete net key =
+    (Update.delete net ~from:(Net.random_peer net) key).Update.found
+
+  let lookup net key =
+    fst (Search.lookup net ~from:(Net.random_peer net) key)
+
+  let range_query net ~lo ~hi =
+    (Search.range net ~from:(Net.random_peer net) ~lo ~hi).Search.keys
+
+  let messages net = Baton_sim.Metrics.total (Net.metrics net)
+end

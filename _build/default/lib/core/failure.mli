@@ -1,0 +1,25 @@
+(** Node failure and repair (paper Section III-C).
+
+    A crashed peer stops answering: the bus raises [Unreachable] on any
+    message to it. Whoever discovers this reports the failure to the
+    failed node's parent, which regenerates the failed node's routing
+    knowledge through the children of its own sideways neighbours and
+    then drives a graceful departure on the dead node's behalf. The
+    crashed node's locally stored data is lost (the paper does not
+    replicate); its range is taken over by the replacement (or merged
+    into the in-order adjacent parent when the dead node was a safely
+    removable leaf). *)
+
+val crash : Net.t -> Node.t -> unit
+(** Mark the peer as failed on the bus. Its state is frozen and
+    unreachable until {!repair}. *)
+
+val repair : Net.t -> reporter:Node.t -> int -> unit
+(** [repair net ~reporter dead] runs the recovery protocol for failed
+    peer [dead], initiated by [reporter] (the peer that discovered the
+    unreachable address). A no-op if [dead] is unknown (already
+    repaired). *)
+
+val crash_and_repair : Net.t -> Node.t -> unit
+(** Convenience for tests and experiments: crash the node, then have a
+    random live peer discover and repair it. *)

@@ -1,0 +1,38 @@
+(** Node join (paper Section III-A).
+
+    Phase one forwards the JOIN request with Algorithm 1 until a node
+    with full routing tables and a spare child slot accepts. Phase two
+    splits the acceptor's range and content, wires the new node's
+    adjacent links, and runs the routing-table update conversation: the
+    acceptor contacts its sideways neighbours, each neighbour contacts
+    its relevant children, and those children answer the new node —
+    at most [2 L1 + 2 L2 + 2 L2 + 1 < 6 log N] messages. *)
+
+type stats = {
+  acceptor : int;  (** peer id of the node that accepted *)
+  new_peer : int;  (** peer id assigned to the joiner *)
+  search_msgs : int;  (** Algorithm 1 forwarding messages *)
+  update_msgs : int;  (** link / routing-table update messages *)
+}
+
+val split_point : Node.t -> int
+(** The key at which an acceptor's range is split with a new child: the
+    content median when it is a legal interior point (each side keeps
+    half the load), else the arithmetic midpoint. *)
+
+val find_join_node : Net.t -> via:Node.t -> Node.t * int
+(** Algorithm 1: walk from [via] to a node that can accept a child.
+    Returns the acceptor and the number of forwarding messages. *)
+
+val accept : Net.t -> acceptor:Node.t -> int -> Node.t * int
+(** [accept net ~acceptor id] makes peer [id] a child of [acceptor]
+    (left slot preferred), splitting range and content and updating all
+    affected links and tables. Returns the new node and the number of
+    update messages. @raise Invalid_argument if [acceptor] has no spare
+    child slot. *)
+
+val join : Net.t -> via:Node.t -> stats
+(** Full join of a fresh peer routed via an existing one. *)
+
+val join_new_network : Net.t -> Node.t
+(** Bootstrap: the first peer, owning the whole domain. *)

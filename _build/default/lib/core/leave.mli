@@ -1,0 +1,39 @@
+(** Node departure (paper Section III-B).
+
+    A leaf whose sideways neighbours have no children departs directly:
+    its content and range merge into its parent (its in-order adjacent
+    node), costing [2 L1 + 2 L2 + 2 < 4 log N] messages. Any other node
+    finds a replacement with Algorithm 2 (FINDREPLACEMENT walks down,
+    O(log N) steps); the replacement leaf first departs its own
+    position, then assumes the leaver's position, range, content and
+    links, costing up to [8 log N] update messages. *)
+
+type stats = {
+  replacement : int option;  (** peer id of the replacement leaf, if one was needed *)
+  search_msgs : int;  (** FINDREPLACEMENT forwarding messages *)
+  update_msgs : int;  (** link / routing-table update messages *)
+}
+
+val can_depart_directly : Node.t -> bool
+(** Leaf with no child-bearing sideways neighbour (Theorem 1 keeps the
+    tree balanced after its removal). *)
+
+val find_replacement : Net.t -> Node.t -> Node.t * int
+(** Algorithm 2 from the leaver. Returns the replacement leaf and the
+    forwarding message count.
+    @raise Invalid_argument if called on a node that can depart
+    directly. *)
+
+val direct_departure : Net.t -> Node.t -> kind:string -> unit
+(** Remove a directly-departing leaf: merge content and range into the
+    parent, splice adjacent links, retract the leaver from its
+    neighbours and broadcast the parent's new state. *)
+
+val assume_position : Net.t -> leaver:Node.t -> replacement:Node.t -> kind:string -> unit
+(** The (already departed) replacement takes over the leaver's
+    position, range, content and links, and announces itself to
+    everyone who linked to the leaver. *)
+
+val leave : Net.t -> Node.t -> stats
+(** Full graceful departure. The last node of the network simply
+    unregisters. *)

@@ -1,0 +1,16 @@
+type info = {
+  peer : int;
+  pos : Position.t;
+  range : Range.t;
+  has_left_child : bool;
+  has_right_child : bool;
+}
+
+let has_both_children i = i.has_left_child && i.has_right_child
+let has_spare_child_slot i = not (has_both_children i)
+
+let pp fmt i =
+  Format.fprintf fmt "peer %d at %a %a%s%s" i.peer Position.pp i.pos Range.pp
+    i.range
+    (if i.has_left_child then " L" else "")
+    (if i.has_right_child then " R" else "")

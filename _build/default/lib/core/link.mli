@@ -1,0 +1,21 @@
+(** Cached views of remote nodes.
+
+    A link is what one peer knows about another: its physical id, its
+    logical position, and — per paper Section IV, "we record for each
+    link the range of values managed by the node at the target" — its
+    range, plus child-presence flags used by the join and
+    find-replacement algorithms. A link is a snapshot: it can go stale,
+    and protocols pay messages to refresh it. *)
+
+type info = {
+  peer : int;  (** physical peer id on the bus *)
+  pos : Position.t;  (** logical id at snapshot time *)
+  range : Range.t;  (** range at snapshot time *)
+  has_left_child : bool;
+  has_right_child : bool;
+}
+
+val has_both_children : info -> bool
+val has_spare_child_slot : info -> bool
+
+val pp : Format.formatter -> info -> unit

@@ -1,0 +1,28 @@
+let join_search = "join.search"
+let join_update = "join.update"
+let leave_search = "leave.search"
+let leave_update = "leave.update"
+let search_exact = "search.exact"
+let search_range = "search.range"
+let insert = "insert"
+let delete = "delete"
+let expand = "expand"
+let balance = "balance"
+let restructure = "restructure"
+let repair = "repair"
+
+let all =
+  [
+    join_search;
+    join_update;
+    leave_search;
+    leave_update;
+    search_exact;
+    search_range;
+    insert;
+    delete;
+    expand;
+    balance;
+    restructure;
+    repair;
+  ]

@@ -1,0 +1,44 @@
+(** Message kinds.
+
+    Every protocol hop is accounted under one of these kinds so that
+    experiments can separate, e.g., the cost of finding a join point
+    (Figure 8(a)) from the cost of updating routing tables afterwards
+    (Figure 8(b)). *)
+
+val join_search : string
+(** Forwarding a JOIN request (Algorithm 1). *)
+
+val join_update : string
+(** Routing-table / link updates after a node is accepted. *)
+
+val leave_search : string
+(** FINDREPLACEMENT forwarding (Algorithm 2). *)
+
+val leave_update : string
+(** Link and table updates when a node departs or is replaced. *)
+
+val search_exact : string
+(** Exact-match query forwarding. *)
+
+val search_range : string
+(** Range-query forwarding, including adjacent-link expansion. *)
+
+val insert : string
+(** Locating the node for a data insertion. *)
+
+val delete : string
+(** Locating the node for a data deletion. *)
+
+val expand : string
+(** Range-expansion notifications at the leftmost/rightmost node. *)
+
+val balance : string
+(** Load-balancing coordination and data migration. *)
+
+val restructure : string
+(** Position shifts and table rebuilds during forced restructuring. *)
+
+val repair : string
+(** Failure discovery, reporting and routing-table regeneration. *)
+
+val all : string list

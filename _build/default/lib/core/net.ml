@@ -1,0 +1,190 @@
+module Bus = Baton_sim.Bus
+module Metrics = Baton_sim.Metrics
+module Rng = Baton_util.Rng
+module Histogram = Baton_util.Histogram
+
+module Dyn_array = Baton_util.Dyn_array
+
+type t = {
+  bus : Bus.t;
+  peers : (int, Node.t) Hashtbl.t;
+  positions : (int * int, int) Hashtbl.t;
+  (* Registered ids in a dense array (plus index map) so random peer
+     selection is O(1) even at 10^4 peers. *)
+  id_list : int Dyn_array.t;
+  id_index : (int, int) Hashtbl.t;
+  rng : Rng.t;
+  domain : Range.t;
+  mutable next_id : int;
+  mutable defer : bool;
+  deferred : (unit -> unit) Dyn_array.t;
+  shifts : Histogram.t;
+}
+
+let create ?(seed = 42) ~domain () =
+  {
+    bus = Bus.create ();
+    peers = Hashtbl.create 4096;
+    positions = Hashtbl.create 4096;
+    id_list = Dyn_array.create ();
+    id_index = Hashtbl.create 4096;
+    rng = Rng.create seed;
+    domain;
+    next_id = 0;
+    defer = false;
+    deferred = Dyn_array.create ();
+    shifts = Histogram.create ();
+  }
+
+let bus t = t.bus
+let metrics t = Bus.metrics t.bus
+let rng t = t.rng
+let domain t = t.domain
+
+let key (pos : Position.t) = (pos.Position.level, pos.Position.number)
+
+let size t = Hashtbl.length t.peers - Bus.failed_count t.bus
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let register t (node : Node.t) =
+  if Hashtbl.mem t.peers node.Node.id then
+    invalid_arg "Net.register: peer id already registered";
+  if Hashtbl.mem t.positions (key node.Node.pos) then
+    invalid_arg "Net.register: position occupied";
+  Hashtbl.add t.peers node.Node.id node;
+  Hashtbl.add t.positions (key node.Node.pos) node.Node.id;
+  Hashtbl.replace t.id_index node.Node.id (Dyn_array.length t.id_list);
+  Dyn_array.push t.id_list node.Node.id
+
+let unregister t (node : Node.t) =
+  Hashtbl.remove t.peers node.Node.id;
+  (match Hashtbl.find_opt t.positions (key node.Node.pos) with
+  | Some id when id = node.Node.id -> Hashtbl.remove t.positions (key node.Node.pos)
+  | Some _ | None -> ());
+  (match Hashtbl.find_opt t.id_index node.Node.id with
+  | Some i ->
+    (* Swap-remove from the dense id array. *)
+    let last = Dyn_array.pop t.id_list in
+    if last <> node.Node.id then begin
+      Dyn_array.set t.id_list i last;
+      Hashtbl.replace t.id_index last i
+    end;
+    Hashtbl.remove t.id_index node.Node.id
+  | None -> ());
+  Bus.revive t.bus node.Node.id
+
+let reposition t (node : Node.t) pos =
+  (match Hashtbl.find_opt t.positions (key node.Node.pos) with
+  | Some id when id = node.Node.id -> Hashtbl.remove t.positions (key node.Node.pos)
+  | Some _ | None -> ());
+  if Hashtbl.mem t.positions (key pos) then
+    invalid_arg "Net.reposition: position occupied";
+  node.Node.pos <- pos;
+  Hashtbl.add t.positions (key pos) node.Node.id
+
+let bootstrap t =
+  if Hashtbl.length t.peers <> 0 then
+    invalid_arg "Net.bootstrap: network is not empty";
+  let node = Node.create ~id:(fresh_id t) ~pos:Position.root ~range:t.domain in
+  register t node;
+  node
+
+let peer t id = Hashtbl.find t.peers id
+let peer_opt t id = Hashtbl.find_opt t.peers id
+
+let peer_at t pos =
+  match Hashtbl.find_opt t.positions (key pos) with
+  | Some id -> peer_opt t id
+  | None -> None
+
+let root t = peer_at t Position.root
+
+let peers t = Hashtbl.fold (fun _ node acc -> node :: acc) t.peers []
+
+let live_ids t =
+  Hashtbl.fold
+    (fun id _ acc -> if Bus.is_failed t.bus id then acc else id :: acc)
+    t.peers []
+  |> List.sort compare |> Array.of_list
+
+let random_peer t =
+  let total = Dyn_array.length t.id_list in
+  if total = 0 then invalid_arg "Net.random_peer: empty network";
+  if Bus.failed_count t.bus >= total then
+    invalid_arg "Net.random_peer: no live peer";
+  let rec draw () =
+    let id = Dyn_array.get t.id_list (Rng.int t.rng total) in
+    if Bus.is_failed t.bus id then draw () else peer t id
+  in
+  draw ()
+
+let send t ~src ~dst ~kind =
+  Bus.send t.bus ~src ~dst ~kind;
+  peer t dst
+
+let apply_notification t ~src ~dst ~kind ~expect_pos f =
+  match peer_opt t dst with
+  | None ->
+    (* The destination left the network: the message is still sent (and
+       counted); it is simply never acted upon. *)
+    (try Bus.send t.bus ~src ~dst ~kind with Bus.Unreachable _ -> ())
+  | Some node -> (
+    match Bus.send t.bus ~src ~dst ~kind with
+    | () -> (
+      (* A peer that changed position since the message was addressed
+         ignores it: the update concerns a role it no longer holds. *)
+      match expect_pos with
+      | Some pos when not (Position.equal node.Node.pos pos) -> ()
+      | Some _ | None -> f node)
+    | exception Bus.Unreachable _ -> ())
+
+let notify ?expect_pos t ~src ~dst ~kind f =
+  if t.defer then
+    Baton_util.Dyn_array.push t.deferred (fun () ->
+        apply_notification t ~src ~dst ~kind ~expect_pos f)
+  else apply_notification t ~src ~dst ~kind ~expect_pos f
+
+let set_defer t flag = t.defer <- flag
+let deferring t = t.defer
+
+let flush_deferred t =
+  (* Notifications may enqueue follow-ups while flushing; drain fully. *)
+  t.defer <- false;
+  while not (Baton_util.Dyn_array.is_empty t.deferred) do
+    let batch = Baton_util.Dyn_array.to_array t.deferred in
+    Baton_util.Dyn_array.clear t.deferred;
+    Array.iter (fun f -> f ()) batch
+  done
+
+let record_shift t n = Histogram.add t.shifts n
+let shift_histogram t = t.shifts
+
+(* Snapshot format: a magic string (to fail fast on foreign files)
+   followed by the marshalled record. The record holds no closures once
+   the deferred queue is empty and the bus trace hook is cleared. *)
+let snapshot_magic = "BATON-NET-v1"
+
+let save t path =
+  if not (Baton_util.Dyn_array.is_empty t.deferred) then
+    invalid_arg "Net.save: deferred notifications pending";
+  Bus.set_trace t.bus None;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc snapshot_magic;
+      Marshal.to_channel oc t [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let magic = really_input_string ic (String.length snapshot_magic) in
+      if magic <> snapshot_magic then
+        failwith "Net.load: not a BATON snapshot";
+      (Marshal.from_channel ic : t))

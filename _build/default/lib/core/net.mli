@@ -1,0 +1,98 @@
+(** The BATON network: peers, positions, and message plumbing.
+
+    Holds the peer registry and the position map. The position map is
+    the simulator's god view: it is consulted by invariant checks, by
+    test oracles and by the repair path (where the paper's prose
+    "children of nodes in its routing tables can help locate ..."
+    abbreviates a lookup our protocols still pay messages for). Routing
+    decisions in the protocols never read it — they use only node-local
+    links, which can be stale. *)
+
+type t
+
+val create : ?seed:int -> domain:Range.t -> unit -> t
+(** Empty network over the given key domain. *)
+
+val bus : t -> Baton_sim.Bus.t
+val metrics : t -> Baton_sim.Metrics.t
+val rng : t -> Baton_util.Rng.t
+val domain : t -> Range.t
+
+val size : t -> int
+(** Number of live (non-failed, registered) peers. *)
+
+val fresh_id : t -> int
+(** Allocate a new physical peer id. *)
+
+val bootstrap : t -> Node.t
+(** Create and register the first node (the initial root, owning the
+    whole domain). @raise Invalid_argument if the network is not
+    empty. *)
+
+val register : t -> Node.t -> unit
+(** Add a peer at its position.
+    @raise Invalid_argument if id or position is taken. *)
+
+val unregister : t -> Node.t -> unit
+(** Remove a peer (graceful departure or completed repair). *)
+
+val reposition : t -> Node.t -> Position.t -> unit
+(** Move a peer to a new position in the position map and update
+    [node.pos]. The caller is responsible for rebuilding links. *)
+
+val peer : t -> int -> Node.t
+(** @raise Not_found for unknown ids. Failed peers are still returned
+    (their state exists; only the bus refuses messages to them). *)
+
+val peer_opt : t -> int -> Node.t option
+val peer_at : t -> Position.t -> Node.t option
+val root : t -> Node.t option
+val peers : t -> Node.t list
+(** All registered peers, unspecified order. *)
+
+val live_ids : t -> int array
+(** Ids of registered, non-failed peers. *)
+
+val random_peer : t -> Node.t
+(** Uniformly random live peer — the issuer of a query in experiments.
+    @raise Invalid_argument if the network is empty. *)
+
+val send : t -> src:int -> dst:int -> kind:string -> Node.t
+(** Account one protocol hop and return the destination's state (the
+    simulator's stand-in for the remote peer processing the message).
+    @raise Baton_sim.Bus.Unreachable if the destination failed. *)
+
+val notify :
+  ?expect_pos:Position.t ->
+  t -> src:int -> dst:int -> kind:string -> (Node.t -> unit) -> unit
+(** A one-way cache-refresh message: account the hop and apply the
+    update at the destination. Under {!set_defer}, the send and the
+    update are postponed until {!flush_deferred} — this is the staleness
+    window of the network-dynamics experiment. Notifications to peers
+    that meanwhile failed or left are dropped silently, as are
+    notifications whose target no longer occupies [expect_pos] (its
+    role changed, so the update no longer concerns it). *)
+
+val set_defer : t -> bool -> unit
+val deferring : t -> bool
+
+val flush_deferred : t -> unit
+(** Deliver all postponed notifications, in send order. *)
+
+val record_shift : t -> int -> unit
+(** Record the size of a restructuring shift (for Figure 8(h)). *)
+
+val save : t -> string -> unit
+(** Snapshot the whole network (peers, positions, data, counters, PRNG
+    state) to a file, so an expensive build can be reused across runs.
+    The network must be quiescent: deferred notifications pending from
+    {!set_defer} cannot be serialised.
+    @raise Invalid_argument if deferred notifications are pending. *)
+
+val load : string -> t
+(** Restore a network saved by {!save}. The loaded network continues
+    deterministically: running the same operations on the original and
+    the restored network yields identical results and message counts.
+    @raise Failure if the file is not a BATON snapshot. *)
+
+val shift_histogram : t -> Baton_util.Histogram.t

@@ -1,0 +1,66 @@
+(** Per-peer state.
+
+    Exactly the state the paper prescribes (Section III): a parent
+    link, two child links, two adjacent links, a left and a right
+    routing table, the managed key range and the locally stored data.
+    All remote knowledge is held as {!Link.info} snapshots. *)
+
+type t = {
+  id : int;  (** physical peer id on the bus *)
+  mutable pos : Position.t;
+  mutable parent : Link.info option;
+  mutable left_child : Link.info option;
+  mutable right_child : Link.info option;
+  mutable left_adjacent : Link.info option;
+  mutable right_adjacent : Link.info option;
+  mutable left_table : Routing_table.t;
+  mutable right_table : Routing_table.t;
+  mutable range : Range.t;
+  store : Baton_util.Sorted_store.t;
+  mutable balance_backoff : int;
+      (** load level below which the node will not retry a failed
+          balancing attempt (see {!Balance.maybe_balance}) *)
+}
+
+val create : id:int -> pos:Position.t -> range:Range.t -> t
+(** Fresh node with empty links, empty tables sized for [pos], empty
+    store. *)
+
+val info : t -> Link.info
+(** Accurate snapshot of this node, as sent inside protocol messages. *)
+
+val level : t -> int
+val is_root : t -> bool
+val is_leaf : t -> bool
+
+val child : t -> [ `Left | `Right ] -> Link.info option
+val set_child : t -> [ `Left | `Right ] -> Link.info option -> unit
+
+val adjacent : t -> [ `Left | `Right ] -> Link.info option
+val set_adjacent : t -> [ `Left | `Right ] -> Link.info option -> unit
+
+val table : t -> [ `Left | `Right ] -> Routing_table.t
+
+val tables_full : t -> bool
+(** Both routing tables full — the node may accept a child without
+    endangering balance (Theorem 1). *)
+
+val neighbor_entries : t -> (int * Link.info) list
+(** Filled entries of both tables, left table first, nearest first
+    within each side. *)
+
+val load : t -> int
+(** Number of locally stored keys. *)
+
+val reset_tables : t -> unit
+(** Replace both tables with empty ones sized for the current
+    position. Used when a node moves during restructuring. *)
+
+val update_links_for_peer : t -> int -> (Link.info -> Link.info) -> unit
+(** Apply a refresh function to every link (parent, children,
+    adjacents, both tables) whose target is the given peer. *)
+
+val drop_links_for_peer : t -> int -> unit
+(** Null out every link whose target is the given peer. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type t = { level : int; number : int }
+
+let max_level = 60
+
+let level_width l =
+  if l < 0 || l > max_level then invalid_arg "Position.level_width";
+  1 lsl l
+
+let make ~level ~number =
+  if level < 0 || level > max_level then invalid_arg "Position.make: bad level";
+  if number < 1 || number > level_width level then
+    invalid_arg "Position.make: bad number";
+  { level; number }
+
+let root = { level = 0; number = 1 }
+
+let equal a b = a.level = b.level && a.number = b.number
+
+let compare_level_order a b =
+  match compare a.level b.level with 0 -> compare a.number b.number | c -> c
+
+let is_root p = p.level = 0
+
+let parent p =
+  if is_root p then invalid_arg "Position.parent: root has no parent";
+  { level = p.level - 1; number = (p.number + 1) / 2 }
+
+let left_child p = make ~level:(p.level + 1) ~number:((2 * p.number) - 1)
+let right_child p = make ~level:(p.level + 1) ~number:(2 * p.number)
+
+let child p = function `Left -> left_child p | `Right -> right_child p
+
+let is_left_child p =
+  if is_root p then false else p.number mod 2 = 1
+
+let sibling p =
+  if is_root p then invalid_arg "Position.sibling: root has no sibling";
+  if is_left_child p then { p with number = p.number + 1 }
+  else { p with number = p.number - 1 }
+
+let is_ancestor ~ancestor p =
+  ancestor.level < p.level
+  && (p.number - 1) lsr (p.level - ancestor.level) = ancestor.number - 1
+
+(* Compare dyadic centres (2n - 1) / 2^(l + 1) exactly:
+   scale both to the deeper level and compare numerators. *)
+let in_order_compare a b =
+  let la = a.level and lb = b.level in
+  let na = (2 * a.number) - 1 and nb = (2 * b.number) - 1 in
+  if la = lb then compare na nb
+  else if la < lb then compare (na lsl (lb - la)) nb
+  else compare na (nb lsl (la - lb))
+
+let neighbor p side j =
+  if j < 0 then invalid_arg "Position.neighbor: negative slot";
+  let dist = 1 lsl j in
+  let number =
+    match side with `Left -> p.number - dist | `Right -> p.number + dist
+  in
+  if number < 1 || number > level_width p.level then None
+  else Some { p with number }
+
+let table_size p side =
+  let rec loop j acc =
+    match neighbor p side j with
+    | None -> acc
+    | Some _ -> loop (j + 1) (acc + 1)
+  in
+  loop 0 0
+
+let to_string p = Printf.sprintf "(%d,%d)" p.level p.number
+let pp fmt p = Format.pp_print_string fmt (to_string p)

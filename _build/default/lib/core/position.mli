@@ -1,0 +1,57 @@
+(** Logical tree positions.
+
+    A BATON node's logical id is a (level, number) pair: the root is at
+    level 0, the level of any node is one greater than its parent's,
+    and at level [l] the positions are numbered [1 .. 2^l] left to
+    right whether or not a peer occupies them (paper Section III). *)
+
+type t = { level : int; number : int }
+
+val root : t
+
+val make : level:int -> number:int -> t
+(** @raise Invalid_argument unless [0 <= level] and
+    [1 <= number <= 2^level]. *)
+
+val equal : t -> t -> bool
+val compare_level_order : t -> t -> int
+(** Order by (level, number) — not the in-order traversal order. *)
+
+val is_root : t -> bool
+
+val parent : t -> t
+(** @raise Invalid_argument on the root. *)
+
+val left_child : t -> t
+val right_child : t -> t
+val child : t -> [ `Left | `Right ] -> t
+
+val is_left_child : t -> bool
+(** A non-root position is a left child iff its number is odd. *)
+
+val sibling : t -> t
+(** The other child of the parent. @raise Invalid_argument on the root. *)
+
+val is_ancestor : ancestor:t -> t -> bool
+(** [is_ancestor ~ancestor p]: is [ancestor] a strict ancestor of [p]? *)
+
+val level_width : int -> int
+(** [level_width l] = [2^l], the number of positions at level [l]. *)
+
+val in_order_compare : t -> t -> int
+(** Order of the in-order traversal of the infinite binary tree.
+    Positions are mapped to their dyadic centres [(2n - 1) / 2^(l+1)]
+    and compared exactly with integer arithmetic. *)
+
+val neighbor : t -> [ `Left | `Right ] -> int -> t option
+(** [neighbor p side j] is the same-level position at distance [2^j] on
+    the given side, or [None] if that position falls outside
+    [1 .. 2^level]. These are the slots of the sideways routing
+    tables. *)
+
+val table_size : t -> [ `Left | `Right ] -> int
+(** Number of valid routing-table slots on a side: the count of [j >= 0]
+    with [neighbor p side j <> None]. At most [level]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

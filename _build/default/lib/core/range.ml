@@ -1,0 +1,29 @@
+type t = { lo : int; hi : int }
+
+let make ~lo ~hi =
+  if lo >= hi then invalid_arg "Range.make: lo must be < hi";
+  { lo; hi }
+
+let width r = r.hi - r.lo
+let contains r v = r.lo <= v && v < r.hi
+let is_left_of r v = r.hi <= v
+let is_right_of r v = v < r.lo
+let intersects r ~lo ~hi = r.lo <= hi && lo < r.hi
+let touches_left a b = a.hi = b.lo
+
+let split_at r m =
+  if m <= r.lo || m >= r.hi then invalid_arg "Range.split_at: point outside interior";
+  ({ lo = r.lo; hi = m }, { lo = m; hi = r.hi })
+
+let midpoint r =
+  if width r < 2 then invalid_arg "Range.midpoint: range too narrow to split";
+  r.lo + (width r / 2)
+
+let merge a b =
+  if touches_left a b then { lo = a.lo; hi = b.hi }
+  else if touches_left b a then { lo = b.lo; hi = a.hi }
+  else invalid_arg "Range.merge: ranges do not touch"
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let to_string r = Printf.sprintf "[%d,%d)" r.lo r.hi
+let pp fmt r = Format.pp_print_string fmt (to_string r)

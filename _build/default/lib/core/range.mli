@@ -1,0 +1,44 @@
+(** Key ranges.
+
+    Each BATON node — internal nodes included — directly manages a
+    contiguous range of index values (paper Section IV). Ranges are
+    half-open intervals [\[lo, hi)] over integer keys; the in-order
+    concatenation of all nodes' ranges tiles the key domain exactly. *)
+
+type t = { lo : int; hi : int }
+
+val make : lo:int -> hi:int -> t
+(** @raise Invalid_argument unless [lo < hi]. *)
+
+val width : t -> int
+
+val contains : t -> int -> bool
+(** [contains r v] iff [r.lo <= v < r.hi]. *)
+
+val is_left_of : t -> int -> bool
+(** The whole range lies left of the value: [r.hi <= v]. *)
+
+val is_right_of : t -> int -> bool
+(** The whole range lies right of the value: [v < r.lo]. *)
+
+val intersects : t -> lo:int -> hi:int -> bool
+(** Does [r] intersect the closed query interval [\[lo, hi\]]? *)
+
+val touches_left : t -> t -> bool
+(** [touches_left a b]: does [a] end exactly where [b] starts? *)
+
+val split_at : t -> int -> t * t
+(** [split_at r m] is [(\[lo, m), \[m, hi))].
+    @raise Invalid_argument unless [lo < m < hi]. *)
+
+val midpoint : t -> int
+(** A split point as close to the middle as possible; always a legal
+    argument to {!split_at} when [width r >= 2]. *)
+
+val merge : t -> t -> t
+(** Union of two ranges that touch (in either order).
+    @raise Invalid_argument if they do not touch. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

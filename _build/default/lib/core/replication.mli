@@ -1,0 +1,48 @@
+(** Adjacent replication (extension beyond the paper).
+
+    The paper accepts that an abruptly failed node loses its locally
+    stored data ("the data is gone; only the range survives"). This
+    module closes that gap with the standard technique for
+    range-partitioned overlays: each node keeps a replica of its data
+    at its in-order right adjacent (the left adjacent for the rightmost
+    node), so a single crash can be recovered from the replica holder.
+
+    Replication is write-through for insertions ({!on_insert}: one
+    extra message per insert) and re-established wholesale by
+    {!sync_all} (one message per peer), which applications run after
+    topology changes — a leave, a balance migration or a restructuring
+    changes who is adjacent to whom, so the recovery point is the last
+    sync plus all write-through inserts since. {!recover} re-inserts a
+    crashed peer's replicated keys through normal routed insertions, so
+    the restored data lands at whoever owns the range now. *)
+
+type t
+
+val create : unit -> t
+
+val replica_count : t -> int
+(** Number of peers that currently have a replica on file. *)
+
+val holder_of : t -> int -> int option
+(** The peer currently holding the given owner's replica, if any. *)
+
+val sync_all : t -> Net.t -> int
+(** Every peer pushes a full copy of its store to its adjacent replica
+    holder: one message per peer. Returns the messages paid. Replaces
+    all previous replicas. *)
+
+val on_insert : t -> Net.t -> owner:Node.t -> int -> unit
+(** Write-through: after storing a key at [owner], forward a copy to
+    its replica holder (one message). Creates the replica relationship
+    if the owner has none yet. *)
+
+val recover : t -> Net.t -> dead:int -> int
+(** Recover the crashed peer's replicated keys by re-inserting them
+    from the replica holder through normal routed insertions (counted).
+    Call after {!Failure.repair} has re-assigned the dead peer's range.
+    Returns the number of keys restored; 0 if no replica exists or the
+    holder is itself unreachable. The replica entry is consumed. *)
+
+val forget : t -> int -> unit
+(** Drop the replica entry for an owner (e.g. after a graceful leave,
+    whose data handover makes the replica moot). *)

@@ -1,0 +1,30 @@
+(** Network restructuring (paper Section III-E).
+
+    When a join or a departure is {e forced} — it happens at a specific
+    node as part of load balancing and may not be redirected — and the
+    Theorem 1 condition would be violated, the tree rebalances by
+    shifting occupants along the in-order adjacency chain, exactly like
+    the paper's Figures 4 and 5: each shifted peer takes the position
+    of its in-order neighbour until one can settle in an empty child
+    slot whose parent has full routing tables (join side), or until a
+    leaf position whose removal is safe has been vacated (leave side).
+    No data moves: peers keep their ranges, and because every shift
+    preserves the peers' relative in-order rank, the range ordering
+    invariant survives. Every shifted peer pays [O(log N)] messages to
+    rebuild its links and announce its new position; the number of
+    shifted peers is recorded in the network's shift histogram
+    (Figure 8(h)). *)
+
+val forced_join : Net.t -> parent:Node.t -> int -> Node.t
+(** [forced_join net ~parent id] makes peer [id] take the lower half of
+    [parent]'s range and content and enter the tree as [parent]'s
+    in-order predecessor — as [parent]'s left child when that slot is
+    free and safe (Theorem 1), otherwise via a restructuring shift.
+    Returns the new node. *)
+
+val forced_leave : Net.t -> Node.t -> unit
+(** [forced_leave net x] removes [x] from the tree {e without} a
+    replacement. [x]'s range and content must already have been handed
+    off by the caller. If vacating [x]'s position is unsafe, occupants
+    shift along the in-order chain until a safely-removable leaf
+    position has been vacated instead. *)

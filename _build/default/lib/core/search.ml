@@ -1,0 +1,117 @@
+module Bus = Baton_sim.Bus
+module Sorted_store = Baton_util.Sorted_store
+
+type outcome = { node : Node.t; hops : int }
+
+exception Routing_stuck of int
+
+(* Generous budget: height is <= 1.44 log2 N and each hop halves the
+   remaining distance; the budget is only consumed faster when routing
+   around stale links. *)
+let hop_budget net = 64 + (4 * (1 + Net.size net))
+
+(* Pick the next hop towards [v] from [node], per the paper's
+   algorithm. [`Right] direction: v lies right of node's range. *)
+let next_hop (node : Node.t) v =
+  if Range.contains node.Node.range v then None
+  else if Range.is_left_of node.Node.range v then
+    (* v >= hi: farthest right neighbour with lower bound <= v. *)
+    let candidate =
+      Routing_table.find_farthest node.Node.right_table (fun i ->
+          i.Link.range.Range.lo <= v)
+    in
+    match candidate with
+    | Some m -> Some m
+    | None -> (
+      match node.Node.right_child with
+      | Some c -> Some c
+      | None -> node.Node.right_adjacent)
+  else
+    (* v < lo: farthest left neighbour whose upper bound is > v. *)
+    let candidate =
+      Routing_table.find_farthest node.Node.left_table (fun i ->
+          i.Link.range.Range.hi > v)
+    in
+    match candidate with
+    | Some m -> Some m
+    | None -> (
+      match node.Node.left_child with
+      | Some c -> Some c
+      | None -> node.Node.left_adjacent)
+
+let exact ?(kind = Msg.search_exact) net ~from v =
+  let budget = hop_budget net in
+  let rec loop (node : Node.t) hops =
+    if hops > budget then raise (Routing_stuck hops)
+    else
+      match next_hop node v with
+      | None -> { node; hops }
+      | Some target -> (
+        match Net.send net ~src:node.Node.id ~dst:target.Link.peer ~kind with
+        | next -> loop next (hops + 1)
+        | exception Bus.Unreachable dead ->
+          (* Fault tolerance (Section III-D): drop the dead link,
+             reconstitute the missing links through the surviving
+             neighbourhood, and route on; the detour costs messages. *)
+          Node.drop_links_for_peer node dead;
+          Wiring.rebuild_links ~skip_failed:true net node ~kind;
+          loop node (hops + 1)
+        | exception Not_found ->
+          (* The target peer left the network and the link is stale. *)
+          Node.drop_links_for_peer node target.Link.peer;
+          Wiring.rebuild_links ~skip_failed:true net node ~kind;
+          loop node (hops + 1))
+  in
+  loop from 0
+
+let lookup net ~from v =
+  let { node; hops } = exact net ~from v in
+  (Sorted_store.mem node.Node.store v, hops)
+
+type range_outcome = { keys : int list; nodes_visited : int; range_hops : int }
+
+(* Collect matching keys from one direction of adjacent links, starting
+   at (and excluding) [node]. Returns (keys in visit order, peers
+   visited, messages paid). *)
+let sweep net (node : Node.t) side ~lo ~hi =
+  let keys = ref [] and visited = ref 0 and msgs = ref 0 in
+  let continue (n : Node.t) =
+    match side with
+    | `Right -> Range.is_left_of n.Node.range hi
+    | `Left -> lo < n.Node.range.Range.lo
+  in
+  let rec go (n : Node.t) =
+    if continue n then
+      match Node.adjacent n side with
+      | None -> ()
+      | Some next -> (
+        match Net.send net ~src:n.Node.id ~dst:next.Link.peer ~kind:Msg.search_range with
+        | next_node ->
+          incr msgs;
+          incr visited;
+          keys := Sorted_store.keys_in next_node.Node.store ~lo ~hi :: !keys;
+          go next_node
+        | exception Bus.Unreachable _ -> ()
+        | exception Not_found -> ())
+  in
+  go node;
+  (!keys, !visited, !msgs)
+
+let range net ~from ~lo ~hi =
+  if lo > hi then invalid_arg "Search.range: lo > hi";
+  (* Find any node intersecting the interval (the exact search for the
+     left endpoint lands on the first intersection or just left of it),
+     then per the paper "proceed left and/or right to cover the
+     remainder of the searched range" along adjacent links. *)
+  let { node; hops } = exact ~kind:Msg.search_range net ~from lo in
+  let here = Sorted_store.keys_in node.Node.store ~lo ~hi in
+  let left_keys, left_visited, left_msgs = sweep net node `Left ~lo ~hi in
+  let right_keys, right_visited, right_msgs = sweep net node `Right ~lo ~hi in
+  let keys =
+    List.concat (List.rev left_keys) @ here @ List.concat (List.rev right_keys)
+  in
+  {
+    keys;
+    nodes_visited = 1 + left_visited + right_visited;
+    range_hops = hops + left_msgs + right_msgs;
+  }

@@ -1,0 +1,45 @@
+(** Exact-match and range queries (paper Section IV-A/B).
+
+    Both run the paper's [search exact] algorithm: a node first checks
+    its own range; otherwise it forwards to the farthest routing-table
+    neighbour whose cached lower bound does not pass the target, else
+    to its child, else to its adjacent node on the target's side. Every
+    forwarding hop is one counted message. Routing uses only the
+    issuing node's local links and cached ranges — caches can be stale,
+    in which case the query simply pays extra hops (or routes around an
+    unreachable peer), exactly the effect measured by the paper's
+    network-dynamics experiment. *)
+
+type outcome = {
+  node : Node.t;  (** the node responsible for the searched value *)
+  hops : int;  (** forwarding messages paid *)
+}
+
+exception Routing_stuck of int
+(** Raised when a query exceeds the hop budget — only possible when
+    staleness or failures have corrupted routing state beyond the
+    protocol's tolerance; never in a quiescent network. Carries the
+    hop count. *)
+
+val exact : ?kind:string -> Net.t -> from:Node.t -> int -> outcome
+(** [exact net ~from v] routes from [from] to the node whose range
+    contains [v]. For values outside the current global range the
+    leftmost/rightmost node is returned (it is the one that would
+    expand, per Section IV-C). [kind] defaults to
+    {!Msg.search_exact}. *)
+
+val lookup : Net.t -> from:Node.t -> int -> bool * int
+(** [lookup net ~from v] is [(found, hops)]: route to the responsible
+    node and test membership of [v] in its local store. *)
+
+type range_outcome = {
+  keys : int list;  (** matching keys, ascending *)
+  nodes_visited : int;  (** partial-answer nodes contacted *)
+  range_hops : int;  (** total messages: search + adjacent expansion *)
+}
+
+val range : Net.t -> from:Node.t -> lo:int -> hi:int -> range_outcome
+(** [range net ~from ~lo ~hi] answers the closed range query
+    [\[lo, hi\]]: exact-search the first intersecting node, then follow
+    right-adjacent links, one message per additional node (paper:
+    [O(log N + X)]). *)

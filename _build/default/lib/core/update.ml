@@ -1,0 +1,92 @@
+module Sorted_store = Baton_util.Sorted_store
+
+type insert_stats = { node : int; hops : int; expanded : bool }
+
+let insert net ~from key =
+  let { Search.node; hops } = Search.exact ~kind:Msg.insert net ~from key in
+  let expanded =
+    if Range.contains node.Node.range key then false
+    else begin
+      (* The leftmost (rightmost) node expands its range to cover the
+         new key and must tell everyone who caches its range. *)
+      let r = node.Node.range in
+      (if key < r.Range.lo then node.Node.range <- { r with Range.lo = key }
+       else node.Node.range <- { r with Range.hi = key + 1 });
+      Wiring.announce net node ~kind:Msg.expand;
+      true
+    end
+  in
+  Sorted_store.insert node.Node.store key;
+  { node = node.Node.id; hops; expanded }
+
+type delete_stats = { node : int; hops : int; found : bool }
+
+let delete net ~from key =
+  let { Search.node; hops } = Search.exact ~kind:Msg.delete net ~from key in
+  let found = Sorted_store.remove node.Node.store key in
+  { node = node.Node.id; hops; found }
+
+type bulk_stats = { keys : int; nodes : int; msgs : int }
+
+let bulk_insert net ~from keys =
+  match List.sort compare keys with
+  | [] -> { keys = 0; nodes = 0; msgs = 0 }
+  | smallest :: _ as sorted ->
+    let metrics = Net.metrics net in
+    let cp = Baton_sim.Metrics.checkpoint metrics in
+    let { Search.node = first; hops = _ } =
+      Search.exact ~kind:Msg.insert net ~from smallest
+    in
+    (* Keys below the key space land on the leftmost node, which
+       expands once for the whole batch. *)
+    (if smallest < first.Node.range.Range.lo then begin
+       first.Node.range <- { first.Node.range with Range.lo = smallest };
+       Wiring.announce net first ~kind:Msg.expand
+     end);
+    let nodes = ref 0 in
+    let last_counted = ref (-1) in
+    let count_once (node : Node.t) =
+      if !last_counted <> node.Node.id then begin
+        incr nodes;
+        last_counted := node.Node.id
+      end
+    in
+    (* Distribute along the in-order chain; each handover is one
+       message carrying the remaining batch. *)
+    let rec distribute (node : Node.t) remaining =
+      match remaining with
+      | [] -> ()
+      | _ -> (
+        let mine, rest =
+          List.partition (fun k -> Range.contains node.Node.range k) remaining
+        in
+        if mine <> [] then begin
+          count_once node;
+          List.iter (Sorted_store.insert node.Node.store) mine
+        end;
+        match rest with
+        | [] -> ()
+        | _ -> (
+          match node.Node.right_adjacent with
+          | Some next -> (
+            match
+              Net.send net ~src:node.Node.id ~dst:next.Link.peer ~kind:Msg.insert
+            with
+            | next_node -> distribute next_node rest
+            | exception Baton_sim.Bus.Unreachable _ -> ()
+            | exception Not_found -> ())
+          | None ->
+            (* Rightmost node: the remaining keys lie beyond the key
+               space; expand once and store them here. *)
+            let top = List.fold_left max (node.Node.range.Range.hi - 1) rest in
+            node.Node.range <- { node.Node.range with Range.hi = top + 1 };
+            Wiring.announce net node ~kind:Msg.expand;
+            count_once node;
+            List.iter (Sorted_store.insert node.Node.store) rest))
+    in
+    distribute first sorted;
+    {
+      keys = List.length sorted;
+      nodes = !nodes;
+      msgs = Baton_sim.Metrics.since metrics cp;
+    }

@@ -1,0 +1,39 @@
+(** Data insertion and deletion (paper Section IV-C).
+
+    Both locate the responsible node with the exact-match search
+    ([O(log N)] messages) and update its local store. An insertion
+    outside the current global range lands on the leftmost/rightmost
+    node, which expands its range and pays an extra [O(log N)]
+    notification round. *)
+
+type insert_stats = {
+  node : int;  (** peer id that stored the key *)
+  hops : int;  (** search messages *)
+  expanded : bool;  (** end-node range expansion happened *)
+}
+
+val insert : Net.t -> from:Node.t -> int -> insert_stats
+(** Route from [from] and store the key. *)
+
+type delete_stats = {
+  node : int;  (** peer id that was responsible for the key *)
+  hops : int;
+  found : bool;  (** a matching key existed and was removed *)
+}
+
+val delete : Net.t -> from:Node.t -> int -> delete_stats
+(** Route from [from] and remove one occurrence of the key. *)
+
+type bulk_stats = {
+  keys : int;  (** keys stored *)
+  nodes : int;  (** peers that received data *)
+  msgs : int;  (** total messages: one search plus the adjacent walk *)
+}
+
+val bulk_insert : Net.t -> from:Node.t -> int list -> bulk_stats
+(** Batch insertion (the paper loads its data "in batches"): sort the
+    keys, route once to the owner of the smallest, then distribute the
+    rest along right-adjacent links — [O(log N + peers covered)]
+    messages for the whole batch instead of [O(log N)] per key.
+    End-of-domain keys expand the edge nodes' ranges as single inserts
+    do. Load balancing is the caller's concern, as with {!insert}. *)

@@ -1,0 +1,65 @@
+let node_line (n : Node.t) =
+  Printf.sprintf "%s peer=%d range=%s load=%d%s" (Position.to_string n.Node.pos)
+    n.Node.id
+    (Range.to_string n.Node.range)
+    (Node.load n)
+    (if Node.is_leaf n then " leaf" else "")
+
+let count_subtree net pos =
+  let rec go pos acc =
+    match Wiring.occupant net pos with
+    | None -> acc
+    | Some _ ->
+      go (Position.right_child pos) (go (Position.left_child pos) (acc + 1))
+  in
+  go pos 0
+
+let tree ?max_depth net =
+  let buf = Buffer.create 1024 in
+  let cut depth =
+    match max_depth with Some d -> depth >= d | None -> false
+  in
+  let rec render pos depth =
+    match Wiring.occupant net pos with
+    | None -> ()
+    | Some n ->
+      if cut depth then
+        Buffer.add_string buf
+          (Printf.sprintf "%s... %d more nodes below %s\n"
+             (String.make (2 * depth) ' ')
+             (count_subtree net pos)
+             (Position.to_string pos))
+      else begin
+        Buffer.add_string buf (String.make (2 * depth) ' ');
+        Buffer.add_string buf (node_line n);
+        Buffer.add_char buf '\n';
+        render (Position.left_child pos) (depth + 1);
+        render (Position.right_child pos) (depth + 1)
+      end
+  in
+  (match Net.root net with
+  | Some root -> render root.Node.pos 0
+  | None -> Buffer.add_string buf "(empty network)\n");
+  Buffer.contents buf
+
+let level_summary net =
+  let by_level = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Node.t) ->
+      let level = Node.level n in
+      let count, load =
+        match Hashtbl.find_opt by_level level with
+        | Some (c, l) -> (c, l)
+        | None -> (0, 0)
+      in
+      Hashtbl.replace by_level level (count + 1, load + Node.load n))
+    (Net.peers net);
+  let buf = Buffer.create 256 in
+  Hashtbl.fold (fun level stats acc -> (level, stats) :: acc) by_level []
+  |> List.sort compare
+  |> List.iter (fun (level, (count, load)) ->
+         Buffer.add_string buf
+           (Printf.sprintf "level %2d: %5d/%d nodes, %d keys\n" level count
+              (Position.level_width level)
+              load));
+  Buffer.contents buf

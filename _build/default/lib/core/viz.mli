@@ -1,0 +1,16 @@
+(** Diagnostics rendering.
+
+    Human-readable views of a network: an indented tree of positions,
+    peers, ranges and loads, and a per-level summary. Used by the CLI's
+    [inspect] command and handy in tests and the toplevel. *)
+
+val tree : ?max_depth:int -> Net.t -> string
+(** Indented in-order tree. Each line shows position, peer id, range
+    and load; subtrees below [max_depth] (default unlimited) are
+    elided with a count. *)
+
+val level_summary : Net.t -> string
+(** One line per level: node count, level capacity, total load. *)
+
+val node_line : Node.t -> string
+(** The single-line rendering used by {!tree}. *)

@@ -1,0 +1,196 @@
+let occupied net pos = Option.is_some (Net.peer_at net pos)
+let occupant net pos = Net.peer_at net pos
+
+(* Deepest occupied node reached by repeatedly descending on [side]. *)
+let rec deepest net pos side =
+  let child = Position.child pos side in
+  if occupied net child then deepest net child side else pos
+
+let in_order_successor net pos =
+  let right = Position.right_child pos in
+  if occupied net right then Some (deepest net right `Left)
+  else
+    (* First ancestor reached while coming up from a left child. *)
+    let rec up p =
+      if Position.is_root p then None
+      else if Position.is_left_child p then Some (Position.parent p)
+      else up (Position.parent p)
+    in
+    up pos
+
+let in_order_predecessor net pos =
+  let left = Position.left_child pos in
+  if occupied net left then Some (deepest net left `Right)
+  else
+    let rec up p =
+      if Position.is_root p then None
+      else if Position.is_left_child p then up (Position.parent p)
+      else Some (Position.parent p)
+    in
+    up pos
+
+let adjacent_position net pos = function
+  | `Left -> in_order_predecessor net pos
+  | `Right -> in_order_successor net pos
+
+let side_full net pos side =
+  let size = Position.table_size pos side in
+  let rec loop j =
+    j >= size
+    ||
+    match Position.neighbor pos side j with
+    | Some q -> occupied net q && loop (j + 1)
+    | None -> loop (j + 1)
+  in
+  loop 0
+
+let tables_full_at net pos = side_full net pos `Left && side_full net pos `Right
+
+let has_occupied_child net pos =
+  occupied net (Position.left_child pos) || occupied net (Position.right_child pos)
+
+let safe_leaf_removal net pos =
+  occupied net pos
+  && (not (has_occupied_child net pos))
+  &&
+  let side_safe side =
+    let size = Position.table_size pos side in
+    let rec loop j =
+      j >= size
+      ||
+      match Position.neighbor pos side j with
+      | Some q -> ((not (occupied net q)) || not (has_occupied_child net q)) && loop (j + 1)
+      | None -> loop (j + 1)
+    in
+    loop 0
+  in
+  side_safe `Left && side_safe `Right
+
+let rec subtree_height net pos =
+  if not (occupied net pos) then -1
+  else
+    1
+    + max
+        (subtree_height net (Position.left_child pos))
+        (subtree_height net (Position.right_child pos))
+
+(* Query a remote peer for its current state: one counted message.
+   When the target is down, the attempt still costs its message and
+   the state is learnt from the target's neighbours (as in the repair
+   protocol), so the snapshot is returned either way. *)
+let fetch_info net ~src ~kind (target : Node.t) =
+  (try ignore (Net.send net ~src ~dst:target.Node.id ~kind)
+   with Baton_sim.Bus.Unreachable _ -> ());
+  Node.info target
+
+let link_to ?(skip_failed = false) net ~src ~kind pos =
+  match occupant net pos with
+  | None -> None
+  | Some target ->
+    if skip_failed && Baton_sim.Bus.is_failed (Net.bus net) target.Node.id then None
+    else if target.Node.id = src then Some (Node.info target)
+    else Some (fetch_info net ~src ~kind target)
+
+let rebuild_links ?(skip_failed = false) net (node : Node.t) ~kind =
+  let src = node.Node.id in
+  let pos = node.Node.pos in
+  let link_to = link_to ~skip_failed net ~src ~kind in
+  (* When routing around failures, a dead in-order neighbour is skipped
+     and the adjacency link bridges the gap to the next live peer
+     (Section III-D: "adjacency links can be used to route across the
+     gap"). *)
+  let rec adjacent_link step p =
+    match step net p with
+    | None -> None
+    | Some q -> (
+      match link_to q with
+      | Some info -> Some info
+      | None -> if skip_failed then adjacent_link step q else None)
+  in
+  node.Node.parent <-
+    (if Position.is_root pos then None else link_to (Position.parent pos));
+  node.Node.left_child <- link_to (Position.left_child pos);
+  node.Node.right_child <- link_to (Position.right_child pos);
+  node.Node.left_adjacent <- adjacent_link in_order_predecessor pos;
+  node.Node.right_adjacent <- adjacent_link in_order_successor pos;
+  Node.reset_tables node;
+  let fill side =
+    let table = Node.table node side in
+    for j = 0 to Routing_table.size table - 1 do
+      match Position.neighbor pos side j with
+      | Some q -> Routing_table.set table j (link_to q)
+      | None -> ()
+    done
+  in
+  fill `Left;
+  fill `Right
+
+(* Positions of everyone who links to [pos]: parent, children,
+   in-order adjacents and routing-table neighbours. *)
+let watcher_positions net pos =
+  let acc = ref [] in
+  let add p = if occupied net p then acc := p :: !acc in
+  if not (Position.is_root pos) then add (Position.parent pos);
+  add (Position.left_child pos);
+  add (Position.right_child pos);
+  (match in_order_predecessor net pos with Some p -> add p | None -> ());
+  (match in_order_successor net pos with Some p -> add p | None -> ());
+  let sides = [ `Left; `Right ] in
+  List.iter
+    (fun side ->
+      let size = Position.table_size pos side in
+      for j = 0 to size - 1 do
+        match Position.neighbor pos side j with
+        | Some q -> add q
+        | None -> ()
+      done)
+    sides;
+  (* Dedupe: a child can also be an adjacent node. *)
+  List.sort_uniq Position.compare_level_order !acc
+
+let announce net (node : Node.t) ~kind =
+  let info = Node.info node in
+  let refresh (watcher : Node.t) =
+    (* The watcher replaces whatever link it holds for this position. *)
+    let pos = info.Link.pos in
+    if (not (Position.is_root pos)) && Position.equal watcher.Node.pos (Position.parent pos)
+    then
+      Node.set_child watcher (if Position.is_left_child pos then `Left else `Right) (Some info);
+    if
+      (not (Position.is_root watcher.Node.pos))
+      && Position.equal (Position.parent watcher.Node.pos) pos
+    then watcher.Node.parent <- Some info;
+    (match adjacent_position net watcher.Node.pos `Left with
+    | Some p when Position.equal p pos -> watcher.Node.left_adjacent <- Some info
+    | Some _ | None -> ());
+    (match adjacent_position net watcher.Node.pos `Right with
+    | Some p when Position.equal p pos -> watcher.Node.right_adjacent <- Some info
+    | Some _ | None -> ());
+    List.iter
+      (fun side ->
+        let table = Node.table watcher side in
+        match Routing_table.slot_for ~owner:watcher.Node.pos table pos with
+        | Some j -> Routing_table.set table j (Some info)
+        | None -> ())
+      [ `Left; `Right ]
+  in
+  List.iter
+    (fun wpos ->
+      match occupant net wpos with
+      | Some w when w.Node.id <> node.Node.id ->
+        Net.notify net ~src:node.Node.id ~dst:w.Node.id ~kind (fun w -> refresh w)
+      | Some _ | None -> ())
+    (watcher_positions net node.Node.pos)
+
+let retract_position net ~pos ~peer ~kind =
+  List.iter
+    (fun wpos ->
+      match occupant net wpos with
+      | Some w when w.Node.id <> peer ->
+        Net.notify net ~src:peer ~dst:w.Node.id ~kind (fun w ->
+            Node.drop_links_for_peer w peer)
+      | Some _ | None -> ())
+    (watcher_positions net pos)
+
+let retract net (node : Node.t) ~kind =
+  retract_position net ~pos:node.Node.pos ~peer:node.Node.id ~kind

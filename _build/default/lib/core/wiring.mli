@@ -1,0 +1,60 @@
+(** Tree-geometry helpers over the position map.
+
+    These functions answer structural questions — who occupies a
+    position, what is the in-order neighbour of a position, is it safe
+    to add or remove a leaf — from the network's position map. The
+    routing protocols themselves never call these to make forwarding
+    decisions; they are used where the paper's prose abbreviates a
+    conversation whose outcome is deterministic (rebuilding the links
+    of a node that moved during restructuring, regenerating a failed
+    node's tables), with the prescribed messages still paid by the
+    caller, and by the invariant checker and tests. *)
+
+val occupied : Net.t -> Position.t -> bool
+
+val occupant : Net.t -> Position.t -> Node.t option
+
+val in_order_successor : Net.t -> Position.t -> Position.t option
+(** In-order successor position within the occupied tree. *)
+
+val in_order_predecessor : Net.t -> Position.t -> Position.t option
+
+val adjacent_position : Net.t -> Position.t -> [ `Left | `Right ] -> Position.t option
+(** [`Left] is the in-order predecessor, [`Right] the successor. *)
+
+val tables_full_at : Net.t -> Position.t -> bool
+(** Structural version of Theorem 1's premise: every valid routing-slot
+    position of the given position is occupied. By Theorem 1, a node
+    here may gain a child without unbalancing the tree. *)
+
+val safe_leaf_removal : Net.t -> Position.t -> bool
+(** The position is an occupied leaf and no occupied routing-slot
+    neighbour of it has occupied children — the paper's condition for a
+    leaf to depart without a replacement. *)
+
+val subtree_height : Net.t -> Position.t -> int
+(** Height of the occupied subtree rooted at the position: 0 for an
+    occupied leaf, -1 for an empty position. *)
+
+val rebuild_links : ?skip_failed:bool -> Net.t -> Node.t -> kind:string -> unit
+(** Recompute the node's parent, children, adjacent links and both
+    routing tables from current occupancy, paying one message per
+    contacted peer (the node queries each of them for its state). Used
+    after the node's position changed, and — with [skip_failed] — by a
+    node reconstituting links after discovering dead neighbours
+    (Section III-D), in which case failed occupants are left out. *)
+
+val announce : Net.t -> Node.t -> kind:string -> unit
+(** Send the node's fresh {!Link.info} to everyone who links to it:
+    parent, children, adjacent nodes and all routing-table neighbours —
+    one message each; each recipient refreshes the matching link.
+    Honours the network's deferred-notification mode. *)
+
+val retract : Net.t -> Node.t -> kind:string -> unit
+(** Tell parent, children, adjacents and table neighbours of the node
+    to drop their links to it (the node's position is being vacated
+    with no successor occupant). One message each. *)
+
+val retract_position : Net.t -> pos:Position.t -> peer:int -> kind:string -> unit
+(** {!retract} for an explicit (position, peer) pair — used when the
+    occupant has already moved away from the vacated position. *)

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Baton Baton_util Baton_workload Chord List Multiway

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Baton Baton_util Baton_workload Common List Params Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_access_load.ml: Array Baton Baton_sim Baton_util Baton_workload Common Hashtbl List Params Printf Table

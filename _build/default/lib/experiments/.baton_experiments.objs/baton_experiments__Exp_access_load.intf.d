@@ -1,0 +1,1 @@
+lib/experiments/exp_access_load.mli: Params Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_churn_sweep.mli: Params Table

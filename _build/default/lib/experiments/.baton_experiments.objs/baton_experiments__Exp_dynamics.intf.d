@@ -1,0 +1,1 @@
+lib/experiments/exp_dynamics.mli: Params Table

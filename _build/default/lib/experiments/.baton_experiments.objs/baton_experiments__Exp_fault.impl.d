@@ -1,0 +1,1 @@
+lib/experiments/exp_fault.ml: Baton Baton_sim Baton_util Common List Params Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_hotspot.ml: Baton Baton_sim Baton_util Baton_workload List Params Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_latency.ml: Array Baton Baton_sim Baton_util Baton_workload Chord Common List Params Printf Table

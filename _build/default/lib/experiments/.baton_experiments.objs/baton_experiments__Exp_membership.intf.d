@@ -1,0 +1,1 @@
+lib/experiments/exp_membership.mli: Params Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_queries.ml: Array Baton Baton_util Baton_workload Chord Common List Multiway Params Table

@@ -1,0 +1,53 @@
+module Rng = Baton_util.Rng
+module Datagen = Baton_workload.Datagen
+
+(* Adjacent-only routing: what search would cost without the sideways
+   tables. One message per in-order step. *)
+let adjacent_only_hops net ~(from : Baton.Node.t) v =
+  let budget = 8 * (1 + Baton.Net.size net) in
+  let rec walk (n : Baton.Node.t) hops =
+    if hops > budget then hops
+    else if Baton.Range.contains n.Baton.Node.range v then hops
+    else
+      let side = if Baton.Range.is_left_of n.Baton.Node.range v then `Right else `Left in
+      match Baton.Node.adjacent n side with
+      | None -> hops
+      | Some next ->
+        walk (Baton.Net.send net ~src:n.Baton.Node.id ~dst:next.Baton.Link.peer
+                ~kind:"ablation.adjacent")
+          (hops + 1)
+  in
+  walk from 0
+
+let run (p : Params.t) =
+  let queries = max 20 (p.Params.queries / 10) in
+  let rows =
+    List.map
+      (fun n ->
+        let net, _keys =
+          Common.build_baton ~seed:(p.Params.seed + 77) ~n
+            ~keys_per_node:(max 1 (p.Params.keys_per_node / 4)) ()
+        in
+        let rng = Rng.create (p.Params.seed + 79) in
+        let with_tables = ref [] and without = ref [] in
+        for _ = 1 to queries do
+          let v = Rng.int_in_range rng ~lo:Datagen.domain_lo ~hi:(Datagen.domain_hi - 1) in
+          let from = Baton.Net.random_peer net in
+          let o = Baton.Search.exact net ~from v in
+          with_tables := float_of_int o.Baton.Search.hops :: !with_tables;
+          without := float_of_int (adjacent_only_hops net ~from v) :: !without
+        done;
+        [
+          Table.cell_int n;
+          Table.cell_float (Common.mean !with_tables);
+          Table.cell_float (Common.mean !without);
+        ])
+      p.Params.sizes
+  in
+  Table.make ~id:"ablation-tables"
+    ~title:"Exact-query cost with and without the sideways routing tables"
+    ~header:[ "N"; "with tables (BATON)"; "adjacent links only" ]
+    ~notes:
+      [ "Extension beyond the paper: removing the paper's key design \
+         element degrades search from O(log N) towards O(N)." ]
+    rows

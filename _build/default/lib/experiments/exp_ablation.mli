@@ -1,0 +1,11 @@
+(** Extension (not a paper figure): ablation of the sideways routing
+    tables.
+
+    The paper's central design element is the pair of power-of-two
+    routing tables. This experiment removes them from the picture by
+    routing exact queries along adjacent links only and compares the
+    message counts: the table-based search stays logarithmic while the
+    adjacent-only walk degrades towards the in-order distance between
+    peers, i.e. O(N). *)
+
+val run : Params.t -> Table.t

@@ -1,0 +1,10 @@
+(** Figure 8(f): access load of nodes at different levels.
+
+    The experiment counts, per tree level, the average number of
+    messages processed per node during an insert workload and a search
+    workload. Expected shape (the paper's headline fairness result):
+    insert load is nearly constant across levels and search load is
+    slightly {e higher at the leaves} than at the root — a tree overlay
+    that does not overload the root. *)
+
+val run : Params.t -> Table.t

@@ -1,0 +1,14 @@
+(** Figures 8(g) and 8(h): cost of load balancing and distribution of
+    restructuring shift sizes.
+
+    A fixed-size network absorbs an insertion stream, uniform in one
+    run and Zipfian (parameter 1.0) in the other, with the paper's
+    balancing policy active. Figure 8(g) tracks cumulative balancing
+    messages (including forced restructuring) against the number of
+    insertions: near zero for uniform data, linear but very low for
+    skewed data. Figure 8(h) histograms how many nodes each forced
+    restructuring displaced: strongly exponential, long shifts are
+    rare. *)
+
+val run : Params.t -> Table.t * Table.t
+(** [(fig8g, fig8h)]. *)

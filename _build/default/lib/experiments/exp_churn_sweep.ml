@@ -1,0 +1,68 @@
+module Rng = Baton_util.Rng
+module Metrics = Baton_sim.Metrics
+module Datagen = Baton_workload.Datagen
+
+(* Interleave queries with churn at the given events-per-query rate
+   (percent): at 100, every query is preceded by one membership
+   event. *)
+let run_rate ~seed ~n ~queries ~rate_percent =
+  let net = Baton.Network.build ~seed n in
+  let rng = Rng.create (seed + 131) in
+  let gen = Datagen.uniform (Rng.create (seed + 133)) in
+  let keys = Array.init (10 * n) (fun _ -> Datagen.next gen) in
+  Array.iter (Baton.Network.insert net) keys;
+  let m = Baton.Net.metrics net in
+  let query_msgs = ref 0 and churn_msgs = ref 0 and churn_events = ref 0 in
+  let credit = ref 0 in
+  for _ = 1 to queries do
+    credit := !credit + rate_percent;
+    while !credit >= 100 do
+      credit := !credit - 100;
+      incr churn_events;
+      let cp = Metrics.checkpoint m in
+      (if Rng.bool rng then ignore (Baton.Join.join net ~via:(Baton.Net.random_peer net))
+       else
+         let ids = Baton.Net.live_ids net in
+         ignore (Baton.Leave.leave net (Baton.Net.peer net (Rng.pick rng ids))));
+      churn_msgs := !churn_msgs + Metrics.since m cp
+    done;
+    let k = Rng.pick rng keys in
+    let cp = Metrics.checkpoint m in
+    let found, _ = Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k in
+    assert found;
+    query_msgs := !query_msgs + Metrics.since m cp
+  done;
+  Baton.Check.all net;
+  ( float_of_int !query_msgs /. float_of_int queries,
+    float_of_int !churn_msgs /. float_of_int (max 1 !churn_events),
+    !churn_events )
+
+let run (p : Params.t) =
+  let n = List.hd p.Params.sizes in
+  let queries = p.Params.queries in
+  let rows =
+    List.map
+      (fun rate_percent ->
+        let per_query, per_event, events =
+          run_rate ~seed:p.Params.seed ~n ~queries ~rate_percent
+        in
+        [
+          Printf.sprintf "%.1f" (float_of_int rate_percent /. 100.);
+          Table.cell_int events;
+          Table.cell_float per_query;
+          Table.cell_float per_event;
+        ])
+      [ 0; 10; 50; 100; 200 ]
+  in
+  Table.make ~id:"churn-sweep"
+    ~title:"Query cost under steady-state churn"
+    ~header:
+      [ "churn events/query"; "events"; "msgs/query"; "msgs/churn event" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "N = %d peers, %d queries; each churn event is a full join or \
+           graceful leave including its maintenance."
+          n queries;
+      ]
+    rows

@@ -1,0 +1,11 @@
+(** Extension (not a paper figure): query cost under steady-state
+    churn.
+
+    The dynamics experiment (Fig 8i) measures the cost of a single
+    concurrent batch; this sweep asks the operational question instead:
+    with churn arriving continuously at rate r membership events per
+    query, what do queries and maintenance cost on average? Expected
+    shape: query cost stays flat (maintenance repairs faster than decay
+    accumulates) while total overhead scales with r. *)
+
+val run : Params.t -> Table.t

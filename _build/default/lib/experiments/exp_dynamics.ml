@@ -1,0 +1,62 @@
+module Rng = Baton_util.Rng
+module Metrics = Baton_sim.Metrics
+
+(* Total messages for [k] joins; with [concurrent] the update
+   notifications are deferred until the whole batch has issued. *)
+let join_batch ~seed ~n ~k ~concurrent =
+  let net = Baton.Network.build ~seed n in
+  let m = Baton.Net.metrics net in
+  let cp = Metrics.checkpoint m in
+  Baton.Net.set_defer net concurrent;
+  for _ = 1 to k do
+    ignore (Baton.Join.join net ~via:(Baton.Net.random_peer net))
+  done;
+  Baton.Net.flush_deferred net;
+  float_of_int (Metrics.since m cp)
+
+let leave_batch ~seed ~n ~k ~concurrent =
+  let net = Baton.Network.build ~seed n in
+  let rng = Rng.create (seed + 61) in
+  let m = Baton.Net.metrics net in
+  let cp = Metrics.checkpoint m in
+  Baton.Net.set_defer net concurrent;
+  for _ = 1 to k do
+    let ids = Baton.Net.live_ids net in
+    let victim = Baton.Net.peer net ids.(Rng.int rng (Array.length ids)) in
+    ignore (Baton.Leave.leave net victim)
+  done;
+  Baton.Net.flush_deferred net;
+  float_of_int (Metrics.since m cp)
+
+let run (p : Params.t) =
+  let n = List.hd p.Params.sizes in
+  let ks = [ 1; 2; 4; 8; 16; 32 ] in
+  let rows =
+    List.map
+      (fun k ->
+        let avg f =
+          Common.avg_over_repeats ~repeats:p.Params.repeats (fun r ->
+              f ~seed:(p.Params.seed + (r * 1021)) ~n ~k)
+        in
+        let j_seq = avg (fun ~seed ~n ~k -> join_batch ~seed ~n ~k ~concurrent:false) in
+        let j_con = avg (fun ~seed ~n ~k -> join_batch ~seed ~n ~k ~concurrent:true) in
+        let l_seq = avg (fun ~seed ~n ~k -> leave_batch ~seed ~n ~k ~concurrent:false) in
+        let l_con = avg (fun ~seed ~n ~k -> leave_batch ~seed ~n ~k ~concurrent:true) in
+        let fk = float_of_int k in
+        [
+          Table.cell_int k;
+          Table.cell_float ((j_con -. j_seq) /. fk);
+          Table.cell_float ((l_con -. l_seq) /. fk);
+        ])
+      ks
+  in
+  Table.make ~id:"fig8i" ~title:"Extra messages per concurrent join / leave"
+    ~header:[ "concurrent ops"; "extra msgs per join"; "extra msgs per leave" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "N = %d peers; update notifications deferred for the whole batch, \
+           so later operations route on stale state."
+          n;
+      ]
+    rows

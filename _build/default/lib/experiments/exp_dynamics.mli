@@ -1,0 +1,12 @@
+(** Figure 8(i): effect of network dynamics.
+
+    When several peers join or leave at the same time, the routing-
+    table update notifications of one operation have not yet been
+    delivered while the next operation routes — so requests are
+    forwarded using stale knowledge and pay extra messages. The
+    experiment defers all update notifications for a batch of [k]
+    concurrent joins (and, separately, leaves), flushes at batch end,
+    and reports the extra messages per operation relative to the
+    sequential baseline. Expected shape: extra cost grows with [k]. *)
+
+val run : Params.t -> Table.t

@@ -1,0 +1,61 @@
+module Rng = Baton_util.Rng
+module Metrics = Baton_sim.Metrics
+
+let run (p : Params.t) =
+  let n = List.hd p.Params.sizes in
+  let queries = max 50 (p.Params.queries / 4) in
+  let fractions = [ 0; 5; 10; 20; 30 ] in
+  let rows =
+    List.map
+      (fun percent ->
+        let net, keys =
+          Common.build_baton ~seed:(p.Params.seed + 91) ~n
+            ~keys_per_node:p.Params.keys_per_node ()
+        in
+        let rng = Rng.create (p.Params.seed + 93 + percent) in
+        let victims =
+          List.filter
+            (fun (node : Baton.Node.t) ->
+              (not (Baton.Node.is_root node)) && Rng.int rng 100 < percent)
+            (Baton.Net.peers net)
+        in
+        List.iter (fun v -> Baton.Failure.crash net v) victims;
+        let dead_ranges = List.map (fun (v : Baton.Node.t) -> v.Baton.Node.range) victims in
+        let lost k = List.exists (fun r -> Baton.Range.contains r k) dead_ranges in
+        let m = Baton.Net.metrics net in
+        let asked = ref 0 and answered = ref 0 and hops = ref 0 in
+        let qrng = Rng.create (p.Params.seed + 97) in
+        for _ = 1 to queries do
+          let k = Rng.pick qrng keys in
+          if not (lost k) then begin
+            incr asked;
+            let cp = Metrics.checkpoint m in
+            let attempt () =
+              match Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k with
+              | found, _ -> found
+              | exception _ -> false
+            in
+            if attempt () || attempt () then incr answered;
+            hops := !hops + Metrics.since m cp
+          end
+        done;
+        [
+          Table.cell_int percent;
+          Table.cell_int (List.length victims);
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int !answered /. float_of_int (max 1 !asked));
+          Table.cell_float (float_of_int !hops /. float_of_int (max 1 !asked));
+        ])
+      fractions
+  in
+  Table.make ~id:"fault-resilience"
+    ~title:"Reachability of surviving data under unrepaired mass failure"
+    ~header:[ "% failed"; "peers down"; "answered"; "msgs/query" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "N = %d peers; queries target keys whose owners survive; one \
+           client retry allowed; no repairs run."
+          n;
+      ]
+    rows

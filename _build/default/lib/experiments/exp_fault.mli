@@ -1,0 +1,10 @@
+(** Extension (not a paper figure): resilience under mass failure.
+
+    Section III-D argues the network stays connected under many
+    simultaneous failures thanks to the sideways and adjacency links.
+    This experiment kills a growing fraction of the peers without
+    repairing them and measures what fraction of the surviving data is
+    still reachable (allowing the client one retry) and what the
+    detours cost. *)
+
+val run : Params.t -> Table.t

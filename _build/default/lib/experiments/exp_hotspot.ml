@@ -1,0 +1,59 @@
+module Rng = Baton_util.Rng
+module Metrics = Baton_sim.Metrics
+module Datagen = Baton_workload.Datagen
+
+let run (p : Params.t) =
+  let n = List.hd p.Params.sizes in
+  let capacity = p.Params.balance_capacity in
+  let net = Baton.Network.build ~seed:p.Params.seed n in
+  let cfg = Baton.Balance.default_config ~capacity in
+  let rng = Rng.create (p.Params.seed + 111) in
+  let m = Baton.Net.metrics net in
+  let wave_volume = capacity * n / 16 in
+  let domain = Datagen.domain_hi - Datagen.domain_lo in
+  (* Each wave concentrates 80% of its keys in a different 2%-wide
+     region of the domain. *)
+  let hot_centres = [ 0.15; 0.55; 0.85; 0.30; 0.70 ] in
+  let rows =
+    List.mapi
+      (fun i centre ->
+        let hot_lo = Datagen.domain_lo + int_of_float (centre *. float_of_int domain) in
+        let hot_width = domain / 50 in
+        let cp = Metrics.checkpoint m in
+        for _ = 1 to wave_volume do
+          let key =
+            if Rng.int rng 10 < 8 then hot_lo + Rng.int rng hot_width
+            else Rng.int_in_range rng ~lo:Datagen.domain_lo ~hi:(Datagen.domain_hi - 1)
+          in
+          let st = Baton.Update.insert net ~from:(Baton.Net.random_peer net) key in
+          ignore
+            (Baton.Balance.maybe_balance net cfg (Baton.Net.peer net st.Baton.Update.node))
+        done;
+        let balance_msgs =
+          Metrics.kind_since m cp Baton.Msg.balance
+          + Metrics.kind_since m cp Baton.Msg.restructure
+        in
+        let max_load =
+          List.fold_left (fun acc node -> max acc (Baton.Node.load node)) 0
+            (Baton.Net.peers net)
+        in
+        [
+          Table.cell_int (i + 1);
+          Printf.sprintf "%.0f%%" (centre *. 100.);
+          Table.cell_int max_load;
+          Table.cell_float (float_of_int balance_msgs /. float_of_int wave_volume);
+        ])
+      hot_centres
+  in
+  Baton.Check.all net;
+  Table.make ~id:"moving-hotspot"
+    ~title:"Load balancing under a hotspot that moves between waves"
+    ~header:[ "wave"; "hot region at"; "max load after wave"; "balance msgs/insert" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "N = %d peers, capacity %d; each wave inserts %d keys, 80%% of \
+           them inside a 2%%-wide hot region that moves."
+          n capacity wave_volume;
+      ]
+    rows

@@ -1,0 +1,77 @@
+module Rng = Baton_util.Rng
+module Stats = Baton_util.Stats
+module Latency = Baton_sim.Latency
+module Querygen = Baton_workload.Querygen
+
+let summarize label samples =
+  [
+    label;
+    Table.cell_float (Stats.mean samples);
+    Table.cell_float (Stats.median samples);
+    Table.cell_float (Stats.percentile samples 95.);
+    Table.cell_float (Stats.percentile samples 99.);
+  ]
+
+let run (p : Params.t) =
+  let n = List.hd p.Params.sizes in
+  let queries = p.Params.queries in
+  let lat = Latency.create ~seed:(p.Params.seed + 121) () in
+  (* BATON *)
+  let net, keys =
+    Common.build_baton ~seed:(p.Params.seed + 123) ~n
+      ~keys_per_node:p.Params.keys_per_node ()
+  in
+  let rng = Rng.create (p.Params.seed + 125) in
+  let baton_samples =
+    Array.map
+      (fun k ->
+        let (_ : bool * int), ms =
+          Latency.measure lat (Baton.Net.bus net) (fun () ->
+              Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k)
+        in
+        ms)
+      (Querygen.exact_targets rng ~keys queries)
+  in
+  (* BATON range queries: latency for a multi-peer answer. *)
+  let range_samples =
+    Array.map
+      (fun { Querygen.lo; hi } ->
+        let (_ : Baton.Search.range_outcome), ms =
+          Latency.measure lat (Baton.Net.bus net) (fun () ->
+              Baton.Search.range net ~from:(Baton.Net.random_peer net) ~lo ~hi)
+        in
+        ms)
+      (Querygen.ranges rng ~span:p.Params.range_span
+         ~lo:Baton_workload.Datagen.domain_lo
+         ~hi:(Baton_workload.Datagen.domain_hi - 1)
+         queries)
+  in
+  (* Chord *)
+  let chord, ckeys =
+    Common.build_chord ~seed:(p.Params.seed + 123) ~n
+      ~keys_per_node:p.Params.keys_per_node
+  in
+  let crng = Rng.create (p.Params.seed + 125) in
+  let chord_samples =
+    Array.map
+      (fun k ->
+        let (_ : bool * int), ms =
+          Latency.measure lat (Chord.bus chord) (fun () -> Chord.lookup chord k)
+        in
+        ms)
+      (Querygen.exact_targets crng ~keys:ckeys queries)
+  in
+  Table.make ~id:"latency"
+    ~title:"End-to-end query latency under a heavy-tailed link model (ms)"
+    ~header:[ "operation"; "mean"; "p50"; "p95"; "p99" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "N = %d peers; per-link latency = 20ms + Exp(60ms), fixed per pair."
+          n;
+      ]
+    [
+      summarize "baton exact" baton_samples;
+      summarize "baton range" range_samples;
+      summarize "chord exact" chord_samples;
+    ]

@@ -1,0 +1,11 @@
+(** Extension (not a paper figure): end-to-end query latency.
+
+    Message counts (the paper's metric) translate into wall-clock
+    latency through per-link RTTs. With a deterministic heavy-tailed
+    link-latency model, this experiment reports the exact-query latency
+    distribution (mean / p50 / p95 / p99) for BATON and Chord at one
+    network size — hop counts being nearly equal, so are latencies,
+    which is the point: BATON buys range queries without a latency
+    premium over a DHT. *)
+
+val run : Params.t -> Table.t

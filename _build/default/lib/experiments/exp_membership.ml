@@ -1,0 +1,116 @@
+module Rng = Baton_util.Rng
+
+type sample = {
+  mutable join_search : float list;
+  mutable join_update : float list;
+  mutable leave_search : float list;
+  mutable leave_update : float list;
+}
+
+let fresh () =
+  { join_search = []; join_update = []; leave_search = []; leave_update = [] }
+
+let baton_point ~seed ~n ~ops =
+  let net = Baton.Network.build ~seed n in
+  let s = fresh () in
+  let rng = Rng.create (seed + 17) in
+  for _ = 1 to ops do
+    (* One join, then one leave of a random node: size stays ~n. *)
+    let js = Baton.Join.join net ~via:(Baton.Net.random_peer net) in
+    s.join_search <- float_of_int js.Baton.Join.search_msgs :: s.join_search;
+    s.join_update <- float_of_int js.Baton.Join.update_msgs :: s.join_update;
+    let ids = Baton.Net.live_ids net in
+    let victim = Baton.Net.peer net ids.(Rng.int rng (Array.length ids)) in
+    let ls = Baton.Leave.leave net victim in
+    s.leave_search <- float_of_int ls.Baton.Leave.search_msgs :: s.leave_search;
+    s.leave_update <- float_of_int ls.Baton.Leave.update_msgs :: s.leave_update
+  done;
+  s
+
+let chord_point ~seed ~n ~ops =
+  let t = Chord.create ~seed () in
+  for _ = 1 to n do
+    ignore (Chord.join t)
+  done;
+  let s = fresh () in
+  let rng = Rng.create (seed + 17) in
+  for _ = 1 to ops do
+    let js = Chord.join t in
+    s.join_search <- float_of_int js.Chord.search_msgs :: s.join_search;
+    s.join_update <- float_of_int js.Chord.update_msgs :: s.join_update;
+    let ids = Chord.peer_ids t in
+    let ls = Chord.leave t ids.(Rng.int rng (Array.length ids)) in
+    s.leave_search <- float_of_int ls.Chord.search_msgs :: s.leave_search;
+    s.leave_update <- float_of_int ls.Chord.update_msgs :: s.leave_update
+  done;
+  s
+
+let multiway_point ~seed ~n ~ops =
+  let t =
+    Multiway.create ~seed ~domain_lo:Baton_workload.Datagen.domain_lo
+      ~domain_hi:Baton_workload.Datagen.domain_hi ()
+  in
+  for _ = 1 to n do
+    ignore (Multiway.join t)
+  done;
+  let s = fresh () in
+  let rng = Rng.create (seed + 17) in
+  for _ = 1 to ops do
+    let js = Multiway.join t in
+    s.join_search <- float_of_int js.Multiway.search_msgs :: s.join_search;
+    s.join_update <- float_of_int js.Multiway.update_msgs :: s.join_update;
+    let ids = Multiway.peer_ids t in
+    let ls = Multiway.leave t ids.(Rng.int rng (Array.length ids)) in
+    s.leave_search <- float_of_int ls.Multiway.search_msgs :: s.leave_search;
+    s.leave_update <- float_of_int ls.Multiway.update_msgs :: s.leave_update
+  done;
+  s
+
+let avg l = Common.mean l
+
+let run (p : Params.t) =
+  let points =
+    List.map
+      (fun n ->
+        let samples =
+          List.init p.Params.repeats (fun r ->
+              let seed = p.Params.seed + (r * 1009) in
+              ( baton_point ~seed ~n ~ops:p.Params.ops_sample,
+                chord_point ~seed ~n ~ops:p.Params.ops_sample,
+                multiway_point ~seed ~n ~ops:p.Params.ops_sample ))
+        in
+        let collect f =
+          let b = avg (List.concat_map (fun (b, _, _) -> f b) samples) in
+          let c = avg (List.concat_map (fun (_, c, _) -> f c) samples) in
+          let m = avg (List.concat_map (fun (_, _, m) -> f m) samples) in
+          (b, c, m)
+        in
+        (n, collect (fun s -> s.join_search), collect (fun s -> s.leave_search),
+         collect (fun s -> s.join_update), collect (fun s -> s.leave_update)))
+      p.Params.sizes
+  in
+  let f = Table.cell_float and i = Table.cell_int in
+  let fig8a =
+    Table.make ~id:"fig8a" ~title:"Messages to find the join node / replacement node"
+      ~header:
+        [ "N"; "baton join"; "chord join"; "mtree join"; "baton leave";
+          "chord leave"; "mtree leave" ]
+      ~notes:
+        [ "Chord leave hands data to a directly-linked successor, so its \
+           replacement search is free by construction." ]
+      (List.map
+         (fun (n, (bj, cj, mj), (bl, cl, ml), _, _) ->
+           [ i n; f bj; f cj; f mj; f bl; f cl; f ml ])
+         points)
+  in
+  let fig8b =
+    Table.make ~id:"fig8b" ~title:"Messages to update routing tables on join / leave"
+      ~header:
+        [ "N"; "baton join"; "chord join"; "mtree join"; "baton leave";
+          "chord leave"; "mtree leave" ]
+      (List.map
+         (fun (n, _, _, (bj, cj, mj), (bl, cl, ml)) ->
+           [ i n; f bj; f cj; f mj; f bl; f cl; f ml ])
+         points)
+  in
+  (fig8a, fig8b)

@@ -1,0 +1,14 @@
+(** Figures 8(a) and 8(b): cost of join and leave operations.
+
+    For each network size the experiment grows a network of each
+    system, then samples join and leave operations, separating the
+    messages spent {e finding} the join point / replacement node
+    (Figure 8(a)) from the messages spent {e updating routing tables}
+    and links afterwards (Figure 8(b)). Expected shapes: BATON's find
+    costs stay nearly flat and below Chord's (whose lookup grows with
+    log N); BATON's update cost stays O(log N) against Chord's
+    O(log^2 N); the multiway tree joins cheaply but pays heavily to
+    replace a departing internal node. *)
+
+val run : Params.t -> Table.t * Table.t
+(** [(fig8a, fig8b)]. *)

@@ -1,0 +1,12 @@
+(** Figures 8(c), 8(d) and 8(e): insert/delete, exact-match and range
+    query costs.
+
+    Each network is loaded with data, then sampled operations are
+    issued from random peers. Expected shapes: BATON tracks Chord
+    within a small constant (the paper's 1.44 height factor) for
+    inserts, deletes and exact queries, while the multiway tree costs
+    more; for range queries BATON pays O(log N + X) and the multiway
+    tree more, while Chord would have to visit every peer. *)
+
+val run : Params.t -> Table.t * Table.t * Table.t
+(** [(fig8c, fig8d, fig8e)]. *)

@@ -1,0 +1,89 @@
+module Rng = Baton_util.Rng
+module Metrics = Baton_sim.Metrics
+module Datagen = Baton_workload.Datagen
+
+let run_wave ~seed ~n ~keys_count ~crash_count ~replicate =
+  let net = Baton.Network.build ~seed n in
+  let repl = Baton.Replication.create () in
+  if replicate then ignore (Baton.Replication.sync_all repl net);
+  let gen = Datagen.uniform (Rng.create (seed + 3)) in
+  let m = Baton.Net.metrics net in
+  let cp = Metrics.checkpoint m in
+  let keys = Array.init keys_count (fun _ -> Datagen.next gen) in
+  Array.iter
+    (fun k ->
+      let st = Baton.Update.insert net ~from:(Baton.Net.random_peer net) k in
+      if replicate then
+        Baton.Replication.on_insert repl net
+          ~owner:(Baton.Net.peer net st.Baton.Update.node)
+          k)
+    keys;
+  let insert_msgs = Metrics.since m cp in
+  (* Crash a random set of peers, repair, recover replicas. *)
+  let rng = Rng.create (seed + 5) in
+  let candidates =
+    List.filter
+      (fun (node : Baton.Node.t) -> not (Baton.Node.is_root node))
+      (Baton.Net.peers net)
+    |> Array.of_list
+  in
+  Rng.shuffle rng candidates;
+  let victims =
+    Array.to_list (Array.sub candidates 0 (min crash_count (Array.length candidates)))
+  in
+  List.iter (fun v -> Baton.Failure.crash net v) victims;
+  let cp2 = Metrics.checkpoint m in
+  (* Repair every crash before recovering replicas, so holders that
+     crashed in the same wave have been replaced first. *)
+  List.iter
+    (fun (v : Baton.Node.t) ->
+      Baton.Failure.repair net ~reporter:(Baton.Net.random_peer net) v.Baton.Node.id)
+    victims;
+  if replicate then
+    List.iter
+      (fun (v : Baton.Node.t) ->
+        ignore (Baton.Replication.recover repl net ~dead:v.Baton.Node.id))
+      victims;
+  let repair_msgs = Metrics.since m cp2 in
+  let lookup k =
+    match Baton.Network.lookup net k with
+    | found -> found
+    | exception Baton.Search.Routing_stuck _ -> false
+  in
+  let survivors = Array.to_list keys |> List.filter lookup in
+  ( float_of_int (List.length survivors) /. float_of_int keys_count,
+    float_of_int insert_msgs /. float_of_int keys_count,
+    repair_msgs,
+    List.length victims )
+
+let run (p : Params.t) =
+  let n = List.hd p.Params.sizes in
+  let keys_count = p.Params.keys_per_node * n / 2 in
+  let crash_count = max 2 (n / 20) in
+  let rows =
+    List.map
+      (fun replicate ->
+        let survival, per_insert, repair_msgs, crashed =
+          run_wave ~seed:p.Params.seed ~n ~keys_count ~crash_count ~replicate
+        in
+        [
+          (if replicate then "on" else "off");
+          Table.cell_int crashed;
+          Printf.sprintf "%.1f%%" (100. *. survival);
+          Table.cell_float per_insert;
+          Table.cell_int repair_msgs;
+        ])
+      [ false; true ]
+  in
+  Table.make ~id:"replication"
+    ~title:"Data survival of crash waves with and without adjacent replication"
+    ~header:[ "replication"; "peers crashed"; "data surviving"; "msgs/insert"; "repair msgs" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "N = %d peers, %d keys; write-through replication costs one extra \
+           message per insert and restores the crashed peers' data from \
+           their adjacent replica holders."
+          n keys_count;
+      ]
+    rows

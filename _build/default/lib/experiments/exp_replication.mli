@@ -1,0 +1,8 @@
+(** Extension (not a paper figure): adjacent replication.
+
+    The paper loses a crashed peer's data. This experiment quantifies
+    the fix: with write-through adjacent replication, what fraction of
+    data survives a wave of crashes + repairs, and what does the write
+    path pay for it? *)
+
+val run : Params.t -> Table.t

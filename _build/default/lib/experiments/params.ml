@@ -1,0 +1,46 @@
+type t = {
+  sizes : int list;
+  repeats : int;
+  ops_sample : int;
+  queries : int;
+  keys_per_node : int;
+  range_span : int;
+  balance_capacity : int;
+  seed : int;
+}
+
+let quick =
+  {
+    sizes = [ 200; 400; 600; 800; 1000 ];
+    repeats = 2;
+    ops_sample = 50;
+    queries = 200;
+    keys_per_node = 20;
+    range_span = 2_000_000;
+    balance_capacity = 120;
+    seed = 2005;
+  }
+
+let full =
+  {
+    sizes = [ 1000; 2000; 3000; 4000; 5000; 6000; 7000; 8000; 9000; 10000 ];
+    repeats = 3;
+    ops_sample = 100;
+    queries = 1000;
+    keys_per_node = 50;
+    range_span = 2_000_000;
+    balance_capacity = 250;
+    seed = 2005;
+  }
+
+let tiny =
+  {
+    sizes = [ 50; 100; 200 ];
+    repeats = 1;
+    ops_sample = 20;
+    queries = 50;
+    keys_per_node = 10;
+    range_span = 10_000_000;
+    balance_capacity = 60;
+    seed = 2005;
+  }

@@ -1,0 +1,39 @@
+let experiments =
+  [
+    ( "fig8a+fig8b",
+      fun p ->
+        let a, b = Exp_membership.run p in
+        [ a; b ] );
+    ( "fig8c+fig8d+fig8e",
+      fun p ->
+        let c, d, e = Exp_queries.run p in
+        [ c; d; e ] );
+    ("fig8f", fun p -> [ Exp_access_load.run p ]);
+    ( "fig8g+fig8h",
+      fun p ->
+        let g, h = Exp_balance.run p in
+        [ g; h ] );
+    ("fig8i", fun p -> [ Exp_dynamics.run p ]);
+    (* Extensions beyond the paper's figures. *)
+    ("ablation-tables", fun p -> [ Exp_ablation.run p ]);
+    ("fault-resilience", fun p -> [ Exp_fault.run p ]);
+    ("replication", fun p -> [ Exp_replication.run p ]);
+    ("moving-hotspot", fun p -> [ Exp_hotspot.run p ]);
+    ("latency", fun p -> [ Exp_latency.run p ]);
+    ("churn-sweep", fun p -> [ Exp_churn_sweep.run p ]);
+  ]
+
+let run_all ?(on_table = fun _ -> ()) params =
+  List.concat_map
+    (fun (_, f) ->
+      let tables = f params in
+      List.iter on_table tables;
+      tables)
+    experiments
+
+let run_one id params =
+  let group_of (name, _) =
+    String.split_on_char '+' name |> List.exists (String.equal id)
+  in
+  let _, f = List.find group_of experiments in
+  f params

@@ -1,0 +1,17 @@
+(** Run the full experiment suite.
+
+    One entry per panel of the paper's Figure 8; {!run_all} executes
+    them in order, invoking a callback as each table completes so
+    callers can stream progress. *)
+
+val experiments : (string * (Params.t -> Table.t list)) list
+(** [(figure ids, runner)] pairs in presentation order: the nine
+    Figure 8 panels followed by two extension experiments
+    (routing-table ablation, mass-failure resilience). *)
+
+val run_all : ?on_table:(Table.t -> unit) -> Params.t -> Table.t list
+(** Execute every experiment and return all tables. *)
+
+val run_one : string -> Params.t -> Table.t list
+(** Run the experiment group containing the given figure id (e.g.
+    ["fig8a"]). @raise Not_found for unknown ids. *)

@@ -1,0 +1,64 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+
+let cell_int = string_of_int
+let cell_float v = Printf.sprintf "%.2f" v
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.length t.header in
+  List.init cols (fun c ->
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row c with
+          | Some cell -> max acc (String.length cell)
+          | None -> acc)
+        0 all)
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let rtrim s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let render t =
+  let ws = widths t in
+  let line row =
+    String.concat "  " (List.mapi (fun i cell -> pad (List.nth ws i) cell) row)
+    |> rtrim
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" t.id t.title);
+  Buffer.add_string buf (line t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length (line t.header)) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let markdown t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "### %s — %s\n\n" t.id t.title);
+  Buffer.add_string buf ("| " ^ String.concat " | " t.header ^ " |\n");
+  Buffer.add_string buf
+    ("|" ^ String.concat "|" (List.map (fun _ -> "---") t.header) ^ "|\n");
+  List.iter
+    (fun row -> Buffer.add_string buf ("| " ^ String.concat " | " row ^ " |\n"))
+    t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("\n_" ^ n ^ "_\n")) t.notes;
+  Buffer.contents buf

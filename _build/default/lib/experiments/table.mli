@@ -1,0 +1,25 @@
+(** Result tables.
+
+    Every experiment returns one or more tables mirroring a panel of
+    the paper's Figure 8; the runner renders them as aligned text (for
+    the bench harness) or markdown (for EXPERIMENTS.md). *)
+
+type t = {
+  id : string;  (** e.g. "fig8a" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string -> title:string -> header:string list ->
+  ?notes:string list -> string list list -> t
+
+val cell_int : int -> string
+val cell_float : float -> string
+
+val render : t -> string
+(** Aligned plain-text rendering. *)
+
+val markdown : t -> string

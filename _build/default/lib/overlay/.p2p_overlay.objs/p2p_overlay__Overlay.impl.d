@@ -1,0 +1,1 @@
+lib/overlay/overlay.ml: Baton Baton_sim Baton_util Chord Multiway String

@@ -1,0 +1,1 @@
+lib/overlay/overlay.mli: Baton_util

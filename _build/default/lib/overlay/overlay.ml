@@ -1,0 +1,109 @@
+module type S = sig
+  type t
+
+  val name : string
+  val create : seed:int -> n:int -> t
+  val size : t -> int
+  val messages : t -> int
+  val insert : t -> int -> unit
+  val delete : t -> int -> bool
+  val lookup : t -> int -> bool
+  val range_query : t -> lo:int -> hi:int -> int list option
+  val join : t -> unit
+  val leave_random : t -> Baton_util.Rng.t -> unit
+  val check : t -> unit
+end
+
+module Baton_overlay : S = struct
+  type t = Baton.Net.t
+
+  let name = "baton"
+  let create ~seed ~n = Baton.Network.build ~seed n
+  let size = Baton.Network.size
+  let messages = Baton.Network.messages
+  let insert = Baton.Network.insert
+  let delete = Baton.Network.delete
+  let lookup = Baton.Network.lookup
+  let range_query t ~lo ~hi = Some (Baton.Network.range_query t ~lo ~hi)
+  let join t = ignore (Baton.Network.join t)
+
+  let leave_random t rng =
+    if Baton.Net.size t > 1 then
+      Baton.Network.leave t (Baton_util.Rng.pick rng (Baton.Net.live_ids t))
+
+  let check = Baton.Check.all
+end
+
+module Chord_overlay : S = struct
+  type t = Chord.t
+
+  let name = "chord"
+
+  let create ~seed ~n =
+    let t = Chord.create ~seed () in
+    for _ = 1 to n do
+      ignore (Chord.join t)
+    done;
+    t
+
+  let size = Chord.size
+  let messages t = Baton_sim.Metrics.total (Chord.metrics t)
+  let insert t k = ignore (Chord.insert t k)
+
+  let delete t k =
+    let found = fst (Chord.lookup t k) in
+    ignore (Chord.delete t k);
+    found
+
+  let lookup t k = fst (Chord.lookup t k)
+  let range_query _ ~lo:_ ~hi:_ = None
+  let join t = ignore (Chord.join t)
+
+  let leave_random t rng =
+    if Chord.size t > 1 then
+      ignore (Chord.leave t (Baton_util.Rng.pick rng (Chord.peer_ids t)))
+
+  let check = Chord.check
+end
+
+module Multiway_overlay : S = struct
+  type t = Multiway.t
+
+  let name = "multiway"
+
+  let create ~seed ~n =
+    let t =
+      Multiway.create ~seed ~domain_lo:Baton.Network.default_domain.Baton.Range.lo
+        ~domain_hi:Baton.Network.default_domain.Baton.Range.hi ()
+    in
+    for _ = 1 to n do
+      ignore (Multiway.join t)
+    done;
+    t
+
+  let size = Multiway.size
+  let messages t = Baton_sim.Metrics.total (Multiway.metrics t)
+  let insert t k = ignore (Multiway.insert t k)
+  let delete t k = fst (Multiway.delete t k)
+  let lookup t k = fst (Multiway.lookup t k)
+  let range_query t ~lo ~hi = Some (fst (Multiway.range_query t ~lo ~hi))
+  let join t = ignore (Multiway.join t)
+
+  let leave_random t rng =
+    if Multiway.size t > 1 then
+      ignore (Multiway.leave t (Baton_util.Rng.pick rng (Multiway.peer_ids t)))
+
+  let check = Multiway.check
+end
+
+let baton : (module S) = (module Baton_overlay)
+let chord : (module S) = (module Chord_overlay)
+let multiway : (module S) = (module Multiway_overlay)
+let all = [ baton; chord; multiway ]
+
+let by_name name =
+  match String.lowercase_ascii name with
+  | "baton" -> baton
+  | "chord" -> chord
+  | "multiway" | "mtree" -> multiway
+  | _ -> raise Not_found

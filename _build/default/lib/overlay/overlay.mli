@@ -1,0 +1,46 @@
+(** A common interface over the three overlay networks.
+
+    BATON and its two comparison systems expose different native APIs;
+    this module erases the differences behind one signature so that
+    drivers (the CLI's [compare] command, generic tests, ad-hoc
+    scripts) can run the same workload against any of them and read the
+    same metrics. Range queries return [None] on overlays that cannot
+    answer them (Chord) — the impossibility is part of the interface,
+    exactly as it is part of the paper's comparison. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : seed:int -> n:int -> t
+  (** Build an [n]-peer network. *)
+
+  val size : t -> int
+  val messages : t -> int
+
+  val insert : t -> int -> unit
+  val delete : t -> int -> bool
+  val lookup : t -> int -> bool
+
+  val range_query : t -> lo:int -> hi:int -> int list option
+  (** [None] when the overlay cannot answer range queries. *)
+
+  val join : t -> unit
+  val leave_random : t -> Baton_util.Rng.t -> unit
+  (** Gracefully remove one uniformly chosen peer (no-op on a 1-peer
+      network). *)
+
+  val check : t -> unit
+  (** Structural invariants; @raise Failure on violation. *)
+end
+
+val baton : (module S)
+val chord : (module S)
+val multiway : (module S)
+
+val all : (module S) list
+(** The three overlays, BATON first. *)
+
+val by_name : string -> (module S)
+(** @raise Not_found for unknown names ("baton", "chord", "multiway"). *)

@@ -1,0 +1,29 @@
+type t = {
+  metrics : Metrics.t;
+  failed : (int, unit) Hashtbl.t;
+  mutable trace : (src:int -> dst:int -> kind:string -> unit) option;
+}
+
+exception Unreachable of int
+
+let create () =
+  { metrics = Metrics.create (); failed = Hashtbl.create 64; trace = None }
+
+let metrics t = t.metrics
+
+let is_failed t id = Hashtbl.mem t.failed id
+
+let send t ~src ~dst ~kind =
+  if src <> dst then begin
+    (* The message is transmitted — and therefore counted — whether or
+       not the destination is alive; a dead destination just never
+       answers, which is how failures are discovered (Section III-C). *)
+    Metrics.record t.metrics ~dst ~kind;
+    (match t.trace with None -> () | Some hook -> hook ~src ~dst ~kind);
+    if is_failed t dst then raise (Unreachable dst)
+  end
+
+let fail t id = if not (is_failed t id) then Hashtbl.add t.failed id ()
+let revive t id = Hashtbl.remove t.failed id
+let failed_count t = Hashtbl.length t.failed
+let set_trace t hook = t.trace <- hook

@@ -1,0 +1,41 @@
+(** Simulated message bus.
+
+    Peers are identified by small integers. A protocol hop from [src]
+    to [dst] is accounted by {!send}; if the destination has been
+    failed via {!fail}, the send raises {!Unreachable} — exactly how a
+    live peer discovers a dead one in the paper (Section III-C: "some
+    nodes wishing to access the departed node will discover the address
+    unreachable"). The bus never routes anything itself: routing is the
+    job of the overlay protocols built on top. *)
+
+type t
+
+exception Unreachable of int
+(** Raised by {!send} when the destination peer is failed. Carries the
+    failed peer id. *)
+
+val create : unit -> t
+
+val metrics : t -> Metrics.t
+(** The accounting sink for this bus. *)
+
+val send : t -> src:int -> dst:int -> kind:string -> unit
+(** Account one message. Self-sends ([src = dst]) are free: a node
+    consulting its own state passes no network message. Messages to
+    failed peers are still counted — they are transmitted, and the
+    missing answer is how the sender discovers the failure.
+    @raise Unreachable if [dst] is failed. *)
+
+val fail : t -> int -> unit
+(** Mark a peer as failed (crashed / abruptly departed). *)
+
+val revive : t -> int -> unit
+(** Clear the failed mark (peer re-joins with a fresh role). *)
+
+val is_failed : t -> int -> bool
+
+val failed_count : t -> int
+
+val set_trace : t -> (src:int -> dst:int -> kind:string -> unit) option -> unit
+(** Install (or remove) a hook observing every accounted message, e.g.
+    to record hop traces in examples. *)

@@ -1,0 +1,33 @@
+type t = { queue : (unit -> unit) Event_queue.t; mutable clock : float }
+
+let create () = { queue = Event_queue.create (); clock = 0. }
+let now t = t.clock
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  Event_queue.push t.queue ~time:(t.clock +. delay) f
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.push t.queue ~time f
+
+let pending t = Event_queue.length t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if horizon > t.clock then t.clock <- horizon

@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine.
+
+    Drives a virtual clock and a queue of thunks. Components schedule
+    callbacks at future virtual times; [run] executes them in timestamp
+    order. Used to model delivery latency of routing-table update
+    notifications in the network-dynamics experiment, and churn
+    schedules in examples. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at virtual time [now t +. delay].
+    [delay] must be non-negative. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant; [time] must not be in the past. *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val step : t -> bool
+(** Execute the earliest pending event, advancing the clock. Returns
+    [false] if the queue was empty. *)
+
+val run : t -> unit
+(** Execute events until the queue is empty. Events may schedule more
+    events. *)
+
+val run_until : t -> float -> unit
+(** Execute all events with timestamp <= the given horizon, then set
+    the clock to the horizon. *)

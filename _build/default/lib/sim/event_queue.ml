@@ -1,0 +1,60 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  heap : 'a entry Baton_util.Dyn_array.t;
+  mutable next_seq : int;
+}
+
+module Dyn_array = Baton_util.Dyn_array
+
+let create () = { heap = Dyn_array.create (); next_seq = 0 }
+let length t = Dyn_array.length t.heap
+let is_empty t = length t = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = Dyn_array.get t.heap i in
+  Dyn_array.set t.heap i (Dyn_array.get t.heap j);
+  Dyn_array.set t.heap j tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before (Dyn_array.get t.heap i) (Dyn_array.get t.heap parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = length t in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && before (Dyn_array.get t.heap l) (Dyn_array.get t.heap !smallest) then smallest := l;
+  if r < n && before (Dyn_array.get t.heap r) (Dyn_array.get t.heap !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  Dyn_array.push t.heap entry;
+  sift_up t (length t - 1)
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let top = Dyn_array.get t.heap 0 in
+    let last = Dyn_array.pop t.heap in
+    if length t > 0 then begin
+      Dyn_array.set t.heap 0 last;
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if is_empty t then None else Some (Dyn_array.get t.heap 0).time
+let clear t = Dyn_array.clear t.heap

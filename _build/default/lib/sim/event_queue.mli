@@ -1,0 +1,24 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap ordered by (time, insertion sequence): events
+    scheduled for the same instant are delivered in FIFO order, which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule an event. O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, or [None] if empty. Ties are
+    broken by insertion order. O(log n). *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,44 @@
+module Rng = Baton_util.Rng
+
+type t = {
+  base_ms : float;
+  jitter_ms : float;
+  seed : int;
+  cache : (int * int, float) Hashtbl.t;
+}
+
+let create ?(seed = 7) ?(base_ms = 20.) ?(jitter_ms = 60.) () =
+  if base_ms < 0. || jitter_ms < 0. then invalid_arg "Latency.create: negative latency";
+  { base_ms; jitter_ms; seed; cache = Hashtbl.create 4096 }
+
+let of_pair t ~src ~dst =
+  match Hashtbl.find_opt t.cache (src, dst) with
+  | Some l -> l
+  | None ->
+    (* Derive a per-pair stream so the value is a pure function of
+       (seed, src, dst). *)
+    let rng = Rng.create (t.seed + (src * 1_000_003) + (dst * 7919)) in
+    let u = Rng.float rng 1.0 in
+    let jitter = -.t.jitter_ms *. log (1. -. (u *. 0.999)) in
+    let l = t.base_ms +. jitter in
+    Hashtbl.replace t.cache (src, dst) l;
+    l
+
+let measure t bus f =
+  let total = ref 0. in
+  let previous_restored = ref false in
+  Bus.set_trace bus
+    (Some (fun ~src ~dst ~kind:_ -> total := !total +. of_pair t ~src ~dst));
+  let finish () =
+    if not !previous_restored then begin
+      Bus.set_trace bus None;
+      previous_restored := true
+    end
+  in
+  match f () with
+  | result ->
+    finish ();
+    (result, !total)
+  | exception e ->
+    finish ();
+    raise e

@@ -1,0 +1,26 @@
+(** Per-link latency model.
+
+    The paper measures message counts only; this model converts hop
+    traces into wall-clock-style operation latencies so experiments can
+    also report latency distributions. Each ordered peer pair gets a
+    deterministic latency drawn once from a heavy-tailed distribution
+    (a base RTT plus exponential jitter) — the same pair always costs
+    the same, as on a real topology where peers have fixed network
+    distance. *)
+
+type t
+
+val create : ?seed:int -> ?base_ms:float -> ?jitter_ms:float -> unit -> t
+(** [base_ms] (default 20.) is the minimum one-way latency; the jitter
+    adds an exponential tail with the given mean (default 60.). *)
+
+val of_pair : t -> src:int -> dst:int -> float
+(** One-way latency in milliseconds for this ordered pair.
+    Deterministic: repeated calls return the same value. *)
+
+val measure : t -> Bus.t -> (unit -> 'a) -> 'a * float
+(** [measure t bus f] runs [f], capturing every message it sends on
+    [bus] via the trace hook, and returns its result with the summed
+    latency of the hop chain (our protocol operations are sequential
+    RPC chains, so end-to-end latency is the sum). Restores any
+    previous trace hook afterwards. *)

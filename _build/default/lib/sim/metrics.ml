@@ -1,0 +1,55 @@
+type t = {
+  mutable total : int;
+  by_kind : (string, int ref) Hashtbl.t;
+  by_node : (int, int ref) Hashtbl.t;
+  by_node_kind : (int * string, int ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    total = 0;
+    by_kind = Hashtbl.create 32;
+    by_node = Hashtbl.create 1024;
+    by_node_kind = Hashtbl.create 1024;
+  }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl key (ref 1)
+
+let record t ~dst ~kind =
+  t.total <- t.total + 1;
+  bump t.by_kind kind;
+  bump t.by_node dst;
+  bump t.by_node_kind (dst, kind)
+
+let total t = t.total
+
+let find tbl key = match Hashtbl.find_opt tbl key with Some r -> !r | None -> 0
+
+let kind_count t kind = find t.by_kind kind
+let node_count t node = find t.by_node node
+let node_kind_count t node kind = find t.by_node_kind (node, kind)
+
+let kinds t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_kind []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t =
+  t.total <- 0;
+  Hashtbl.reset t.by_kind;
+  Hashtbl.reset t.by_node;
+  Hashtbl.reset t.by_node_kind
+
+type checkpoint = { at_total : int; kind_snapshot : (string * int) list }
+
+let checkpoint t = { at_total = t.total; kind_snapshot = kinds t }
+
+let since t cp = t.total - cp.at_total
+
+let kind_since t cp kind =
+  let before =
+    match List.assoc_opt kind cp.kind_snapshot with Some n -> n | None -> 0
+  in
+  kind_count t kind - before

@@ -1,0 +1,45 @@
+(** Message accounting.
+
+    The paper's sole performance metric is the number of passing
+    messages (Section V). Every protocol hop in this reproduction is
+    recorded here, tagged with a message kind and the processing node,
+    so experiments can report totals, per-kind breakdowns (join search
+    vs. routing-table update vs. query ...), and per-node access load
+    (Figure 8(f)). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> dst:int -> kind:string -> unit
+(** Count one message of the given kind processed by node [dst]. *)
+
+val total : t -> int
+(** All messages recorded so far. Operation costs are measured as
+    deltas of this counter. *)
+
+val kind_count : t -> string -> int
+(** Messages recorded under a kind (0 if none). *)
+
+val node_count : t -> int -> int
+(** Messages processed by a node (0 if none). *)
+
+val node_kind_count : t -> int -> string -> int
+(** Messages of one kind processed by one node. *)
+
+val kinds : t -> (string * int) list
+(** All (kind, count) pairs, sorted by kind. *)
+
+val reset : t -> unit
+(** Zero every counter. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Snapshot of the total counter. *)
+
+val since : t -> checkpoint -> int
+(** Messages recorded since the checkpoint. *)
+
+val kind_since : t -> checkpoint -> string -> int
+(** Messages of one kind recorded since the checkpoint. *)

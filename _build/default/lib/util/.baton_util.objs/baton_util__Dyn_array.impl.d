@@ -1,0 +1,1 @@
+lib/util/dyn_array.ml: Array Obj

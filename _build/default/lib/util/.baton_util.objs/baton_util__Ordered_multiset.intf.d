@@ -1,0 +1,1 @@
+lib/util/ordered_multiset.mli:

@@ -1,0 +1,1 @@
+lib/util/sorted_store.ml: List Ordered_multiset

@@ -1,0 +1,99 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let check_index t i name =
+  if i < 0 || i >= t.len then invalid_arg ("Dyn_array." ^ name ^ ": index out of bounds")
+
+let get t i =
+  check_index t i "get";
+  t.data.(i)
+
+let set t i x =
+  check_index t i "set";
+  t.data.(i) <- x
+
+let ensure_capacity t extra =
+  let needed = t.len + extra in
+  let cap = Array.length t.data in
+  if needed > cap then begin
+    let new_cap = max needed (max 8 (2 * cap)) in
+    (* The placeholder slot duplicates an existing element; slots beyond
+       [len] are never observed. *)
+    let filler = if t.len > 0 then t.data.(0) else Obj.magic 0 in
+    let fresh = Array.make new_cap filler in
+    Array.blit t.data 0 fresh 0 t.len;
+    t.data <- fresh
+  end
+
+let push t x =
+  if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 8 x
+  else ensure_capacity t 1;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Dyn_array.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let last t =
+  if t.len = 0 then invalid_arg "Dyn_array.last: empty";
+  t.data.(t.len - 1)
+
+let insert t i x =
+  if i < 0 || i > t.len then invalid_arg "Dyn_array.insert: index out of bounds";
+  if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 8 x
+  else ensure_capacity t 1;
+  Array.blit t.data i t.data (i + 1) (t.len - i);
+  t.data.(i) <- x;
+  t.len <- t.len + 1
+
+let remove t i =
+  check_index t i "remove";
+  let x = t.data.(i) in
+  Array.blit t.data (i + 1) t.data i (t.len - i - 1);
+  t.len <- t.len - 1;
+  x
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.len - 1) []
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array a =
+  let t = create () in
+  Array.iter (fun x -> push t x) a;
+  t
+
+let of_list l = of_array (Array.of_list l)
+
+let append_all dst src = iter (fun x -> push dst x) src

@@ -1,0 +1,33 @@
+type t = { tbl : (int, int ref) Hashtbl.t; mutable total : int }
+
+let create () = { tbl = Hashtbl.create 64; total = 0 }
+
+let add_many t v k =
+  if k < 0 then invalid_arg "Histogram.add_many: negative count";
+  (match Hashtbl.find_opt t.tbl v with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.add t.tbl v (ref k));
+  t.total <- t.total + k
+
+let add t v = add_many t v 1
+
+let count t v = match Hashtbl.find_opt t.tbl v with Some r -> !r | None -> 0
+let total t = t.total
+
+let bins t =
+  Hashtbl.fold (fun v r acc -> (v, !r) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let max_value t =
+  match bins t with
+  | [] -> None
+  | l -> Some (fst (List.nth l (List.length l - 1)))
+
+let mean t =
+  if t.total = 0 then 0.
+  else
+    let sum = Hashtbl.fold (fun v r acc -> acc + (v * !r)) t.tbl 0 in
+    float_of_int sum /. float_of_int t.total
+
+let pp fmt t =
+  List.iter (fun (v, c) -> Format.fprintf fmt "%d: %d@." v c) (bins t)

@@ -1,0 +1,32 @@
+(** Integer-bucketed histogram.
+
+    Used by the experiment harness, e.g. to report the distribution of
+    restructuring shift sizes (paper Figure 8(h)). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Increment the bucket for the given integer value. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t v k] adds [k] observations of value [v]. *)
+
+val count : t -> int -> int
+(** Observations recorded for a value (0 if none). *)
+
+val total : t -> int
+(** Total number of observations. *)
+
+val max_value : t -> int option
+(** Largest observed value. *)
+
+val bins : t -> (int * int) list
+(** All [(value, count)] pairs in ascending value order. *)
+
+val mean : t -> float
+(** Mean of the observations; 0. when empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per bin: [value: count]. *)

@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generator.
+
+    A small, fast, splittable SplitMix64 generator. Every simulation
+    component takes an explicit [Rng.t] so that runs are reproducible:
+    the same seed always yields the same event sequence and therefore
+    the same message counts. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator deterministically derived
+    from [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Useful to give sub-components their own stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both generators then produce
+    the same future sequence. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly random element of [a].
+    @raise Invalid_argument if [a] is empty. *)
+
+val pick_list : t -> 'a list -> 'a
+(** [pick_list t l] is a uniformly random element of [l].
+    @raise Invalid_argument if [l] is empty. *)

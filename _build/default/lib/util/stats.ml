@@ -1,0 +1,54 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. a /. float_of_int n
+
+let mean_int a = mean (Array.map float_of_int a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else
+    let m = mean a in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a
+    /. float_of_int n
+
+let stddev a = sqrt (variance a)
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  let idx = if rank <= 0 then 0 else min (rank - 1) (n - 1) in
+  sorted.(idx)
+
+let median a = percentile a 50.
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let linear_fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left (fun acc (x, _) -> acc +. x) 0. points in
+  let sy = Array.fold_left (fun acc (_, y) -> acc +. y) 0. points in
+  let sxx = Array.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0. points in
+  let sxy = Array.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0. points in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (slope, intercept)
+
+let summary a =
+  if Array.length a = 0 then "n=0"
+  else
+    let lo, hi = min_max a in
+    Printf.sprintf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f max=%.3f"
+      (Array.length a) (mean a) (stddev a) lo (median a) hi

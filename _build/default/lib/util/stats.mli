@@ -1,0 +1,36 @@
+(** Descriptive statistics over float samples.
+
+    Small helpers used by the experiment harness to turn raw message
+    counts into the averages and distributions the paper reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on the empty array. *)
+
+val mean_int : int array -> float
+(** Mean of integer samples; 0. on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0. for fewer than two samples. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0, 100\]]: nearest-rank percentile of
+    the samples (the array is copied and sorted internally).
+    @raise Invalid_argument on an empty array or [p] out of range. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest sample.
+    @raise Invalid_argument on an empty array. *)
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit points] is [(slope, intercept)] of the least-squares
+    line through [points].
+    @raise Invalid_argument on fewer than two points. *)
+
+val summary : float array -> string
+(** Human-readable ["mean=... sd=... min=... p50=... max=..."] line. *)

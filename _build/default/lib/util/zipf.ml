@@ -1,0 +1,44 @@
+type t = { n : int; theta : float; cdf : float array }
+
+let create ~n ~theta =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if theta < 0. then invalid_arg "Zipf.create: theta must be >= 0.";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for r = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int r) theta);
+    cdf.(r - 1) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { n; theta; cdf }
+
+let n t = t.n
+let theta t = t.theta
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index whose cdf >= u. *)
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then bsearch lo mid else bsearch (mid + 1) hi
+  in
+  bsearch 0 (t.n - 1) + 1
+
+(* SplitMix64-style integer scrambler used to scatter ranks over the key
+   domain deterministically. *)
+let scramble r =
+  let z = Int64.mul (Int64.of_int r) 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int. *)
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let sample_key t rng ~lo ~hi =
+  if lo > hi then invalid_arg "Zipf.sample_key: lo > hi";
+  let r = sample t rng in
+  lo + (scramble r mod (hi - lo + 1))

@@ -1,0 +1,28 @@
+(** Zipfian distribution sampler.
+
+    Used to generate the skewed datasets of the paper's load-balancing
+    experiments (Section V-D uses "Zipfian method with parameter 1.0"). *)
+
+type t
+(** A sampler over ranks [1..n] with exponent [theta]. *)
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] precomputes the cumulative distribution for ranks
+    [1..n] with probability proportional to [1 / rank^theta].
+    Requires [n >= 1] and [theta >= 0.]. *)
+
+val n : t -> int
+(** Number of ranks. *)
+
+val theta : t -> float
+(** Skew exponent. *)
+
+val sample : t -> Rng.t -> int
+(** [sample t rng] draws a rank in [\[1, n\]]; rank 1 is the most
+    frequent. Inverse-CDF by binary search, O(log n). *)
+
+val sample_key : t -> Rng.t -> lo:int -> hi:int -> int
+(** [sample_key t rng ~lo ~hi] maps a sampled rank onto the key domain
+    [\[lo, hi\]]: rank [r] deterministically scatters to a fixed key so
+    that hot keys are spread across the domain (as a hashed Zipf
+    workload does), while frequencies stay Zipfian. *)

@@ -1,0 +1,1 @@
+lib/workload/churn.mli: Baton_util

@@ -1,0 +1,1 @@
+lib/workload/datagen.mli: Baton_util

@@ -1,0 +1,1 @@
+lib/workload/querygen.ml: Array Baton_util

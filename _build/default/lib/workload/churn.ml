@@ -1,0 +1,34 @@
+module Rng = Baton_util.Rng
+
+type event = Join | Leave | Fail
+
+let schedule rng ~joins ~leaves ~fails =
+  if joins < 0 || leaves < 0 || fails < 0 then invalid_arg "Churn.schedule";
+  let events =
+    Array.concat
+      [ Array.make joins Join; Array.make leaves Leave; Array.make fails Fail ]
+  in
+  Rng.shuffle rng events;
+  events
+
+let alternating ~joins ~leaves =
+  if joins < 0 || leaves < 0 then invalid_arg "Churn.alternating";
+  let total = joins + leaves in
+  let out = Array.make (max total 0) Join in
+  let j = ref 0 and l = ref 0 in
+  for i = 0 to total - 1 do
+    let pick_join =
+      if !j >= joins then false
+      else if !l >= leaves then true
+      else i mod 2 = 0
+    in
+    if pick_join then begin
+      out.(i) <- Join;
+      incr j
+    end
+    else begin
+      out.(i) <- Leave;
+      incr l
+    end
+  done;
+  out

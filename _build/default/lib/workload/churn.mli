@@ -1,0 +1,15 @@
+(** Churn schedules.
+
+    Deterministic sequences of membership events for the dynamics and
+    fault-tolerance experiments. *)
+
+type event = Join | Leave | Fail
+
+val schedule :
+  Baton_util.Rng.t -> joins:int -> leaves:int -> fails:int -> event array
+(** A shuffled schedule containing exactly the requested number of each
+    event. *)
+
+val alternating : joins:int -> leaves:int -> event array
+(** Joins and leaves interleaved round-robin — the steady-state churn
+    pattern. *)

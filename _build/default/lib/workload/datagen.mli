@@ -1,0 +1,29 @@
+(** Data-set generators for the experiments.
+
+    The paper's evaluation inserts values drawn from the domain
+    [\[1, 10^9)], either uniformly or Zipfian with parameter 1.0
+    (Section V). Generators are deterministic given their [Rng.t]. *)
+
+type t
+(** A key stream. *)
+
+val domain_lo : int
+val domain_hi : int
+(** The paper's domain: [1] and [10^9]. *)
+
+val uniform : Baton_util.Rng.t -> t
+(** Uniform keys over the domain. *)
+
+val zipf : ?theta:float -> ?universe:int -> Baton_util.Rng.t -> t
+(** Zipfian keys: [universe] regions of the domain (default 100 000)
+    with rank frequencies proportional to [1/rank^theta] (default 1.0,
+    the paper's parameter). Each rank owns a fixed region scattered
+    deterministically over the domain and keys are uniform inside their
+    region, so skew concentrates load on neighbourhoods that remain
+    splittable by load balancing. *)
+
+val next : t -> int
+(** Draw the next key. *)
+
+val take : t -> int -> int array
+(** Draw the next [n] keys. *)

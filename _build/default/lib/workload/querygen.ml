@@ -1,0 +1,14 @@
+module Rng = Baton_util.Rng
+
+let exact_targets rng ~keys n =
+  if Array.length keys = 0 then invalid_arg "Querygen.exact_targets: no keys";
+  Array.init n (fun _ -> Rng.pick rng keys)
+
+type range = { lo : int; hi : int }
+
+let ranges rng ~span ~lo ~hi n =
+  if span < 0 then invalid_arg "Querygen.ranges: negative span";
+  if lo > hi then invalid_arg "Querygen.ranges: empty domain";
+  Array.init n (fun _ ->
+      let start = Rng.int_in_range rng ~lo ~hi:(max lo (hi - span)) in
+      { lo = start; hi = start + span })

@@ -1,0 +1,17 @@
+(** Query generators.
+
+    Exact queries target keys known to exist (drawn from the inserted
+    set) so every query has an answer, as in the paper's runs of 1000
+    exact and 1000 range queries per configuration. Range queries are
+    parameterised by span so experiments can control how many peers a
+    query touches. *)
+
+val exact_targets : Baton_util.Rng.t -> keys:int array -> int -> int array
+(** [exact_targets rng ~keys n] draws [n] query keys from [keys]. *)
+
+type range = { lo : int; hi : int }
+
+val ranges :
+  Baton_util.Rng.t -> span:int -> lo:int -> hi:int -> int -> range array
+(** [ranges rng ~span ~lo ~hi n]: [n] closed intervals of width [span]
+    with uniformly random starting points inside [\[lo, hi\]]. *)

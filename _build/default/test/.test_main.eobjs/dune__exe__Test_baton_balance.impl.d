@@ -1,0 +1,1 @@
+test/test_baton_balance.ml: Alcotest Baton Baton_util Baton_workload List Option Printf

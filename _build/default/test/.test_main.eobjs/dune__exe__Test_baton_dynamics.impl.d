@@ -1,0 +1,1 @@
+test/test_baton_dynamics.ml: Alcotest Array Baton Baton_sim Baton_util Printf

@@ -1,0 +1,1 @@
+test/test_baton_failure.ml: Alcotest Array Baton Baton_sim Baton_util List Option

@@ -1,0 +1,1 @@
+test/test_baton_join.ml: Alcotest Baton Baton_util List Option Printf

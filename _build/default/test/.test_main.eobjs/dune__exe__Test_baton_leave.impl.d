@@ -1,0 +1,1 @@
+test/test_baton_leave.ml: Alcotest Baton Baton_util List Option Printf

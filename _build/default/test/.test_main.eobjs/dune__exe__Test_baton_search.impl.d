@@ -1,0 +1,1 @@
+test/test_baton_search.ml: Alcotest Array Baton Baton_util Gen List Printf QCheck2 QCheck_alcotest Test

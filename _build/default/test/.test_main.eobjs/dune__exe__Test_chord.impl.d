@@ -1,0 +1,1 @@
+test/test_chord.ml: Alcotest Array Baton_util Chord Gen Printf QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_dyn_array.ml: Alcotest Baton_util Gen List QCheck2 QCheck_alcotest Test

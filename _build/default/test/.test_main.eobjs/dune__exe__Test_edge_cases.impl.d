@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Baton Baton_util Chord List Multiway String

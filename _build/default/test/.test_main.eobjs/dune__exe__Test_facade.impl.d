@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest Array Baton Baton_sim List

@@ -1,0 +1,1 @@
+test/test_fault_tolerance.ml: Alcotest Array Baton Baton_sim Baton_util List Printf

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Baton_util Float List

@@ -1,0 +1,1 @@
+test/test_multiway.ml: Alcotest Array Baton_util Gen List Multiway Printf QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Baton Baton_sim Baton_util

@@ -1,0 +1,1 @@
+test/test_ordered_multiset.ml: Alcotest Baton_util Fun Gen List QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Baton_util List Option P2p_overlay

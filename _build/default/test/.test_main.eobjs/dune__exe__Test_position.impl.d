@@ -1,0 +1,1 @@
+test/test_position.ml: Alcotest Baton Float Gen List QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Baton Baton_util Baton_workload Gen List Printf QCheck2 QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Baton Baton_util List Option

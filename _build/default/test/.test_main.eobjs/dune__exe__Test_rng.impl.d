@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Baton_util Fun List

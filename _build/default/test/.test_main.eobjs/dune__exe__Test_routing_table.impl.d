@@ -1,0 +1,1 @@
+test/test_routing_table.ml: Alcotest Baton List

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Baton_sim Gen List QCheck2 QCheck_alcotest Test

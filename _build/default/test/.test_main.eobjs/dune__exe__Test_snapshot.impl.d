@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Baton Baton_util Filename Sys

@@ -1,0 +1,1 @@
+test/test_wiring.ml: Alcotest Baton List Option

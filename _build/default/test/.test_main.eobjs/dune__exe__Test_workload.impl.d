@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Baton_util Baton_workload Hashtbl List Option Printf

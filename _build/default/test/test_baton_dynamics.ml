@@ -1,0 +1,120 @@
+(* Concurrent churn via deferred notifications (Section V-E). *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Join = Baton.Join
+module Leave = Baton.Leave
+module Search = Baton.Search
+module Check = Baton.Check
+module Rng = Baton_util.Rng
+
+let test_deferred_joins_recover_on_flush () =
+  let net = N.build ~seed:1 60 in
+  Net.set_defer net true;
+  for _ = 1 to 10 do
+    ignore (Join.join net ~via:(Net.random_peer net))
+  done;
+  Net.flush_deferred net;
+  Alcotest.(check int) "all joined" 70 (Net.size net);
+  (* Structure is sound after the flush; balance may transiently differ
+     (the paper accepts extra cost, not corruption), so check the
+     structural and data invariants. *)
+  Check.tree_shape net;
+  Check.ranges net;
+  Check.data_placement net;
+  Check.theorem2 net
+
+let test_deferred_leaves_recover_on_flush () =
+  let net = N.build ~seed:2 60 in
+  let rng = Rng.create 3 in
+  Net.set_defer net true;
+  for _ = 1 to 10 do
+    let ids = Net.live_ids net in
+    ignore (Leave.leave net (Net.peer net (Rng.pick rng ids)))
+  done;
+  Net.flush_deferred net;
+  Alcotest.(check int) "all left" 50 (Net.size net);
+  Check.tree_shape net;
+  Check.ranges net;
+  Check.data_placement net
+
+let test_searches_during_staleness_still_answer () =
+  let net = N.build ~seed:3 80 in
+  let rng = Rng.create 5 in
+  let keys = Array.init 200 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (N.insert net) keys;
+  Net.set_defer net true;
+  for _ = 1 to 8 do
+    ignore (Join.join net ~via:(Net.random_peer net));
+    let ids = Net.live_ids net in
+    ignore (Leave.leave net (Net.peer net (Rng.pick rng ids)))
+  done;
+  (* Keys stay findable mid-staleness, allowing a client one retry from
+     a different origin (the paper's point is extra messages, not
+     unavailability; a dead-end on stale links is re-issued). *)
+  let misses = ref 0 in
+  Array.iter
+    (fun k ->
+      let attempt () = fst (Search.lookup net ~from:(Net.random_peer net) k) in
+      if not (attempt () || attempt ()) then incr misses)
+    keys;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d misses of %d" !misses (Array.length keys))
+    true
+    (!misses * 50 <= Array.length keys);
+  Net.flush_deferred net;
+  Check.ranges net;
+  Check.data_placement net
+
+let test_concurrent_batches_cost_more () =
+  (* The headline of Fig 8(i): a deferred batch costs at least as much
+     as the sequential run of the same operations. *)
+  let cost ~concurrent =
+    let net = N.build ~seed:4 100 in
+    let m = Net.metrics net in
+    let cp = Baton_sim.Metrics.checkpoint m in
+    Net.set_defer net concurrent;
+    for _ = 1 to 16 do
+      ignore (Join.join net ~via:(Net.random_peer net))
+    done;
+    Net.flush_deferred net;
+    Baton_sim.Metrics.since m cp
+  in
+  let seq = cost ~concurrent:false and con = cost ~concurrent:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "concurrent %d >= sequential %d" con seq)
+    true (con >= seq)
+
+let test_flush_is_idempotent () =
+  let net = N.build ~seed:5 30 in
+  Net.set_defer net true;
+  ignore (Join.join net ~via:(Net.random_peer net));
+  Net.flush_deferred net;
+  Net.flush_deferred net;
+  Alcotest.(check bool) "defer mode off after flush" false (Net.deferring net);
+  Check.all net
+
+let test_stale_then_quiescent_converges () =
+  (* After the batch settles and one more round of (sequential) churn,
+     the strict link invariant holds again everywhere. *)
+  let net = N.build ~seed:6 50 in
+  let rng = Rng.create 7 in
+  Net.set_defer net true;
+  for _ = 1 to 6 do
+    ignore (Join.join net ~via:(Net.random_peer net));
+    let ids = Net.live_ids net in
+    ignore (Leave.leave net (Net.peer net (Rng.pick rng ids)))
+  done;
+  Net.flush_deferred net;
+  Check.ranges net;
+  Check.tree_shape net
+
+let suite =
+  [
+    Alcotest.test_case "deferred joins recover" `Quick test_deferred_joins_recover_on_flush;
+    Alcotest.test_case "deferred leaves recover" `Quick test_deferred_leaves_recover_on_flush;
+    Alcotest.test_case "searches during staleness" `Quick test_searches_during_staleness_still_answer;
+    Alcotest.test_case "concurrency costs more" `Quick test_concurrent_batches_cost_more;
+    Alcotest.test_case "flush idempotent" `Quick test_flush_is_idempotent;
+    Alcotest.test_case "staleness converges" `Quick test_stale_then_quiescent_converges;
+  ]

@@ -1,0 +1,127 @@
+(* Node failure, discovery and repair (paper Section III-C/D). *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Failure = Baton.Failure
+module Search = Baton.Search
+module Check = Baton.Check
+module Bus = Baton_sim.Bus
+module Rng = Baton_util.Rng
+
+let test_crash_marks_unreachable () =
+  let net = N.build ~seed:1 20 in
+  let victim = Net.random_peer net in
+  Failure.crash net victim;
+  Alcotest.(check bool) "unreachable" true (Bus.is_failed (Net.bus net) victim.Node.id)
+
+let test_repair_restores_invariants () =
+  let net = N.build ~seed:2 60 in
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    let ids = Net.live_ids net in
+    let victim = Net.peer net (Rng.pick rng ids) in
+    Failure.crash_and_repair net victim;
+    Check.all net
+  done;
+  Alcotest.(check int) "size reduced by 20" 40 (Net.size net)
+
+let test_failed_leaf_range_taken_over () =
+  let net = N.build ~seed:3 40 in
+  (* Pick a leaf victim; its range must be owned by someone after repair. *)
+  let victim =
+    List.find (fun n -> Node.is_leaf n) (Net.peers net)
+  in
+  let lost_range = victim.Node.range in
+  Failure.crash_and_repair net victim;
+  let probe = lost_range.Baton.Range.lo in
+  let { Search.node; _ } = Search.exact net ~from:(Net.random_peer net) probe in
+  Alcotest.(check bool) "someone owns the range" true
+    (Baton.Range.contains node.Node.range probe);
+  Check.all net
+
+let test_root_failure () =
+  let net = N.build ~seed:4 50 in
+  let root = Option.get (Net.root net) in
+  Failure.crash_and_repair net root;
+  Alcotest.(check bool) "new root exists" true (Option.is_some (Net.root net));
+  Alcotest.(check int) "one fewer peer" 49 (Net.size net);
+  Check.all net
+
+let test_repair_idempotent () =
+  let net = N.build ~seed:5 30 in
+  let victim = Net.random_peer net in
+  Failure.crash net victim;
+  let reporter = Net.random_peer net in
+  Failure.repair net ~reporter victim.Node.id;
+  (* A second report of the same failure is a no-op. *)
+  Failure.repair net ~reporter:(Net.random_peer net) victim.Node.id;
+  Alcotest.(check int) "one repair only" 29 (Net.size net);
+  Check.all net
+
+let test_routing_around_failure_before_repair () =
+  (* Section III-D: queries keep working while a node is down; the
+     search drops dead links and routes around. *)
+  let net = N.build ~seed:6 80 in
+  let rng = Rng.create 7 in
+  let keys = Array.init 300 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (N.insert net) keys;
+  (* Fail a non-root internal node but do NOT repair yet. *)
+  let victim =
+    List.find
+      (fun (n : Node.t) -> (not (Node.is_leaf n)) && not (Node.is_root n))
+      (Net.peers net)
+  in
+  Failure.crash net victim;
+  let victim_range = victim.Node.range in
+  let reachable = ref 0 and total = ref 0 in
+  Array.iter
+    (fun k ->
+      (* Keys stored at the dead node are unreachable; all others must
+         still be found. *)
+      if not (Baton.Range.contains victim_range k) then begin
+        incr total;
+        let from = Net.random_peer net in
+        match Search.lookup net ~from k with
+        | true, _ -> incr reachable
+        | false, _ -> ()
+        | exception Search.Routing_stuck _ -> ()
+      end)
+    keys;
+  Alcotest.(check int) "all surviving keys reachable" !total !reachable;
+  (* Now repair and verify a clean state. *)
+  Failure.repair net ~reporter:(Net.random_peer net) victim.Node.id;
+  Check.all net
+
+let test_multiple_concurrent_failures () =
+  let net = N.build ~seed:8 100 in
+  let rng = Rng.create 11 in
+  (* Crash several nodes at once, then repair them one by one. *)
+  let victims =
+    List.filteri (fun i _ -> i < 8)
+      (List.filter
+         (fun (n : Node.t) -> not (Node.is_root n))
+         (List.sort
+            (fun (a : Node.t) (b : Node.t) -> compare a.Node.id b.Node.id)
+            (Net.peers net)))
+  in
+  List.iter (fun v -> Failure.crash net v) victims;
+  ignore rng;
+  List.iter
+    (fun (v : Node.t) ->
+      if Bus.is_failed (Net.bus net) v.Node.id then
+        Failure.repair net ~reporter:(Net.random_peer net) v.Node.id)
+    victims;
+  Alcotest.(check int) "all repaired" 92 (Net.size net);
+  Check.all net
+
+let suite =
+  [
+    Alcotest.test_case "crash marks unreachable" `Quick test_crash_marks_unreachable;
+    Alcotest.test_case "repair restores invariants" `Quick test_repair_restores_invariants;
+    Alcotest.test_case "failed leaf range takeover" `Quick test_failed_leaf_range_taken_over;
+    Alcotest.test_case "root failure" `Quick test_root_failure;
+    Alcotest.test_case "repair idempotent" `Quick test_repair_idempotent;
+    Alcotest.test_case "routing around failure" `Quick test_routing_around_failure_before_repair;
+    Alcotest.test_case "multiple failures" `Quick test_multiple_concurrent_failures;
+  ]

@@ -1,0 +1,111 @@
+(* Node departure: direct leaves, replacement search, data retention. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Join = Baton.Join
+module Leave = Baton.Leave
+module Node = Baton.Node
+module Check = Baton.Check
+module Rng = Baton_util.Rng
+
+let all_keys net =
+  List.concat_map
+    (fun (n : Node.t) -> Baton_util.Sorted_store.to_list n.Node.store)
+    (Net.peers net)
+  |> List.sort compare
+
+let test_last_node_leaves () =
+  let net = N.create ~seed:1 () in
+  let root = Join.join_new_network net in
+  ignore (Leave.leave net root);
+  Alcotest.(check int) "empty network" 0 (Net.size net)
+
+let test_leaf_direct_departure () =
+  let net = N.create ~seed:2 () in
+  let root = Join.join_new_network net in
+  let s = Join.join net ~via:root in
+  let child = Net.peer net s.Join.new_peer in
+  Alcotest.(check bool) "can depart directly" true (Leave.can_depart_directly child);
+  for k = 1 to 10 do
+    Baton_util.Sorted_store.insert child.Node.store (k * 10_000_000)
+  done;
+  let stats = Leave.leave net child in
+  Alcotest.(check (option int)) "no replacement needed" None stats.Leave.replacement;
+  Alcotest.(check int) "back to one" 1 (Net.size net);
+  Alcotest.(check int) "parent inherited the data" 10 (Node.load root);
+  Alcotest.(check bool) "parent owns whole domain" true
+    (Baton.Range.equal root.Node.range (Net.domain net));
+  Check.all net
+
+let test_internal_leave_uses_replacement () =
+  let net = N.build ~seed:3 60 in
+  let root = Option.get (Net.root net) in
+  let stats = Leave.leave net root in
+  Alcotest.(check bool) "replacement used" true (Option.is_some stats.Leave.replacement);
+  Alcotest.(check int) "size dropped" 59 (Net.size net);
+  Alcotest.(check bool) "a root still exists" true (Option.is_some (Net.root net));
+  Check.all net
+
+let test_data_survives_leaves () =
+  let net = N.build ~seed:5 50 in
+  let rng = Rng.create 99 in
+  for _ = 1 to 500 do
+    N.insert net (Rng.int_in_range rng ~lo:1 ~hi:999_999_999)
+  done;
+  let before = all_keys net in
+  for _ = 1 to 30 do
+    let ids = Net.live_ids net in
+    ignore (Leave.leave net (Net.peer net (Rng.pick rng ids)))
+  done;
+  Alcotest.(check (list int)) "every key retained" before (all_keys net);
+  Check.all net
+
+let test_replacement_is_safe_leaf () =
+  let net = N.build ~seed:7 80 in
+  let root = Option.get (Net.root net) in
+  let y, msgs = Leave.find_replacement net root in
+  Alcotest.(check bool) "replacement is a leaf" true (Node.is_leaf y);
+  Alcotest.(check bool) "walk paid messages" true (msgs > 0);
+  Alcotest.(check bool) "replacement departs safely" true (Leave.can_depart_directly y)
+
+let test_leave_update_cost_bound () =
+  (* Paper Section III-B: <= 8 log N update messages. *)
+  let net = N.build ~seed:9 200 in
+  let rng = Rng.create 5 in
+  for _ = 1 to 30 do
+    let ids = Net.live_ids net in
+    let victim = Net.peer net (Rng.pick rng ids) in
+    let stats = Leave.leave net victim in
+    let n = float_of_int (Net.size net) in
+    let bound = (8. *. (log n /. log 2.)) +. 16. in
+    Alcotest.(check bool)
+      (Printf.sprintf "%d <= %.0f" stats.Leave.update_msgs bound)
+      true
+      (float_of_int stats.Leave.update_msgs <= bound);
+    ignore (Join.join net ~via:(Net.random_peer net))
+  done
+
+let test_shrink_to_one_and_regrow () =
+  let net = N.build ~seed:11 40 in
+  let rng = Rng.create 13 in
+  while Net.size net > 1 do
+    let ids = Net.live_ids net in
+    ignore (Leave.leave net (Net.peer net (Rng.pick rng ids)));
+    Check.all net
+  done;
+  for _ = 2 to 20 do
+    ignore (Join.join net ~via:(Net.random_peer net))
+  done;
+  Check.all net;
+  Alcotest.(check int) "regrown" 20 (Net.size net)
+
+let suite =
+  [
+    Alcotest.test_case "last node" `Quick test_last_node_leaves;
+    Alcotest.test_case "leaf direct departure" `Quick test_leaf_direct_departure;
+    Alcotest.test_case "internal leave replacement" `Quick test_internal_leave_uses_replacement;
+    Alcotest.test_case "data survives" `Quick test_data_survives_leaves;
+    Alcotest.test_case "replacement is safe leaf" `Quick test_replacement_is_safe_leaf;
+    Alcotest.test_case "leave update bound" `Quick test_leave_update_cost_bound;
+    Alcotest.test_case "shrink and regrow" `Quick test_shrink_to_one_and_regrow;
+  ]

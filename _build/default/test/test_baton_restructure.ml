@@ -1,0 +1,159 @@
+(* Forced joins/leaves with AVL-style restructuring (Section III-E). *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Join = Baton.Join
+module Restructure = Baton.Restructure
+module Check = Baton.Check
+module Histogram = Baton_util.Histogram
+module Store = Baton_util.Sorted_store
+
+let all_keys net =
+  List.concat_map (fun (n : Node.t) -> Store.to_list n.Node.store) (Net.peers net)
+  |> List.sort compare
+
+(* A leaf whose tables are not full: forcing a child under it violates
+   Theorem 1 and must trigger a shift. *)
+let find_unsafe_leaf net =
+  List.find_opt
+    (fun (n : Node.t) -> Node.is_leaf n && not (Node.tables_full n))
+    (Check.in_order_nodes net)
+
+let find_safe_leaf net =
+  List.find_opt
+    (fun (n : Node.t) -> Node.is_leaf n && Node.tables_full n)
+    (Check.in_order_nodes net)
+
+let test_forced_join_safe_case () =
+  let net = N.build ~seed:1 31 in
+  (* A complete-ish tree: find a leaf with full tables. *)
+  match find_safe_leaf net with
+  | None -> Alcotest.fail "expected a safe leaf"
+  | Some leaf ->
+    for k = 1 to 20 do
+      Store.insert leaf.Node.store
+        (leaf.Node.range.Baton.Range.lo + (k * max 1 (Baton.Range.width leaf.Node.range / 32)))
+    done;
+    let y = Restructure.forced_join net ~parent:leaf (Net.fresh_id net) in
+    Alcotest.(check bool) "joined as left child" true
+      (Baton.Position.equal y.Node.pos (Baton.Position.left_child leaf.Node.pos));
+    Alcotest.(check bool) "took lower half of content" true (Node.load y >= 9);
+    Check.all net
+
+let test_forced_join_triggers_shift () =
+  let net = N.build ~seed:2 40 in
+  match find_unsafe_leaf net with
+  | None -> Alcotest.fail "expected an unsafe leaf at non-power-of-two size"
+  | Some leaf ->
+    let before = Histogram.total (Net.shift_histogram net) in
+    let _y = Restructure.forced_join net ~parent:leaf (Net.fresh_id net) in
+    let after = Histogram.total (Net.shift_histogram net) in
+    Alcotest.(check bool) "shift recorded" true (after > before);
+    Alcotest.(check int) "size grew" 41 (Net.size net);
+    Check.all net
+
+let test_forced_join_preserves_data () =
+  let net = N.build ~seed:3 37 in
+  let rng = Baton_util.Rng.create 5 in
+  for _ = 1 to 300 do
+    N.insert net (Baton_util.Rng.int_in_range rng ~lo:1 ~hi:999_999_999)
+  done;
+  let before = all_keys net in
+  (match find_unsafe_leaf net with
+  | None -> Alcotest.fail "expected an unsafe leaf"
+  | Some leaf -> ignore (Restructure.forced_join net ~parent:leaf (Net.fresh_id net)));
+  Alcotest.(check (list int)) "no data lost in shift" before (all_keys net);
+  Check.all net
+
+let test_forced_leave_safe_case () =
+  let net = N.build ~seed:4 40 in
+  (* A deepest-level leaf is always safely removable. *)
+  let deepest =
+    List.fold_left
+      (fun best (n : Node.t) ->
+        match best with
+        | None -> Some n
+        | Some (b : Node.t) -> if Node.level n > Node.level b then Some n else best)
+      None (Net.peers net)
+  in
+  let victim = Option.get deepest in
+  (* Hand its data off first, as the balancer does. *)
+  (match victim.Node.left_adjacent with
+  | Some l ->
+    let ln = Net.peer net l.Baton.Link.peer in
+    Store.absorb ln.Node.store victim.Node.store;
+    ln.Node.range <- Baton.Range.merge ln.Node.range victim.Node.range
+  | None -> (
+    match victim.Node.right_adjacent with
+    | Some r ->
+      let rn = Net.peer net r.Baton.Link.peer in
+      Store.absorb rn.Node.store victim.Node.store;
+      rn.Node.range <- Baton.Range.merge rn.Node.range victim.Node.range
+    | None -> Alcotest.fail "victim has no adjacent"));
+  Restructure.forced_leave net victim;
+  Alcotest.(check int) "size shrank" 39 (Net.size net);
+  Check.all net
+
+let test_forced_leave_with_shift () =
+  (* Remove an internal node: the hole must be filled by shifting. *)
+  let net = N.build ~seed:5 45 in
+  let victim =
+    List.find
+      (fun (n : Node.t) -> (not (Node.is_leaf n)) && not (Node.is_root n))
+      (Net.peers net)
+  in
+  (* Hand off its data to its in-order predecessor. *)
+  (match victim.Node.left_adjacent with
+  | Some l ->
+    let ln = Net.peer net l.Baton.Link.peer in
+    Store.absorb ln.Node.store victim.Node.store;
+    ln.Node.range <- Baton.Range.merge ln.Node.range victim.Node.range
+  | None ->
+    let r = Option.get victim.Node.right_adjacent in
+    let rn = Net.peer net r.Baton.Link.peer in
+    Store.absorb rn.Node.store victim.Node.store;
+    rn.Node.range <- Baton.Range.merge rn.Node.range victim.Node.range);
+  let before = Histogram.total (Net.shift_histogram net) in
+  Restructure.forced_leave net victim;
+  Alcotest.(check bool) "shift recorded" true
+    (Histogram.total (Net.shift_histogram net) > before);
+  Alcotest.(check int) "size shrank" 44 (Net.size net);
+  Check.all net
+
+let test_shift_sizes_recorded () =
+  let net = N.build ~seed:6 33 in
+  for _ = 1 to 5 do
+    match find_unsafe_leaf net with
+    | Some leaf -> ignore (Restructure.forced_join net ~parent:leaf (Net.fresh_id net))
+    | None -> ()
+  done;
+  let h = Net.shift_histogram net in
+  Alcotest.(check bool) "events recorded" true (Histogram.total h > 0);
+  List.iter
+    (fun (size, _) -> Alcotest.(check bool) "positive shift size" true (size >= 1))
+    (Histogram.bins h)
+
+let test_repeated_forced_churn_stays_balanced () =
+  let net = N.build ~seed:7 20 in
+  for i = 0 to 30 do
+    (match find_unsafe_leaf net with
+    | Some leaf -> ignore (Restructure.forced_join net ~parent:leaf (Net.fresh_id net))
+    | None -> (
+      match find_safe_leaf net with
+      | Some leaf -> ignore (Restructure.forced_join net ~parent:leaf (Net.fresh_id net))
+      | None -> ()));
+    if i mod 5 = 0 then Check.all net
+  done;
+  Check.all net
+
+let suite =
+  [
+    Alcotest.test_case "forced join safe" `Quick test_forced_join_safe_case;
+    Alcotest.test_case "forced join shift" `Quick test_forced_join_triggers_shift;
+    Alcotest.test_case "forced join keeps data" `Quick test_forced_join_preserves_data;
+    Alcotest.test_case "forced leave safe" `Quick test_forced_leave_safe_case;
+    Alcotest.test_case "forced leave shift" `Quick test_forced_leave_with_shift;
+    Alcotest.test_case "shift sizes recorded" `Quick test_shift_sizes_recorded;
+    Alcotest.test_case "repeated forced churn" `Quick test_repeated_forced_churn_stays_balanced;
+  ]

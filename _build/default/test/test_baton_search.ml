@@ -1,0 +1,150 @@
+(* Exact-match and range queries, validated against a flat oracle. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Search = Baton.Search
+module Range = Baton.Range
+module Check = Baton.Check
+module Rng = Baton_util.Rng
+
+let build_with_data ~seed ~n ~keys =
+  let net = N.build ~seed n in
+  let rng = Rng.create (seed + 1) in
+  let inserted =
+    Array.init keys (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999)
+  in
+  Array.iter (N.insert net) inserted;
+  (net, inserted)
+
+let test_exact_reaches_responsible_node () =
+  let net, _ = build_with_data ~seed:1 ~n:100 ~keys:500 in
+  let rng = Rng.create 7 in
+  for _ = 1 to 200 do
+    let v = Rng.int_in_range rng ~lo:1 ~hi:999_999_999 in
+    let { Search.node; _ } = Search.exact net ~from:(Net.random_peer net) v in
+    Alcotest.(check bool) "responsible node found" true (Range.contains node.Node.range v)
+  done
+
+let test_lookup_finds_inserted_keys () =
+  let net, inserted = build_with_data ~seed:2 ~n:100 ~keys:500 in
+  Array.iter
+    (fun k ->
+      let found, _ = Search.lookup net ~from:(Net.random_peer net) k in
+      Alcotest.(check bool) "present" true found)
+    inserted
+
+let test_lookup_misses_absent_keys () =
+  let net, inserted = build_with_data ~seed:3 ~n:50 ~keys:200 in
+  let present k = Array.exists (fun x -> x = k) inserted in
+  let rng = Rng.create 11 in
+  for _ = 1 to 100 do
+    let k = Rng.int_in_range rng ~lo:1 ~hi:999_999_999 in
+    if not (present k) then begin
+      let found, _ = Search.lookup net ~from:(Net.random_peer net) k in
+      Alcotest.(check bool) "absent" false found
+    end
+  done
+
+let test_hop_bound () =
+  (* The paper: exact queries answered within O(log N); allow the 1.44
+     AVL factor plus a small constant for the adjacent fallbacks. *)
+  let net, inserted = build_with_data ~seed:4 ~n:400 ~keys:400 in
+  let bound =
+    (2. *. 1.44 *. (log (float_of_int (Net.size net)) /. log 2.)) +. 6.
+  in
+  Array.iter
+    (fun k ->
+      let _, hops = Search.lookup net ~from:(Net.random_peer net) k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d hops <= %.0f" hops bound)
+        true
+        (float_of_int hops <= bound))
+    inserted
+
+let test_self_query_is_free () =
+  let net, _ = build_with_data ~seed:5 ~n:30 ~keys:100 in
+  List.iter
+    (fun (node : Node.t) ->
+      let v = node.Node.range.Range.lo in
+      let { Search.node = found; hops } = Search.exact net ~from:node v in
+      Alcotest.(check int) "stays home" node.Node.id found.Node.id;
+      Alcotest.(check int) "zero hops" 0 hops)
+    (Net.peers net)
+
+let test_range_query_matches_oracle () =
+  let net, inserted = build_with_data ~seed:6 ~n:80 ~keys:600 in
+  let rng = Rng.create 13 in
+  for _ = 1 to 100 do
+    let lo = Rng.int_in_range rng ~lo:1 ~hi:999_999_999 in
+    let hi = lo + Rng.int rng 80_000_000 in
+    let { Search.keys; _ } = Search.range net ~from:(Net.random_peer net) ~lo ~hi in
+    let expect =
+      Array.to_list inserted |> List.filter (fun k -> k >= lo && k <= hi)
+      |> List.sort compare
+    in
+    Alcotest.(check (list int)) "range answer" expect keys
+  done
+
+let test_range_cost_is_log_plus_extent () =
+  let net, _ = build_with_data ~seed:7 ~n:300 ~keys:300 in
+  let rng = Rng.create 17 in
+  for _ = 1 to 50 do
+    let lo = Rng.int_in_range rng ~lo:1 ~hi:900_000_000 in
+    let hi = lo + 50_000_000 in
+    let r = Search.range net ~from:(Net.random_peer net) ~lo ~hi in
+    let bound =
+      (2. *. 1.44 *. (log (float_of_int (Net.size net)) /. log 2.))
+      +. 6.
+      +. float_of_int r.Search.nodes_visited
+    in
+    Alcotest.(check bool) "O(log N + X)" true (float_of_int r.Search.range_hops <= bound)
+  done
+
+let test_range_validation () =
+  let net, _ = build_with_data ~seed:8 ~n:10 ~keys:10 in
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Search.range: lo > hi") (fun () ->
+      ignore (Search.range net ~from:(Net.random_peer net) ~lo:5 ~hi:4))
+
+let test_values_outside_domain_route_to_edges () =
+  let net, _ = build_with_data ~seed:9 ~n:50 ~keys:100 in
+  let nodes = Check.in_order_nodes net in
+  let leftmost = List.hd nodes in
+  let rightmost = List.nth nodes (List.length nodes - 1) in
+  let { Search.node = l; _ } = Search.exact net ~from:(Net.random_peer net) (-5) in
+  Alcotest.(check int) "below domain -> leftmost" leftmost.Node.id l.Node.id;
+  let { Search.node = r; _ } =
+    Search.exact net ~from:(Net.random_peer net) 2_000_000_000
+  in
+  Alcotest.(check int) "above domain -> rightmost" rightmost.Node.id r.Node.id
+
+(* Property: a random batch of searches from random origins all land on
+   the responsible node, on a randomly sized network. *)
+let search_prop =
+  let open QCheck2 in
+  Test.make ~name:"exact search always reaches the responsible node" ~count:20
+    Gen.(pair (int_range 2 120) (int_range 0 1000))
+    (fun (n, salt) ->
+      let net = N.build ~seed:(9000 + salt) n in
+      let rng = Rng.create salt in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let v = Rng.int_in_range rng ~lo:1 ~hi:999_999_999 in
+        let { Search.node; _ } = Search.exact net ~from:(Net.random_peer net) v in
+        if not (Range.contains node.Node.range v) then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "reaches responsible node" `Quick test_exact_reaches_responsible_node;
+    Alcotest.test_case "finds inserted keys" `Quick test_lookup_finds_inserted_keys;
+    Alcotest.test_case "misses absent keys" `Quick test_lookup_misses_absent_keys;
+    Alcotest.test_case "hop bound" `Quick test_hop_bound;
+    Alcotest.test_case "self query free" `Quick test_self_query_is_free;
+    Alcotest.test_case "range matches oracle" `Quick test_range_query_matches_oracle;
+    Alcotest.test_case "range cost bound" `Quick test_range_cost_is_log_plus_extent;
+    Alcotest.test_case "range validation" `Quick test_range_validation;
+    Alcotest.test_case "out-of-domain routing" `Quick test_values_outside_domain_route_to_edges;
+    QCheck_alcotest.to_alcotest search_prop;
+  ]

@@ -1,0 +1,167 @@
+(* Data insertion and deletion, including end-node range expansion. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Update = Baton.Update
+module Check = Baton.Check
+module Rng = Baton_util.Rng
+
+let test_insert_then_lookup () =
+  let net = N.build ~seed:1 40 in
+  let st = Update.insert net ~from:(Net.random_peer net) 123_456_789 in
+  Alcotest.(check bool) "no expansion inside domain" false st.Update.expanded;
+  Alcotest.(check bool) "lookup finds it" true (N.lookup net 123_456_789);
+  Check.all net
+
+let test_delete_removes_one_occurrence () =
+  let net = N.build ~seed:2 40 in
+  N.insert net 777;
+  N.insert net 777;
+  let st = Update.delete net ~from:(Net.random_peer net) 777 in
+  Alcotest.(check bool) "found" true st.Update.found;
+  Alcotest.(check bool) "duplicate remains" true (N.lookup net 777);
+  ignore (N.delete net 777);
+  Alcotest.(check bool) "gone" false (N.lookup net 777)
+
+let test_delete_absent () =
+  let net = N.build ~seed:3 20 in
+  let st = Update.delete net ~from:(Net.random_peer net) 42 in
+  Alcotest.(check bool) "absent" false st.Update.found
+
+let test_expansion_left () =
+  let net = N.build ~seed:4 30 in
+  let st = Update.insert net ~from:(Net.random_peer net) (-100) in
+  Alcotest.(check bool) "expanded" true st.Update.expanded;
+  Alcotest.(check bool) "lookup finds it" true (N.lookup net (-100));
+  (* Invariants still hold with the widened domain. *)
+  Check.tree_shape net;
+  Check.balanced net;
+  Check.theorem1 net;
+  Check.links net;
+  Check.data_placement net
+
+let test_expansion_right () =
+  let net = N.build ~seed:5 30 in
+  let st = Update.insert net ~from:(Net.random_peer net) 5_000_000_000 in
+  Alcotest.(check bool) "expanded" true st.Update.expanded;
+  Alcotest.(check bool) "lookup finds it" true (N.lookup net 5_000_000_000);
+  Check.links net;
+  Check.data_placement net
+
+let test_expansion_announces_new_range () =
+  let net = N.build ~seed:6 30 in
+  ignore (Update.insert net ~from:(Net.random_peer net) (-7));
+  (* After the announcement, strict link checks must pass: every cached
+     range equals the expanded one. *)
+  Check.links ~strict:true net
+
+let test_insert_cost_scales_logarithmically () =
+  let sample n =
+    let net = N.build ~seed:7 n in
+    let rng = Rng.create 3 in
+    let costs =
+      Array.init 100 (fun _ ->
+          let k = Rng.int_in_range rng ~lo:1 ~hi:999_999_999 in
+          float_of_int (Update.insert net ~from:(Net.random_peer net) k).Update.hops)
+    in
+    Baton_util.Stats.mean costs
+  in
+  let small = sample 50 and large = sample 400 in
+  (* 8x the nodes should cost far less than 8x the messages. *)
+  Alcotest.(check bool) "sub-linear growth" true (large < small *. 3.)
+
+let test_mass_insert_delete_roundtrip () =
+  let net = N.build ~seed:8 60 in
+  let rng = Rng.create 5 in
+  let keys = Array.init 400 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (N.insert net) keys;
+  Check.all net;
+  Array.iter (fun k -> Alcotest.(check bool) "deleted" true (N.delete net k)) keys;
+  let total_load =
+    List.fold_left (fun acc n -> acc + Node.load n) 0 (Net.peers net)
+  in
+  Alcotest.(check int) "store empty again" 0 total_load;
+  Check.all net
+
+let suite =
+  [
+    Alcotest.test_case "insert then lookup" `Quick test_insert_then_lookup;
+    Alcotest.test_case "delete one occurrence" `Quick test_delete_removes_one_occurrence;
+    Alcotest.test_case "delete absent" `Quick test_delete_absent;
+    Alcotest.test_case "left expansion" `Quick test_expansion_left;
+    Alcotest.test_case "right expansion" `Quick test_expansion_right;
+    Alcotest.test_case "expansion announced" `Quick test_expansion_announces_new_range;
+    Alcotest.test_case "insert cost log" `Quick test_insert_cost_scales_logarithmically;
+    Alcotest.test_case "mass insert/delete" `Quick test_mass_insert_delete_roundtrip;
+  ]
+
+(* --- Batch insertion (extension of "inserted in batches") ----------- *)
+
+let all_keys net =
+  List.concat_map
+    (fun (n : Node.t) -> Baton_util.Sorted_store.to_list n.Node.store)
+    (Net.peers net)
+  |> List.sort compare
+
+let test_bulk_insert_places_like_singles () =
+  let rng = Rng.create 31 in
+  let keys = List.init 300 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  let bulk_net = N.build ~seed:21 60 in
+  let st = Update.bulk_insert bulk_net ~from:(Net.random_peer bulk_net) keys in
+  Alcotest.(check int) "all keys stored" 300 st.Update.keys;
+  let single_net = N.build ~seed:21 60 in
+  List.iter (N.insert single_net) keys;
+  Alcotest.(check (list int)) "same multiset as single inserts"
+    (all_keys single_net) (all_keys bulk_net);
+  (* Placement agrees node by node (both networks are identical). *)
+  List.iter
+    (fun (n : Node.t) ->
+      let twin = Net.peer single_net n.Node.id in
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d placement" n.Node.id)
+        (Baton_util.Sorted_store.to_list twin.Node.store)
+        (Baton_util.Sorted_store.to_list n.Node.store))
+    (Net.peers bulk_net);
+  Check.all bulk_net
+
+let test_bulk_insert_is_cheaper_for_clustered_keys () =
+  let keys = List.init 200 (fun i -> 500_000_000 + (i * 1_000)) in
+  let bulk_net = N.build ~seed:22 200 in
+  let st = Update.bulk_insert bulk_net ~from:(Net.random_peer bulk_net) keys in
+  let single_net = N.build ~seed:22 200 in
+  let m = Net.metrics single_net in
+  let cp = Baton_sim.Metrics.checkpoint m in
+  List.iter (N.insert single_net) keys;
+  let single_msgs = Baton_sim.Metrics.since m cp in
+  Alcotest.(check bool)
+    (Printf.sprintf "bulk %d << singles %d" st.Update.msgs single_msgs)
+    true
+    (st.Update.msgs * 4 < single_msgs)
+
+let test_bulk_insert_empty () =
+  let net = N.build ~seed:23 10 in
+  let st = Update.bulk_insert net ~from:(Net.random_peer net) [] in
+  Alcotest.(check int) "no keys" 0 st.Update.keys;
+  Alcotest.(check int) "no messages" 0 st.Update.msgs
+
+let test_bulk_insert_expands_both_ends () =
+  let net = N.build ~seed:24 20 in
+  let st = Update.bulk_insert net ~from:(Net.random_peer net)
+      [ -50; 5; 999_999_998; 2_000_000_000 ] in
+  Alcotest.(check int) "all stored" 4 st.Update.keys;
+  List.iter
+    (fun k -> Alcotest.(check bool) (string_of_int k) true (N.lookup net k))
+    [ -50; 5; 999_999_998; 2_000_000_000 ];
+  Check.links net;
+  Check.data_placement net
+
+let bulk_suite =
+  [
+    Alcotest.test_case "bulk = singles placement" `Quick test_bulk_insert_places_like_singles;
+    Alcotest.test_case "bulk cheaper when clustered" `Quick test_bulk_insert_is_cheaper_for_clustered_keys;
+    Alcotest.test_case "bulk empty" `Quick test_bulk_insert_empty;
+    Alcotest.test_case "bulk expands ends" `Quick test_bulk_insert_expands_both_ends;
+  ]
+
+let suite = suite @ bulk_suite

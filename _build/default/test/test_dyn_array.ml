@@ -1,0 +1,120 @@
+(* Growable array: unit behaviour plus a qcheck model test vs list. *)
+
+module Dyn_array = Baton_util.Dyn_array
+
+let test_push_get () =
+  let a = Dyn_array.create () in
+  for i = 0 to 99 do
+    Dyn_array.push a i
+  done;
+  Alcotest.(check int) "length" 100 (Dyn_array.length a);
+  for i = 0 to 99 do
+    Alcotest.(check int) "get" i (Dyn_array.get a i)
+  done
+
+let test_pop_last () =
+  let a = Dyn_array.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "last" 3 (Dyn_array.last a);
+  Alcotest.(check int) "pop" 3 (Dyn_array.pop a);
+  Alcotest.(check int) "length after pop" 2 (Dyn_array.length a);
+  ignore (Dyn_array.pop a);
+  ignore (Dyn_array.pop a);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Dyn_array.pop: empty")
+    (fun () -> ignore (Dyn_array.pop a))
+
+let test_insert_remove () =
+  let a = Dyn_array.of_list [ 1; 3 ] in
+  Dyn_array.insert a 1 2;
+  Alcotest.(check (list int)) "insert middle" [ 1; 2; 3 ] (Dyn_array.to_list a);
+  Dyn_array.insert a 3 4;
+  Alcotest.(check (list int)) "insert at end" [ 1; 2; 3; 4 ] (Dyn_array.to_list a);
+  Dyn_array.insert a 0 0;
+  Alcotest.(check (list int)) "insert at front" [ 0; 1; 2; 3; 4 ] (Dyn_array.to_list a);
+  Alcotest.(check int) "remove middle" 2 (Dyn_array.remove a 2);
+  Alcotest.(check (list int)) "after remove" [ 0; 1; 3; 4 ] (Dyn_array.to_list a)
+
+let test_bounds_checking () =
+  let a = Dyn_array.of_list [ 1 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Dyn_array.get: index out of bounds")
+    (fun () -> ignore (Dyn_array.get a 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Dyn_array.set: index out of bounds")
+    (fun () -> Dyn_array.set a (-1) 0);
+  Alcotest.check_raises "insert oob"
+    (Invalid_argument "Dyn_array.insert: index out of bounds") (fun () ->
+      Dyn_array.insert a 3 0)
+
+let test_iterators () =
+  let a = Dyn_array.of_list [ 1; 2; 3 ] in
+  let sum = Dyn_array.fold_left ( + ) 0 a in
+  Alcotest.(check int) "fold" 6 sum;
+  let acc = ref [] in
+  Dyn_array.iteri (fun i x -> acc := (i, x) :: !acc) a;
+  Alcotest.(check (list (pair int int))) "iteri" [ (0, 1); (1, 2); (2, 3) ] (List.rev !acc);
+  Alcotest.(check bool) "exists" true (Dyn_array.exists (fun x -> x = 2) a);
+  Alcotest.(check bool) "not exists" false (Dyn_array.exists (fun x -> x = 9) a)
+
+let test_append_all_clear () =
+  let a = Dyn_array.of_list [ 1 ] and b = Dyn_array.of_list [ 2; 3 ] in
+  Dyn_array.append_all a b;
+  Alcotest.(check (list int)) "append_all" [ 1; 2; 3 ] (Dyn_array.to_list a);
+  Dyn_array.clear a;
+  Alcotest.(check bool) "cleared" true (Dyn_array.is_empty a)
+
+(* Model test: a random program of push/pop/insert/remove agrees with a
+   plain list implementation. *)
+let model_prop =
+  let open QCheck2 in
+  let op =
+    Gen.oneof
+      [
+        Gen.map (fun v -> `Push v) Gen.small_int;
+        Gen.return `Pop;
+        Gen.map2 (fun i v -> `Insert (i, v)) Gen.small_nat Gen.small_int;
+        Gen.map (fun i -> `Remove i) Gen.small_nat;
+      ]
+  in
+  Test.make ~name:"dyn_array agrees with list model" ~count:300
+    Gen.(list_size (int_bound 40) op)
+    (fun ops ->
+      let a = Dyn_array.create () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push v ->
+            Dyn_array.push a v;
+            model := !model @ [ v ]
+          | `Pop ->
+            if !model <> [] then begin
+              let got = Dyn_array.pop a in
+              let expect = List.nth !model (List.length !model - 1) in
+              assert (got = expect);
+              model := List.filteri (fun i _ -> i < List.length !model - 1) !model
+            end
+          | `Insert (i, v) ->
+            let i = if List.length !model = 0 then 0 else i mod (List.length !model + 1) in
+            Dyn_array.insert a i v;
+            model :=
+              List.filteri (fun j _ -> j < i) !model
+              @ [ v ]
+              @ List.filteri (fun j _ -> j >= i) !model
+          | `Remove i ->
+            if !model <> [] then begin
+              let i = i mod List.length !model in
+              let got = Dyn_array.remove a i in
+              assert (got = List.nth !model i);
+              model := List.filteri (fun j _ -> j <> i) !model
+            end)
+        ops;
+      Dyn_array.to_list a = !model)
+
+let suite =
+  [
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "pop/last" `Quick test_pop_last;
+    Alcotest.test_case "insert/remove" `Quick test_insert_remove;
+    Alcotest.test_case "bounds checks" `Quick test_bounds_checking;
+    Alcotest.test_case "iterators" `Quick test_iterators;
+    Alcotest.test_case "append_all/clear" `Quick test_append_all_clear;
+    QCheck_alcotest.to_alcotest model_prop;
+  ]

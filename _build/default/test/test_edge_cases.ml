@@ -1,0 +1,139 @@
+(* Edge cases at the boundaries of the protocols: tiny networks,
+   domain-wide queries, degenerate ranges, ring wrap-around. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Search = Baton.Search
+module Rng = Baton_util.Rng
+
+let test_single_node_answers_everything () =
+  let net = N.create ~seed:1 () in
+  ignore (N.join net);
+  N.insert net 5;
+  N.insert net 999_999_998;
+  Alcotest.(check bool) "low" true (N.lookup net 5);
+  Alcotest.(check bool) "high" true (N.lookup net 999_999_998);
+  Alcotest.(check (list int)) "whole-domain range" [ 5; 999_999_998 ]
+    (N.range_query net ~lo:1 ~hi:999_999_999);
+  let o = Search.exact net ~from:(Net.random_peer net) 42 in
+  Alcotest.(check int) "zero hops" 0 o.Search.hops
+
+let test_two_node_network_operations () =
+  let net = N.create ~seed:2 () in
+  ignore (N.join net);
+  ignore (N.join net);
+  N.insert net 1;
+  N.insert net 999_999_998;
+  Alcotest.(check bool) "low key" true (N.lookup net 1);
+  Alcotest.(check bool) "high key" true (N.lookup net 999_999_998);
+  Baton.Check.all net;
+  (* Churn down to one and back up. *)
+  let ids = Net.live_ids net in
+  N.leave net ids.(0);
+  Alcotest.(check int) "one left" 1 (N.size net);
+  Alcotest.(check bool) "data merged" true (N.lookup net 1 && N.lookup net 999_999_998)
+
+let test_range_query_single_point () =
+  let net = N.build ~seed:3 40 in
+  N.insert net 123_456;
+  Alcotest.(check (list int)) "point interval" [ 123_456 ]
+    (N.range_query net ~lo:123_456 ~hi:123_456)
+
+let test_range_query_whole_domain () =
+  let net = N.build ~seed:4 30 in
+  let rng = Rng.create 5 in
+  let keys = List.init 100 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  List.iter (N.insert net) keys;
+  let r =
+    Search.range net ~from:(Net.random_peer net) ~lo:min_int ~hi:max_int
+  in
+  Alcotest.(check int) "visits every peer" 30 r.Search.nodes_visited;
+  Alcotest.(check (list int)) "all keys" (List.sort compare keys) r.Search.keys
+
+let test_duplicates_stay_colocated () =
+  (* The paper's footnote case (duplicates of one key split across
+     peers) cannot arise here: splits and balancing keep equal keys
+     together. *)
+  let net = N.build ~seed:5 30 in
+  for _ = 1 to 50 do
+    N.insert net 777_777
+  done;
+  for _ = 1 to 10 do
+    ignore (N.join net)
+  done;
+  let holders =
+    List.filter (fun (n : Node.t) -> Baton_util.Sorted_store.mem n.Node.store 777_777)
+      (Net.peers net)
+  in
+  Alcotest.(check int) "one holder" 1 (List.length holders);
+  Alcotest.(check int) "all copies"
+    50
+    (Baton_util.Sorted_store.count (List.hd holders).Node.store 777_777)
+
+let test_chord_ring_wraparound_lookup () =
+  let t = Chord.create ~seed:6 () in
+  for _ = 1 to 50 do
+    ignore (Chord.join t)
+  done;
+  (* Exercise many keys; hashing spreads them across the ring wrap. *)
+  for k = 1 to 500 do
+    ignore (Chord.insert t (k * 7_919))
+  done;
+  for k = 1 to 500 do
+    Alcotest.(check bool) "found across wrap" true (fst (Chord.lookup t (k * 7_919)))
+  done;
+  Chord.check t
+
+let test_multiway_two_peers_leave_root () =
+  let t = Multiway.create ~seed:7 ~domain_lo:1 ~domain_hi:1_000 () in
+  ignore (Multiway.join t);
+  ignore (Multiway.join t);
+  ignore (Multiway.insert t 500);
+  let ids = Multiway.peer_ids t in
+  (* Leave the root: its child must take over. *)
+  ignore (Multiway.leave t ids.(0));
+  Multiway.check t;
+  Alcotest.(check int) "one peer" 1 (Multiway.size t);
+  Alcotest.(check bool) "data kept" true (fst (Multiway.lookup t 500))
+
+let test_viz_depth_zero () =
+  let net = N.build ~seed:8 10 in
+  let text = Baton.Viz.tree ~max_depth:0 net in
+  Alcotest.(check bool) "single elision line" true
+    (List.length (String.split_on_char '\n' (String.trim text)) = 1)
+
+let test_deep_in_order_compare () =
+  (* Deep positions must still compare exactly (no overflow). *)
+  let module P = Baton.Position in
+  let deep_left = P.make ~level:30 ~number:1 in
+  let deep_right = P.make ~level:30 ~number:(P.level_width 30) in
+  Alcotest.(check bool) "leftmost before root" true
+    (P.in_order_compare deep_left P.root < 0);
+  Alcotest.(check bool) "rightmost after root" true
+    (P.in_order_compare deep_right P.root > 0);
+  Alcotest.(check bool) "self" true (P.in_order_compare deep_left deep_left = 0)
+
+let test_bulk_insert_all_on_one_node () =
+  let net = N.build ~seed:9 50 in
+  let owner = (Search.exact net ~from:(Net.random_peer net) 500_000_000).Search.node in
+  let r = owner.Node.range in
+  let width = Baton.Range.width r in
+  let keys = List.init 20 (fun i -> r.Baton.Range.lo + (i mod width)) in
+  let st = Baton.Update.bulk_insert net ~from:(Net.random_peer net) keys in
+  Alcotest.(check int) "one node" 1 st.Baton.Update.nodes;
+  Alcotest.(check int) "all keys" 20 st.Baton.Update.keys
+
+let suite =
+  [
+    Alcotest.test_case "single node" `Quick test_single_node_answers_everything;
+    Alcotest.test_case "two nodes" `Quick test_two_node_network_operations;
+    Alcotest.test_case "point range" `Quick test_range_query_single_point;
+    Alcotest.test_case "whole-domain range" `Quick test_range_query_whole_domain;
+    Alcotest.test_case "duplicates colocated" `Quick test_duplicates_stay_colocated;
+    Alcotest.test_case "chord wraparound" `Quick test_chord_ring_wraparound_lookup;
+    Alcotest.test_case "multiway root leave" `Quick test_multiway_two_peers_leave_root;
+    Alcotest.test_case "viz depth 0" `Quick test_viz_depth_zero;
+    Alcotest.test_case "deep in-order compare" `Quick test_deep_in_order_compare;
+    Alcotest.test_case "bulk on one node" `Quick test_bulk_insert_all_on_one_node;
+  ]

@@ -1,0 +1,149 @@
+(* Experiment harness: tables are well-formed, deterministic, and show
+   the paper's qualitative shapes even at tiny scale. *)
+
+module P = Baton_experiments.Params
+module Table = Baton_experiments.Table
+module Runner = Baton_experiments.Runner
+
+let tiny = P.tiny
+
+let float_cell row i = float_of_string (List.nth row i)
+
+let test_table_rendering () =
+  let t =
+    Table.make ~id:"t" ~title:"demo" ~header:[ "a"; "b" ]
+      ~notes:[ "a note" ]
+      [ [ "1"; "2.50" ] ]
+  in
+  let text = Table.render t in
+  Alcotest.(check bool) "mentions id" true
+    (String.length text > 0
+    && String.sub text 0 6 = "== t: ");
+  let md = Table.markdown t in
+  Alcotest.(check bool) "markdown pipes" true (String.contains md '|')
+
+let test_membership_tables () =
+  let a, b = Baton_experiments.Exp_membership.run tiny in
+  Alcotest.(check int) "fig8a rows = sizes" (List.length tiny.P.sizes) (List.length a.Table.rows);
+  Alcotest.(check int) "fig8b rows = sizes" (List.length tiny.P.sizes) (List.length b.Table.rows);
+  Alcotest.(check string) "ids" "fig8a" a.Table.id;
+  Alcotest.(check string) "ids" "fig8b" b.Table.id;
+  (* Shape: BATON's join-search is cheaper than Chord's at the largest
+     size, and BATON's table update is far cheaper than Chord's. *)
+  let last_a = List.nth a.Table.rows (List.length a.Table.rows - 1) in
+  Alcotest.(check bool) "baton find < chord find" true
+    (float_cell last_a 1 < float_cell last_a 2);
+  let last_b = List.nth b.Table.rows (List.length b.Table.rows - 1) in
+  Alcotest.(check bool) "baton update << chord update" true
+    (float_cell last_b 1 *. 2. < float_cell last_b 2)
+
+let test_query_tables () =
+  let c, d, e = Baton_experiments.Exp_queries.run tiny in
+  List.iter
+    (fun (t : Table.t) ->
+      Alcotest.(check int)
+        (t.Table.id ^ " row count")
+        (List.length tiny.P.sizes)
+        (List.length t.Table.rows))
+    [ c; d; e ];
+  (* Range queries: BATON beats the multiway tree and, overwhelmingly,
+     the Chord full scan. *)
+  let last_e = List.nth e.Table.rows (List.length e.Table.rows - 1) in
+  let baton = float_cell last_e 1 and mtree = float_cell last_e 2 and chord = float_cell last_e 3 in
+  Alcotest.(check bool) "baton <= mtree" true (baton <= mtree);
+  Alcotest.(check bool) "baton << chord scan" true (baton *. 4. < chord)
+
+let test_access_load_table () =
+  let t = Baton_experiments.Exp_access_load.run tiny in
+  Alcotest.(check string) "id" "fig8f" t.Table.id;
+  Alcotest.(check bool) "several levels" true (List.length t.Table.rows >= 3);
+  (* The fairness headline: the root is not an outlier hotspot. Compare
+     the root's per-node search load against the mean of the rest. *)
+  let root_row = List.hd t.Table.rows in
+  let rest = List.tl t.Table.rows in
+  let mean_rest =
+    List.fold_left (fun acc r -> acc +. float_cell r 3) 0. rest
+    /. float_of_int (List.length rest)
+  in
+  Alcotest.(check bool) "root search load within 4x of other levels" true
+    (float_cell root_row 3 < (4. *. mean_rest) +. 8.)
+
+let test_balance_tables () =
+  let g, h = Baton_experiments.Exp_balance.run tiny in
+  Alcotest.(check string) "id g" "fig8g" g.Table.id;
+  Alcotest.(check string) "id h" "fig8h" h.Table.id;
+  (* Skewed data pays at least as much balancing as uniform data. *)
+  let last = List.nth g.Table.rows (List.length g.Table.rows - 1) in
+  Alcotest.(check bool) "zipf >= uniform balancing" true
+    (float_cell last 2 >= float_cell last 1)
+
+let test_dynamics_table () =
+  let t = Baton_experiments.Exp_dynamics.run tiny in
+  Alcotest.(check string) "id" "fig8i" t.Table.id;
+  Alcotest.(check int) "six batch sizes" 6 (List.length t.Table.rows)
+
+let test_ablation_table () =
+  let t = Baton_experiments.Exp_ablation.run tiny in
+  Alcotest.(check string) "id" "ablation-tables" t.Table.id;
+  (* Sideways tables must beat the adjacent-only walk clearly at the
+     largest size. *)
+  let last = List.nth t.Table.rows (List.length t.Table.rows - 1) in
+  Alcotest.(check bool) "tables win" true
+    (float_cell last 1 *. 2. < float_cell last 2)
+
+let test_fault_table () =
+  let t = Baton_experiments.Exp_fault.run tiny in
+  Alcotest.(check string) "id" "fault-resilience" t.Table.id;
+  Alcotest.(check int) "five fractions" 5 (List.length t.Table.rows);
+  (* Detour cost grows with the failure fraction. *)
+  let first = List.hd t.Table.rows in
+  let last = List.nth t.Table.rows (List.length t.Table.rows - 1) in
+  Alcotest.(check bool) "failures cost messages" true
+    (float_cell last 3 >= float_cell first 3)
+
+let test_churn_sweep_table () =
+  let t = Baton_experiments.Exp_churn_sweep.run tiny in
+  Alcotest.(check string) "id" "churn-sweep" t.Table.id;
+  Alcotest.(check int) "five rates" 5 (List.length t.Table.rows);
+  (* Query cost stays flat: the highest-churn row must be within 2x of
+     the churn-free row. *)
+  let base = float_cell (List.hd t.Table.rows) 2 in
+  let last = float_cell (List.nth t.Table.rows 4) 2 in
+  Alcotest.(check bool) "flat query cost" true (last < (2. *. base) +. 2.)
+
+let test_runner_covers_all_figures () =
+  let ids =
+    List.concat_map
+      (fun (name, _) -> String.split_on_char '+' name)
+      Runner.experiments
+  in
+  List.iter
+    (fun fig -> Alcotest.(check bool) fig true (List.mem fig ids))
+    [ "fig8a"; "fig8b"; "fig8c"; "fig8d"; "fig8e"; "fig8f"; "fig8g"; "fig8h"; "fig8i" ]
+
+let test_run_one () =
+  let tables = Runner.run_one "fig8f" tiny in
+  Alcotest.(check int) "one table" 1 (List.length tables);
+  Alcotest.check_raises "unknown id" Not_found (fun () ->
+      ignore (Runner.run_one "fig9z" tiny))
+
+let test_determinism () =
+  let t1 = Baton_experiments.Exp_access_load.run tiny in
+  let t2 = Baton_experiments.Exp_access_load.run tiny in
+  Alcotest.(check bool) "identical tables" true (t1 = t2)
+
+let suite =
+  [
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "membership tables" `Slow test_membership_tables;
+    Alcotest.test_case "query tables" `Slow test_query_tables;
+    Alcotest.test_case "access load table" `Slow test_access_load_table;
+    Alcotest.test_case "balance tables" `Slow test_balance_tables;
+    Alcotest.test_case "dynamics table" `Slow test_dynamics_table;
+    Alcotest.test_case "ablation table" `Slow test_ablation_table;
+    Alcotest.test_case "fault table" `Slow test_fault_table;
+    Alcotest.test_case "churn sweep table" `Slow test_churn_sweep_table;
+    Alcotest.test_case "runner covers figures" `Quick test_runner_covers_all_figures;
+    Alcotest.test_case "run_one" `Slow test_run_one;
+    Alcotest.test_case "determinism" `Slow test_determinism;
+  ]

@@ -1,0 +1,108 @@
+(* The Baton.Network convenience facade and message-kind accounting. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Metrics = Baton_sim.Metrics
+
+let test_build_validation () =
+  Alcotest.check_raises "zero peers" (Invalid_argument "Network.build: need at least one peer")
+    (fun () -> ignore (N.build 0))
+
+let test_custom_domain () =
+  let net =
+    N.build ~seed:3 ~domain:(Baton.Range.make ~lo:0 ~hi:100) 10
+  in
+  N.insert net 50;
+  Alcotest.(check bool) "found" true (N.lookup net 50);
+  Baton.Check.all net
+
+let test_join_leave_roundtrip () =
+  let net = N.build ~seed:4 10 in
+  let id = N.join net in
+  Alcotest.(check int) "grew" 11 (N.size net);
+  N.leave net id;
+  Alcotest.(check int) "shrank" 10 (N.size net)
+
+let test_join_on_empty_network () =
+  let net = N.create ~seed:5 () in
+  let id = N.join net in
+  Alcotest.(check int) "bootstrap join" 1 (N.size net);
+  N.leave net id;
+  Alcotest.(check int) "empty again" 0 (N.size net)
+
+let test_crash_repair_roundtrip () =
+  let net = N.build ~seed:6 20 in
+  let ids = Net.live_ids net in
+  let victim = ids.(3) in
+  N.crash net victim;
+  N.repair net victim;
+  Alcotest.(check int) "one fewer" 19 (N.size net);
+  Baton.Check.all net
+
+let test_messages_monotone () =
+  let net = N.build ~seed:7 30 in
+  let a = N.messages net in
+  N.insert net 123;
+  let b = N.messages net in
+  Alcotest.(check bool) "counter grows" true (b >= a)
+
+let test_message_kind_accounting () =
+  (* Each operation charges its own kind, so per-figure attribution in
+     the experiments cannot mix streams. *)
+  let net = N.build ~seed:8 40 in
+  let m = Net.metrics net in
+  Metrics.reset m;
+  N.insert net 123_456;
+  Alcotest.(check bool) "insert kind charged" true (Metrics.kind_count m Baton.Msg.insert > 0);
+  Alcotest.(check int) "search kind untouched" 0 (Metrics.kind_count m Baton.Msg.search_exact);
+  ignore (N.lookup net 123_456);
+  Alcotest.(check bool) "search kind charged" true
+    (Metrics.kind_count m Baton.Msg.search_exact > 0);
+  ignore (N.range_query net ~lo:1 ~hi:2);
+  Alcotest.(check bool) "range kind charged" true
+    (Metrics.kind_count m Baton.Msg.search_range > 0);
+  let before_join = Metrics.kind_count m Baton.Msg.join_update in
+  let id = N.join net in
+  Alcotest.(check bool) "join update charged" true
+    (Metrics.kind_count m Baton.Msg.join_update > before_join);
+  N.leave net id;
+  Alcotest.(check bool) "leave update charged" true
+    (Metrics.kind_count m Baton.Msg.leave_update > 0)
+
+let test_deterministic_message_totals () =
+  (* Regression pin: the simulator is a pure function of the seed. *)
+  let run () =
+    let net = N.build ~seed:2024 64 in
+    for k = 1 to 200 do
+      N.insert net (k * 4_999_999)
+    done;
+    for _ = 1 to 5 do
+      let id = N.join net in
+      N.leave net id
+    done;
+    N.messages net
+  in
+  Alcotest.(check int) "same seed, same messages" (run ()) (run ())
+
+let test_msg_all_lists_every_kind () =
+  List.iter
+    (fun k -> Alcotest.(check bool) k true (List.mem k Baton.Msg.all))
+    [
+      Baton.Msg.join_search; Baton.Msg.join_update; Baton.Msg.leave_search;
+      Baton.Msg.leave_update; Baton.Msg.search_exact; Baton.Msg.search_range;
+      Baton.Msg.insert; Baton.Msg.delete; Baton.Msg.expand; Baton.Msg.balance;
+      Baton.Msg.restructure; Baton.Msg.repair;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "build validation" `Quick test_build_validation;
+    Alcotest.test_case "custom domain" `Quick test_custom_domain;
+    Alcotest.test_case "join/leave roundtrip" `Quick test_join_leave_roundtrip;
+    Alcotest.test_case "join on empty network" `Quick test_join_on_empty_network;
+    Alcotest.test_case "crash/repair roundtrip" `Quick test_crash_repair_roundtrip;
+    Alcotest.test_case "messages monotone" `Quick test_messages_monotone;
+    Alcotest.test_case "kind accounting" `Quick test_message_kind_accounting;
+    Alcotest.test_case "deterministic totals" `Quick test_deterministic_message_totals;
+    Alcotest.test_case "Msg.all complete" `Quick test_msg_all_lists_every_kind;
+  ]

@@ -1,0 +1,128 @@
+(* Section III-D claims, tested directly: the network routes around
+   failures, and even the loss of a whole tree level does not partition
+   it, because adjacency and sideways links bridge the gaps. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Search = Baton.Search
+module Failure = Baton.Failure
+module Check = Baton.Check
+module Rng = Baton_util.Rng
+
+let build_with_keys ~seed ~n ~keys =
+  let net = N.build ~seed n in
+  let rng = Rng.create (seed + 1) in
+  let ks = Array.init keys (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (N.insert net) ks;
+  (net, ks)
+
+(* Reachability of all surviving keys from random live origins. *)
+let surviving_reachable net keys dead_ranges =
+  let lost k = List.exists (fun r -> Baton.Range.contains r k) dead_ranges in
+  let total = ref 0 and ok = ref 0 in
+  Array.iter
+    (fun k ->
+      if not (lost k) then begin
+        incr total;
+        let attempt () =
+          match Search.lookup net ~from:(Net.random_peer net) k with
+          | found, _ -> found
+          | exception _ -> false
+        in
+        if attempt () || attempt () then incr ok
+      end)
+    keys;
+  (!ok, !total)
+
+let test_whole_level_failure () =
+  (* Kill every node of an interior level; queries must still succeed
+     for all data outside the dead nodes' ranges. *)
+  let net, keys = build_with_keys ~seed:1 ~n:120 ~keys:400 in
+  let level = 3 in
+  let victims = List.filter (fun n -> Node.level n = level) (Net.peers net) in
+  Alcotest.(check bool) "level populated" true (List.length victims = 8);
+  List.iter (fun v -> Failure.crash net v) victims;
+  let dead_ranges = List.map (fun (v : Node.t) -> v.Node.range) victims in
+  let ok, total = surviving_reachable net keys dead_ranges in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d reachable with a whole level dead" ok total)
+    true
+    (ok * 100 >= total * 95);
+  (* Repair everything and verify a clean network. *)
+  List.iter
+    (fun (v : Node.t) -> Failure.repair net ~reporter:(Net.random_peer net) v.Node.id)
+    victims;
+  Check.all net
+
+(* Repair every failed peer; deeply nested all-dead neighbourhoods
+   need a report per layer, so sweep until quiescent. *)
+let repair_all net =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun (n : Node.t) ->
+        if Baton_sim.Bus.is_failed (Net.bus net) n.Node.id then begin
+          Failure.repair net ~reporter:(Net.random_peer net) n.Node.id;
+          if not (Baton_sim.Bus.is_failed (Net.bus net) n.Node.id) then
+            progress := true
+        end)
+      (Net.peers net)
+  done
+
+let test_quarter_of_network_fails () =
+  let net, keys = build_with_keys ~seed:2 ~n:100 ~keys:300 in
+  let rng = Rng.create 9 in
+  let victims =
+    List.filter (fun (n : Node.t) -> (not (Node.is_root n)) && Rng.int rng 4 = 0)
+      (Net.peers net)
+  in
+  List.iter (fun v -> Failure.crash net v) victims;
+  let dead_ranges = List.map (fun (v : Node.t) -> v.Node.range) victims in
+  let ok, total = surviving_reachable net keys dead_ranges in
+  (* With a quarter of the network dark, most surviving data stays
+     reachable through sideways and adjacency detours. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d reachable with 25%% failures" ok total)
+    true
+    (ok * 100 >= total * 85);
+  repair_all net;
+  Check.all net
+
+let test_sideways_redundancy () =
+  (* The sideways axis has Chord-like redundancy: killing a single
+     routing-table neighbour of every node still leaves a path. *)
+  let net, keys = build_with_keys ~seed:3 ~n:80 ~keys:200 in
+  (* Kill the three deepest leaves. *)
+  let victims =
+    List.sort (fun (a : Node.t) b -> compare (Node.level b) (Node.level a)) (Net.peers net)
+    |> List.filteri (fun i _ -> i < 3)
+  in
+  List.iter (fun v -> Failure.crash net v) victims;
+  let dead_ranges = List.map (fun (v : Node.t) -> v.Node.range) victims in
+  let ok, total = surviving_reachable net keys dead_ranges in
+  Alcotest.(check int) "all surviving keys reachable" total ok;
+  List.iter
+    (fun (v : Node.t) -> Failure.repair net ~reporter:(Net.random_peer net) v.Node.id)
+    victims;
+  Check.all net
+
+let test_repair_after_mass_failure_restores_everything () =
+  let net, _ = build_with_keys ~seed:4 ~n:60 ~keys:100 in
+  let rng = Rng.create 17 in
+  for _ = 1 to 15 do
+    let ids = Net.live_ids net in
+    if Array.length ids > 2 then Baton.Network.crash net (Rng.pick rng ids)
+  done;
+  (* Repair in arbitrary order, sweeping until quiescent. *)
+  repair_all net;
+  Check.all net
+
+let suite =
+  [
+    Alcotest.test_case "whole level fails" `Quick test_whole_level_failure;
+    Alcotest.test_case "quarter of network fails" `Quick test_quarter_of_network_fails;
+    Alcotest.test_case "sideways redundancy" `Quick test_sideways_redundancy;
+    Alcotest.test_case "mass failure repair" `Quick test_repair_after_mass_failure_restores_everything;
+  ]

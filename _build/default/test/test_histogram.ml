@@ -1,0 +1,43 @@
+(* Integer histogram. *)
+
+module Histogram = Baton_util.Histogram
+
+let test_add_count () =
+  let h = Histogram.create () in
+  Histogram.add h 3;
+  Histogram.add h 3;
+  Histogram.add h 5;
+  Alcotest.(check int) "count 3" 2 (Histogram.count h 3);
+  Alcotest.(check int) "count 5" 1 (Histogram.count h 5);
+  Alcotest.(check int) "count absent" 0 (Histogram.count h 4);
+  Alcotest.(check int) "total" 3 (Histogram.total h)
+
+let test_add_many () =
+  let h = Histogram.create () in
+  Histogram.add_many h 2 10;
+  Alcotest.(check int) "bulk count" 10 (Histogram.count h 2);
+  Alcotest.check_raises "negative" (Invalid_argument "Histogram.add_many: negative count")
+    (fun () -> Histogram.add_many h 1 (-1))
+
+let test_bins_sorted () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 9; 1; 5; 1 ];
+  Alcotest.(check (list (pair int int))) "sorted bins" [ (1, 2); (5, 1); (9, 1) ]
+    (Histogram.bins h)
+
+let test_max_value_mean () =
+  let h = Histogram.create () in
+  Alcotest.(check (option int)) "empty max" None (Histogram.max_value h);
+  Alcotest.(check bool) "empty mean" true (Histogram.mean h = 0.);
+  Histogram.add_many h 2 3;
+  Histogram.add h 8;
+  Alcotest.(check (option int)) "max" (Some 8) (Histogram.max_value h);
+  Alcotest.(check bool) "mean" true (Float.abs (Histogram.mean h -. 3.5) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "add/count" `Quick test_add_count;
+    Alcotest.test_case "add_many" `Quick test_add_many;
+    Alcotest.test_case "bins sorted" `Quick test_bins_sorted;
+    Alcotest.test_case "max/mean" `Quick test_max_value_mean;
+  ]

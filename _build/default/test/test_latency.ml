@@ -1,0 +1,73 @@
+(* Per-link latency model. *)
+
+module Latency = Baton_sim.Latency
+module Bus = Baton_sim.Bus
+
+let test_deterministic_per_pair () =
+  let l = Latency.create ~seed:3 () in
+  let a = Latency.of_pair l ~src:1 ~dst:2 in
+  Alcotest.(check bool) "same pair same latency" true
+    (a = Latency.of_pair l ~src:1 ~dst:2);
+  let fresh = Latency.create ~seed:3 () in
+  Alcotest.(check bool) "pure function of seed" true
+    (a = Latency.of_pair fresh ~src:1 ~dst:2)
+
+let test_asymmetric_pairs () =
+  let l = Latency.create ~seed:4 () in
+  Alcotest.(check bool) "directions differ in general" true
+    (Latency.of_pair l ~src:1 ~dst:2 <> Latency.of_pair l ~src:2 ~dst:1)
+
+let test_bounds () =
+  let l = Latency.create ~seed:5 ~base_ms:10. ~jitter_ms:5. () in
+  for src = 0 to 20 do
+    for dst = 0 to 20 do
+      if src <> dst then begin
+        let ms = Latency.of_pair l ~src ~dst in
+        Alcotest.(check bool) "above base" true (ms >= 10.);
+        Alcotest.(check bool) "finite tail" true (ms < 10. +. (5. *. 40.))
+      end
+    done
+  done;
+  Alcotest.check_raises "negative" (Invalid_argument "Latency.create: negative latency")
+    (fun () -> ignore (Latency.create ~base_ms:(-1.) ()))
+
+let test_measure_sums_hops () =
+  let l = Latency.create ~seed:6 () in
+  let bus = Bus.create () in
+  let result, ms =
+    Latency.measure l bus (fun () ->
+        Bus.send bus ~src:1 ~dst:2 ~kind:"x";
+        Bus.send bus ~src:2 ~dst:3 ~kind:"x";
+        "done")
+  in
+  Alcotest.(check string) "result passed through" "done" result;
+  let expect = Latency.of_pair l ~src:1 ~dst:2 +. Latency.of_pair l ~src:2 ~dst:3 in
+  Alcotest.(check bool) "sum of hops" true (Float.abs (ms -. expect) < 1e-9)
+
+let test_measure_restores_trace_and_raises () =
+  let l = Latency.create ~seed:7 () in
+  let bus = Bus.create () in
+  (match Latency.measure l bus (fun () -> failwith "boom") with
+  | exception Failure m -> Alcotest.(check string) "exception propagates" "boom" m
+  | _ -> Alcotest.fail "expected exception");
+  (* The trace hook must have been removed. *)
+  let hits = ref 0 in
+  Bus.set_trace bus (Some (fun ~src:_ ~dst:_ ~kind:_ -> incr hits));
+  Bus.send bus ~src:1 ~dst:2 ~kind:"x";
+  Alcotest.(check int) "fresh hook in place" 1 !hits
+
+let test_measure_zero_messages () =
+  let l = Latency.create ~seed:8 () in
+  let bus = Bus.create () in
+  let (), ms = Latency.measure l bus (fun () -> ()) in
+  Alcotest.(check bool) "zero" true (ms = 0.)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic per pair" `Quick test_deterministic_per_pair;
+    Alcotest.test_case "asymmetric" `Quick test_asymmetric_pairs;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "measure sums hops" `Quick test_measure_sums_hops;
+    Alcotest.test_case "measure restores/raises" `Quick test_measure_restores_trace_and_raises;
+    Alcotest.test_case "measure zero" `Quick test_measure_zero_messages;
+  ]

@@ -1,0 +1,160 @@
+(* Multiway-tree baseline. *)
+
+module Rng = Baton_util.Rng
+
+let make ?(seed = 1) ?(fanout = 4) () =
+  Multiway.create ~seed ~fanout ~domain_lo:1 ~domain_hi:1_000_000_000 ()
+
+let grow t n =
+  for _ = 1 to n do
+    ignore (Multiway.join t)
+  done
+
+let test_bootstrap () =
+  let t = make () in
+  grow t 1;
+  Alcotest.(check int) "one peer" 1 (Multiway.size t);
+  Multiway.check t
+
+let test_growth () =
+  let t = make ~seed:2 () in
+  grow t 120;
+  Alcotest.(check int) "size" 120 (Multiway.size t);
+  Multiway.check t;
+  Alcotest.(check bool) "height sane" true (Multiway.height t < 120)
+
+let test_unbalanced_growth () =
+  (* Join requests attach wherever a node has spare capacity, so the
+     tree is not height-balanced: depth exceeds the balanced log2 bound
+     (the weakness BATON's balance invariant removes). A fanout of 1
+     degenerates towards a chain. *)
+  let t = make ~seed:3 ~fanout:4 () in
+  grow t 400;
+  let balanced = log (float_of_int 400) /. log 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d > log2 N = %.1f" (Multiway.height t) balanced)
+    true
+    (float_of_int (Multiway.height t) > balanced);
+  let chain = make ~seed:3 ~fanout:1 () in
+  grow chain 60;
+  Alcotest.(check bool) "fanout 1 degenerates" true (Multiway.height chain > 30)
+
+let test_insert_lookup_delete () =
+  let t = make ~seed:4 () in
+  grow t 60;
+  let rng = Rng.create 5 in
+  let keys = Array.init 400 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (fun k -> ignore (Multiway.insert t k)) keys;
+  Multiway.check t;
+  Array.iter (fun k -> Alcotest.(check bool) "found" true (fst (Multiway.lookup t k))) keys;
+  Array.iter
+    (fun k -> Alcotest.(check bool) "deleted" true (fst (Multiway.delete t k)))
+    keys;
+  Alcotest.(check bool) "absent after delete" false (fst (Multiway.lookup t keys.(0)))
+
+let test_range_query_oracle () =
+  let t = make ~seed:5 () in
+  grow t 50;
+  let rng = Rng.create 7 in
+  let keys = Array.init 300 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (fun k -> ignore (Multiway.insert t k)) keys;
+  for _ = 1 to 60 do
+    let lo = Rng.int_in_range rng ~lo:1 ~hi:999_999_999 in
+    let hi = lo + Rng.int rng 60_000_000 in
+    let got, _ = Multiway.range_query t ~lo ~hi in
+    let expect =
+      Array.to_list keys |> List.filter (fun k -> k >= lo && k <= hi) |> List.sort compare
+    in
+    Alcotest.(check (list int)) "range oracle" expect got
+  done
+
+let test_domain_expansion () =
+  let t = make ~seed:6 () in
+  grow t 30;
+  ignore (Multiway.insert t (-50));
+  ignore (Multiway.insert t 5_000_000_000);
+  Multiway.check t;
+  Alcotest.(check bool) "low key" true (fst (Multiway.lookup t (-50)));
+  Alcotest.(check bool) "high key" true (fst (Multiway.lookup t 5_000_000_000))
+
+let test_leaf_and_internal_leaves () =
+  let t = make ~seed:7 () in
+  grow t 80;
+  let rng = Rng.create 9 in
+  let keys = Array.init 200 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (fun k -> ignore (Multiway.insert t k)) keys;
+  for _ = 1 to 50 do
+    let ids = Multiway.peer_ids t in
+    ignore (Multiway.leave t (Rng.pick rng ids))
+  done;
+  Multiway.check t;
+  Alcotest.(check int) "size" 30 (Multiway.size t);
+  Array.iter
+    (fun k -> Alcotest.(check bool) "data survived churn" true (fst (Multiway.lookup t k)))
+    keys
+
+let test_internal_leave_cost_exceeds_leaf () =
+  (* The paper's critique: departing internal nodes must consult all
+     children, so their departure costs more. *)
+  let t = make ~seed:8 () in
+  grow t 100;
+  let rng = Rng.create 11 in
+  let leaf_costs = ref [] and internal_costs = ref [] in
+  for _ = 1 to 40 do
+    let ids = Multiway.peer_ids t in
+    let id = Rng.pick rng ids in
+    let stats = Multiway.leave t id in
+    let total = stats.Multiway.search_msgs + stats.Multiway.update_msgs in
+    if stats.Multiway.search_msgs = 0 then leaf_costs := float_of_int total :: !leaf_costs
+    else internal_costs := float_of_int total :: !internal_costs;
+    ignore (Multiway.join t)
+  done;
+  match (!leaf_costs, !internal_costs) with
+  | [], _ | _, [] -> () (* churn sample missed one class; nothing to compare *)
+  | l, i ->
+    let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+    Alcotest.(check bool) "internal leaves cost more" true (mean i > mean l)
+
+let test_join_stats_cheap () =
+  let t = make ~seed:9 () in
+  grow t 100;
+  let s = Multiway.join t in
+  Alcotest.(check bool) "few search messages" true (s.Multiway.search_msgs <= Multiway.height t + 2);
+  Alcotest.(check bool) "constant update messages" true (s.Multiway.update_msgs <= 4)
+
+let test_validation () =
+  Alcotest.check_raises "bad fanout" (Invalid_argument "Multiway.create: fanout must be >= 1")
+    (fun () -> ignore (Multiway.create ~fanout:0 ~domain_lo:0 ~domain_hi:1 ()));
+  Alcotest.check_raises "empty domain" (Invalid_argument "Multiway.create: empty domain")
+    (fun () -> ignore (Multiway.create ~domain_lo:5 ~domain_hi:5 ()))
+
+let churn_prop =
+  let open QCheck2 in
+  Test.make ~name:"multiway invariants under random churn" ~count:15
+    Gen.(pair (int_range 5 50) (int_range 0 1000))
+    (fun (n, salt) ->
+      let t = make ~seed:(4000 + salt) () in
+      grow t n;
+      let rng = Rng.create salt in
+      for _ = 1 to n do
+        if Rng.bool rng && Multiway.size t > 1 then
+          ignore (Multiway.leave t (Rng.pick rng (Multiway.peer_ids t)))
+        else ignore (Multiway.join t)
+      done;
+      Multiway.check t;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "bootstrap" `Quick test_bootstrap;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "unbalanced growth" `Quick test_unbalanced_growth;
+    Alcotest.test_case "insert/lookup/delete" `Quick test_insert_lookup_delete;
+    Alcotest.test_case "range oracle" `Quick test_range_query_oracle;
+    Alcotest.test_case "domain expansion" `Quick test_domain_expansion;
+    Alcotest.test_case "leaf+internal leaves" `Quick test_leaf_and_internal_leaves;
+    Alcotest.test_case "internal leave costs more" `Quick test_internal_leave_cost_exceeds_leaf;
+    Alcotest.test_case "join cheap" `Quick test_join_stats_cheap;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest churn_prop;
+  ]

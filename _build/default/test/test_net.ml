@@ -1,0 +1,148 @@
+(* Network registry: registration, repositioning, deferred
+   notifications, random peer selection. *)
+
+module Net = Baton.Net
+module Node = Baton.Node
+module Position = Baton.Position
+module Range = Baton.Range
+module Bus = Baton_sim.Bus
+
+let domain = Range.make ~lo:0 ~hi:1000
+
+let make_net () = Net.create ~seed:5 ~domain ()
+
+let make_node net pos =
+  Node.create ~id:(Net.fresh_id net) ~pos ~range:domain
+
+let test_bootstrap_and_root () =
+  let net = make_net () in
+  Alcotest.(check int) "empty" 0 (Net.size net);
+  Alcotest.(check bool) "no root" true (Net.root net = None);
+  let root = Net.bootstrap net in
+  Alcotest.(check int) "one" 1 (Net.size net);
+  Alcotest.(check bool) "root found" true
+    (match Net.root net with Some r -> r.Node.id = root.Node.id | None -> false);
+  Alcotest.check_raises "second bootstrap" (Invalid_argument "Net.bootstrap: network is not empty")
+    (fun () -> ignore (Net.bootstrap net))
+
+let test_register_conflicts () =
+  let net = make_net () in
+  let root = Net.bootstrap net in
+  let dup_pos = Node.create ~id:(Net.fresh_id net) ~pos:Position.root ~range:domain in
+  Alcotest.check_raises "position occupied" (Invalid_argument "Net.register: position occupied")
+    (fun () -> Net.register net dup_pos);
+  let dup_id = Node.create ~id:root.Node.id ~pos:(Position.left_child Position.root) ~range:domain in
+  Alcotest.check_raises "id taken" (Invalid_argument "Net.register: peer id already registered")
+    (fun () -> Net.register net dup_id)
+
+let test_reposition () =
+  let net = make_net () in
+  let root = Net.bootstrap net in
+  let child_pos = Position.left_child Position.root in
+  let child = make_node net child_pos in
+  Net.register net child;
+  Alcotest.check_raises "target occupied" (Invalid_argument "Net.reposition: position occupied")
+    (fun () -> Net.reposition net child Position.root);
+  let new_pos = Position.right_child Position.root in
+  Net.reposition net child new_pos;
+  Alcotest.(check bool) "pos updated" true (Position.equal child.Node.pos new_pos);
+  Alcotest.(check bool) "old slot empty" true (Net.peer_at net child_pos = None);
+  Alcotest.(check bool) "new slot filled" true
+    (match Net.peer_at net new_pos with Some n -> n.Node.id = child.Node.id | None -> false);
+  ignore root
+
+let test_unregister_updates_size_and_ids () =
+  let net = make_net () in
+  let root = Net.bootstrap net in
+  let child = make_node net (Position.left_child Position.root) in
+  Net.register net child;
+  Alcotest.(check int) "two" 2 (Net.size net);
+  Net.unregister net child;
+  Alcotest.(check int) "one" 1 (Net.size net);
+  Alcotest.(check bool) "gone from ids" true
+    (not (Array.exists (( = ) child.Node.id) (Net.live_ids net)));
+  Alcotest.(check bool) "lookup fails" true (Net.peer_opt net child.Node.id = None);
+  ignore root
+
+let test_random_peer_skips_failed () =
+  let net = make_net () in
+  let root = Net.bootstrap net in
+  let child = make_node net (Position.left_child Position.root) in
+  Net.register net child;
+  Bus.fail (Net.bus net) root.Node.id;
+  for _ = 1 to 50 do
+    Alcotest.(check int) "only live peer drawn" child.Node.id (Net.random_peer net).Node.id
+  done;
+  Bus.fail (Net.bus net) child.Node.id;
+  Alcotest.check_raises "all failed" (Invalid_argument "Net.random_peer: no live peer")
+    (fun () -> ignore (Net.random_peer net))
+
+let test_send_counts_and_resolves () =
+  let net = make_net () in
+  let root = Net.bootstrap net in
+  let child = make_node net (Position.left_child Position.root) in
+  Net.register net child;
+  let m = Net.metrics net in
+  let before = Baton_sim.Metrics.total m in
+  let got = Net.send net ~src:child.Node.id ~dst:root.Node.id ~kind:"t" in
+  Alcotest.(check int) "resolved" root.Node.id got.Node.id;
+  Alcotest.(check int) "counted" (before + 1) (Baton_sim.Metrics.total m)
+
+let test_defer_queues_and_flushes () =
+  let net = make_net () in
+  let root = Net.bootstrap net in
+  let child = make_node net (Position.left_child Position.root) in
+  Net.register net child;
+  let hits = ref 0 in
+  Net.set_defer net true;
+  Alcotest.(check bool) "deferring" true (Net.deferring net);
+  Net.notify net ~src:child.Node.id ~dst:root.Node.id ~kind:"t" (fun _ -> incr hits);
+  Alcotest.(check int) "not yet applied" 0 !hits;
+  Net.flush_deferred net;
+  Alcotest.(check int) "applied at flush" 1 !hits;
+  Alcotest.(check bool) "defer cleared" false (Net.deferring net)
+
+let test_notify_expect_pos_guard () =
+  let net = make_net () in
+  let root = Net.bootstrap net in
+  let child = make_node net (Position.left_child Position.root) in
+  Net.register net child;
+  let hits = ref 0 in
+  Net.notify net ~expect_pos:Position.root ~src:child.Node.id ~dst:root.Node.id
+    ~kind:"t" (fun _ -> incr hits);
+  Alcotest.(check int) "matching role applies" 1 !hits;
+  Net.notify net
+    ~expect_pos:(Position.right_child Position.root)
+    ~src:child.Node.id ~dst:root.Node.id ~kind:"t" (fun _ -> incr hits);
+  Alcotest.(check int) "changed role ignored" 1 !hits
+
+let test_notify_to_vanished_peer_still_counts () =
+  let net = make_net () in
+  let root = Net.bootstrap net in
+  let m = Net.metrics net in
+  let before = Baton_sim.Metrics.total m in
+  Net.notify net ~src:root.Node.id ~dst:9999 ~kind:"t" (fun _ -> Alcotest.fail "must not apply");
+  Alcotest.(check int) "message still paid" (before + 1) (Baton_sim.Metrics.total m)
+
+let test_shift_histogram () =
+  let net = make_net () in
+  Net.record_shift net 3;
+  Net.record_shift net 3;
+  Net.record_shift net 7;
+  let h = Net.shift_histogram net in
+  Alcotest.(check int) "bucket 3" 2 (Baton_util.Histogram.count h 3);
+  Alcotest.(check int) "total" 3 (Baton_util.Histogram.total h)
+
+let suite =
+  [
+    Alcotest.test_case "bootstrap/root" `Quick test_bootstrap_and_root;
+    Alcotest.test_case "register conflicts" `Quick test_register_conflicts;
+    Alcotest.test_case "reposition" `Quick test_reposition;
+    Alcotest.test_case "unregister" `Quick test_unregister_updates_size_and_ids;
+    Alcotest.test_case "random peer skips failed" `Quick test_random_peer_skips_failed;
+    Alcotest.test_case "send counts/resolves" `Quick test_send_counts_and_resolves;
+    Alcotest.test_case "defer/flush" `Quick test_defer_queues_and_flushes;
+    Alcotest.test_case "expect_pos guard" `Quick test_notify_expect_pos_guard;
+    Alcotest.test_case "vanished peer send counted" `Quick test_notify_to_vanished_peer_still_counts;
+    Alcotest.test_case "shift histogram" `Quick test_shift_histogram;
+  ]

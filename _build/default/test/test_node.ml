@@ -1,0 +1,130 @@
+(* Node state helpers and the Check diagnostics themselves. *)
+
+module Node = Baton.Node
+module Link = Baton.Link
+module Position = Baton.Position
+module Range = Baton.Range
+module Routing_table = Baton.Routing_table
+module N = Baton.Network
+module Net = Baton.Net
+module Check = Baton.Check
+
+let make_node ?(id = 1) ?(level = 2) ?(number = 2) () =
+  Node.create ~id
+    ~pos:(Position.make ~level ~number)
+    ~range:(Range.make ~lo:0 ~hi:100)
+
+let test_fresh_node () =
+  let n = make_node () in
+  Alcotest.(check bool) "leaf" true (Node.is_leaf n);
+  Alcotest.(check bool) "not root" false (Node.is_root n);
+  Alcotest.(check int) "level" 2 (Node.level n);
+  Alcotest.(check int) "load" 0 (Node.load n);
+  Alcotest.(check bool) "empty tables are not full at (2,2)" false (Node.tables_full n)
+
+let test_info_snapshot () =
+  let n = make_node () in
+  let i = Node.info n in
+  Alcotest.(check int) "peer" 1 i.Link.peer;
+  Alcotest.(check bool) "no children flags" true
+    ((not i.Link.has_left_child) && not i.Link.has_right_child);
+  Node.set_child n `Left (Some i);
+  let i2 = Node.info n in
+  Alcotest.(check bool) "left flag tracks state" true i2.Link.has_left_child;
+  Alcotest.(check bool) "spare slot helper" true (Link.has_spare_child_slot i2);
+  Node.set_child n `Right (Some i);
+  Alcotest.(check bool) "both children" true (Link.has_both_children (Node.info n))
+
+let test_accessors () =
+  let n = make_node () in
+  let other = Node.info (make_node ~id:2 ~level:2 ~number:1 ()) in
+  Node.set_adjacent n `Left (Some other);
+  Alcotest.(check bool) "adjacent set" true (Node.adjacent n `Left = Some other);
+  Alcotest.(check bool) "other side empty" true (Node.adjacent n `Right = None);
+  Alcotest.(check int) "left table side size" 1 (Routing_table.size (Node.table n `Left))
+
+let test_update_and_drop_links () =
+  let n = make_node () in
+  let target = Node.info (make_node ~id:9 ~level:2 ~number:1 ()) in
+  n.Node.parent <- Some target;
+  Node.set_adjacent n `Left (Some target);
+  Routing_table.set (Node.table n `Left) 0 (Some target);
+  Node.update_links_for_peer n 9 (fun i -> { i with Link.has_left_child = true });
+  (match n.Node.parent with
+  | Some i -> Alcotest.(check bool) "parent refreshed" true i.Link.has_left_child
+  | None -> Alcotest.fail "parent lost");
+  Node.drop_links_for_peer n 9;
+  Alcotest.(check bool) "parent dropped" true (n.Node.parent = None);
+  Alcotest.(check bool) "adjacent dropped" true (Node.adjacent n `Left = None);
+  Alcotest.(check int) "table slot dropped" 0 (Routing_table.filled_count (Node.table n `Left))
+
+let test_reset_tables () =
+  let n = make_node () in
+  Routing_table.set (Node.table n `Left) 0 (Some (Node.info n));
+  Node.reset_tables n;
+  Alcotest.(check int) "cleared" 0 (Routing_table.filled_count (Node.table n `Left))
+
+let test_neighbor_entries_order () =
+  let n = make_node ~level:3 ~number:4 () in
+  let mk num = Node.info (make_node ~id:(100 + num) ~level:3 ~number:num ()) in
+  Routing_table.set (Node.table n `Left) 1 (Some (mk 2));
+  Routing_table.set (Node.table n `Right) 0 (Some (mk 5));
+  let peers = List.map (fun (_, i) -> i.Link.peer) (Node.neighbor_entries n) in
+  Alcotest.(check (list int)) "left table first" [ 102; 105 ] peers
+
+(* The checker must actually detect violations, not just pass. *)
+let test_check_detects_corruption () =
+  let net = N.build ~seed:1 20 in
+  Check.all net;
+  let victim = Net.random_peer net in
+  let saved = victim.Node.range in
+  victim.Node.range <- Range.make ~lo:saved.Range.lo ~hi:(saved.Range.hi + 7);
+  Alcotest.(check bool) "ranges check trips" true
+    (match Check.ranges net with
+    | () -> Position.is_root victim.Node.pos && false
+    | exception Failure _ -> true);
+  victim.Node.range <- saved;
+  Check.all net
+
+let test_check_detects_stale_link () =
+  let net = N.build ~seed:2 20 in
+  let victim =
+    List.find (fun (n : Node.t) -> Option.is_some n.Node.parent) (Net.peers net)
+  in
+  let saved = victim.Node.parent in
+  victim.Node.parent <-
+    Option.map (fun i -> { i with Link.range = Range.make ~lo:0 ~hi:1 }) saved;
+  Alcotest.(check bool) "strict links check trips" true
+    (match Check.links ~strict:true net with
+    | () -> false
+    | exception Failure _ -> true);
+  (* Non-strict mode tolerates stale cached ranges. *)
+  Check.links ~strict:false net;
+  victim.Node.parent <- saved;
+  Check.all net
+
+let test_check_detects_missing_link () =
+  let net = N.build ~seed:3 20 in
+  let victim =
+    List.find (fun (n : Node.t) -> Option.is_some n.Node.parent) (Net.peers net)
+  in
+  let saved = victim.Node.parent in
+  victim.Node.parent <- None;
+  Alcotest.(check bool) "missing link detected" true
+    (match Check.links ~strict:false net with
+    | () -> false
+    | exception Failure _ -> true);
+  victim.Node.parent <- saved
+
+let suite =
+  [
+    Alcotest.test_case "fresh node" `Quick test_fresh_node;
+    Alcotest.test_case "info snapshot" `Quick test_info_snapshot;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "update/drop links" `Quick test_update_and_drop_links;
+    Alcotest.test_case "reset tables" `Quick test_reset_tables;
+    Alcotest.test_case "neighbour entry order" `Quick test_neighbor_entries_order;
+    Alcotest.test_case "check detects range corruption" `Quick test_check_detects_corruption;
+    Alcotest.test_case "check detects stale link" `Quick test_check_detects_stale_link;
+    Alcotest.test_case "check detects missing link" `Quick test_check_detects_missing_link;
+  ]

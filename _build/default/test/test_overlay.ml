@@ -1,0 +1,90 @@
+(* The common overlay interface: one parametric test battery executed
+   against all three systems, plus interface-specific behaviour. *)
+
+module O = P2p_overlay.Overlay
+module Rng = Baton_util.Rng
+
+let for_each_overlay f =
+  List.iter (fun (module M : O.S) -> f (module M : O.S)) O.all
+
+let test_create_and_size () =
+  for_each_overlay (fun (module M : O.S) ->
+      let t = M.create ~seed:1 ~n:25 in
+      Alcotest.(check int) (M.name ^ " size") 25 (M.size t);
+      M.check t)
+
+let test_data_roundtrip () =
+  for_each_overlay (fun (module M : O.S) ->
+      let t = M.create ~seed:2 ~n:30 in
+      let rng = Rng.create 5 in
+      let keys = Array.init 200 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+      Array.iter (M.insert t) keys;
+      Array.iter
+        (fun k -> Alcotest.(check bool) (M.name ^ " lookup") true (M.lookup t k))
+        keys;
+      Array.iter
+        (fun k -> Alcotest.(check bool) (M.name ^ " delete") true (M.delete t k))
+        keys;
+      Alcotest.(check bool) (M.name ^ " gone") false (M.lookup t keys.(0));
+      M.check t)
+
+let test_churn_preserves_structure () =
+  for_each_overlay (fun (module M : O.S) ->
+      let t = M.create ~seed:3 ~n:20 in
+      let rng = Rng.create 7 in
+      for _ = 1 to 15 do
+        M.join t;
+        M.leave_random t rng
+      done;
+      Alcotest.(check int) (M.name ^ " size steady") 20 (M.size t);
+      M.check t)
+
+let test_messages_increase () =
+  for_each_overlay (fun (module M : O.S) ->
+      let t = M.create ~seed:4 ~n:10 in
+      let a = M.messages t in
+      M.insert t 123;
+      Alcotest.(check bool) (M.name ^ " counted") true (M.messages t >= a))
+
+let test_range_support_matrix () =
+  let support (module M : O.S) =
+    let t = M.create ~seed:5 ~n:10 in
+    M.insert t 100;
+    M.range_query t ~lo:1 ~hi:1_000 <> None
+  in
+  Alcotest.(check bool) "baton supports ranges" true (support O.baton);
+  Alcotest.(check bool) "multiway supports ranges" true (support O.multiway);
+  Alcotest.(check bool) "chord cannot" false (support O.chord)
+
+let test_range_answers_agree () =
+  (* The two range-capable overlays must give identical answers. *)
+  let answer (module M : O.S) keys lo hi =
+    let t = M.create ~seed:6 ~n:40 in
+    List.iter (M.insert t) keys;
+    Option.get (M.range_query t ~lo ~hi)
+  in
+  let rng = Rng.create 11 in
+  let keys = List.init 300 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  let lo = 200_000_000 and hi = 420_000_000 in
+  let expect = List.filter (fun k -> k >= lo && k <= hi) keys |> List.sort compare in
+  Alcotest.(check (list int)) "baton" expect (answer O.baton keys lo hi);
+  Alcotest.(check (list int)) "multiway" expect (answer O.multiway keys lo hi)
+
+let test_by_name () =
+  List.iter
+    (fun name ->
+      let (module M : O.S) = O.by_name name in
+      Alcotest.(check bool) name true (M.name <> ""))
+    [ "baton"; "chord"; "multiway"; "MTREE" ];
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (O.by_name "kademlia"))
+
+let suite =
+  [
+    Alcotest.test_case "create/size" `Quick test_create_and_size;
+    Alcotest.test_case "data roundtrip" `Quick test_data_roundtrip;
+    Alcotest.test_case "churn" `Quick test_churn_preserves_structure;
+    Alcotest.test_case "messages counted" `Quick test_messages_increase;
+    Alcotest.test_case "range support matrix" `Quick test_range_support_matrix;
+    Alcotest.test_case "range answers agree" `Quick test_range_answers_agree;
+    Alcotest.test_case "by_name" `Quick test_by_name;
+  ]

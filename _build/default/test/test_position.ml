@@ -1,0 +1,134 @@
+(* Tree-position arithmetic, including a qcheck check of the in-order
+   comparison against an independent rational-number model. *)
+
+module Position = Baton.Position
+
+let pos l n = Position.make ~level:l ~number:n
+
+let test_root () =
+  Alcotest.(check bool) "root is root" true (Position.is_root Position.root);
+  Alcotest.(check bool) "root not left child" false (Position.is_left_child Position.root);
+  Alcotest.check_raises "parent of root" (Invalid_argument "Position.parent: root has no parent")
+    (fun () -> ignore (Position.parent Position.root))
+
+let test_make_validation () =
+  Alcotest.check_raises "number 0" (Invalid_argument "Position.make: bad number")
+    (fun () -> ignore (pos 2 0));
+  Alcotest.check_raises "number too big" (Invalid_argument "Position.make: bad number")
+    (fun () -> ignore (pos 2 5));
+  Alcotest.check_raises "negative level" (Invalid_argument "Position.make: bad level")
+    (fun () -> ignore (pos (-1) 1))
+
+let test_parent_child_roundtrip () =
+  for level = 0 to 6 do
+    for number = 1 to Position.level_width level do
+      let p = pos level number in
+      let l = Position.left_child p and r = Position.right_child p in
+      Alcotest.(check bool) "left child is left" true (Position.is_left_child l);
+      Alcotest.(check bool) "right child is right" false (Position.is_left_child r);
+      Alcotest.(check bool) "parent of left" true (Position.equal (Position.parent l) p);
+      Alcotest.(check bool) "parent of right" true (Position.equal (Position.parent r) p);
+      Alcotest.(check bool) "siblings" true (Position.equal (Position.sibling l) r)
+    done
+  done
+
+let test_child_selector () =
+  let p = pos 2 3 in
+  Alcotest.(check bool) "child `Left" true
+    (Position.equal (Position.child p `Left) (Position.left_child p));
+  Alcotest.(check bool) "child `Right" true
+    (Position.equal (Position.child p `Right) (Position.right_child p))
+
+let test_is_ancestor () =
+  let root = Position.root in
+  let d = pos 3 5 in
+  Alcotest.(check bool) "root ancestor of all" true (Position.is_ancestor ~ancestor:root d);
+  Alcotest.(check bool) "not self" false (Position.is_ancestor ~ancestor:d d);
+  let parent = Position.parent d in
+  Alcotest.(check bool) "parent is ancestor" true (Position.is_ancestor ~ancestor:parent d);
+  Alcotest.(check bool) "uncle is not" false
+    (Position.is_ancestor ~ancestor:(Position.sibling parent) d)
+
+let test_in_order_small_tree () =
+  (* Height-2 complete tree in-order:
+     (2,1) (1,1) (2,2) (0,1) (2,3) (1,2) (2,4) *)
+  let expect =
+    [ pos 2 1; pos 1 1; pos 2 2; Position.root; pos 2 3; pos 1 2; pos 2 4 ]
+  in
+  let sorted = List.sort Position.in_order_compare expect in
+  Alcotest.(check bool) "already in order" true
+    (List.for_all2 Position.equal expect sorted)
+
+let test_neighbor_slots () =
+  let p = pos 3 5 in
+  (* Left: 5-1=4, 5-2=3, 5-4=1; Right: 5+1=6, 5+2=7, 5+4 invalid (9 > 8)?
+     9 > 8 so only j=0,1 valid on the right... 5+4=9 > 8 indeed. *)
+  Alcotest.(check int) "left table size" 3 (Position.table_size p `Left);
+  Alcotest.(check int) "right table size" 2 (Position.table_size p `Right);
+  (match Position.neighbor p `Left 2 with
+  | Some q -> Alcotest.(check bool) "left j=2 -> number 1" true (Position.equal q (pos 3 1))
+  | None -> Alcotest.fail "expected neighbour");
+  Alcotest.(check bool) "right j=2 off level" true (Position.neighbor p `Right 2 = None)
+
+let test_table_size_extremes () =
+  Alcotest.(check int) "root left" 0 (Position.table_size Position.root `Left);
+  Alcotest.(check int) "root right" 0 (Position.table_size Position.root `Right);
+  Alcotest.(check int) "leftmost of level 4 has no left" 0
+    (Position.table_size (pos 4 1) `Left);
+  Alcotest.(check int) "leftmost of level 4 right slots" 4
+    (Position.table_size (pos 4 1) `Right)
+
+(* Independent model: the in-order key of (l, n) is the dyadic rational
+   (2n - 1) / 2^(l+1), compared as exact floats (safe to level ~40). *)
+let in_order_model (p : Position.t) =
+  let open Position in
+  float_of_int ((2 * p.number) - 1) /. Float.pow 2. (float_of_int (p.level + 1))
+
+let inorder_prop =
+  let open QCheck2 in
+  let gen_pos =
+    Gen.(
+      int_bound 12 >>= fun level ->
+      int_range 1 (Position.level_width level) >|= fun number ->
+      Position.make ~level ~number)
+  in
+  Test.make ~name:"in_order_compare matches dyadic rational model" ~count:1000
+    (Gen.pair gen_pos gen_pos) (fun (a, b) ->
+      let got = compare (Position.in_order_compare a b) 0 in
+      let expect = compare (compare (in_order_model a) (in_order_model b)) 0 in
+      got = expect)
+
+let ancestor_interval_prop =
+  let open QCheck2 in
+  let gen_pos =
+    Gen.(
+      int_bound 10 >>= fun level ->
+      int_range 1 (Position.level_width level) >|= fun number ->
+      Position.make ~level ~number)
+  in
+  (* An ancestor's in-order key lies strictly between the keys of the
+     leftmost and rightmost leaves of its subtree; equivalently any
+     descendant d of a satisfies |model d - model a| < 2^-(level a + 1). *)
+  Test.make ~name:"is_ancestor consistent with dyadic intervals" ~count:1000
+    (Gen.pair gen_pos gen_pos) (fun (a, d) ->
+      let claim = Position.is_ancestor ~ancestor:a d in
+      let width = Float.pow 2. (-.float_of_int a.Position.level) in
+      let inside =
+        d.Position.level > a.Position.level
+        && Float.abs (in_order_model d -. in_order_model a) < width /. 2.
+      in
+      claim = inside)
+
+let suite =
+  [
+    Alcotest.test_case "root" `Quick test_root;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "parent/child roundtrip" `Quick test_parent_child_roundtrip;
+    Alcotest.test_case "child selector" `Quick test_child_selector;
+    Alcotest.test_case "is_ancestor" `Quick test_is_ancestor;
+    Alcotest.test_case "in-order of height-2 tree" `Quick test_in_order_small_tree;
+    Alcotest.test_case "neighbour slots" `Quick test_neighbor_slots;
+    Alcotest.test_case "table size extremes" `Quick test_table_size_extremes;
+    QCheck_alcotest.to_alcotest inorder_prop;
+    QCheck_alcotest.to_alcotest ancestor_interval_prop;
+  ]

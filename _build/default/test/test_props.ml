@@ -1,0 +1,196 @@
+(* Cross-cutting property tests: random mixed workloads must preserve
+   every invariant of Check and never lose a committed key. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Join = Baton.Join
+module Leave = Baton.Leave
+module Failure = Baton.Failure
+module Update = Baton.Update
+module Search = Baton.Search
+module Balance = Baton.Balance
+module Check = Baton.Check
+module Rng = Baton_util.Rng
+
+type op = Op_join | Op_leave | Op_fail | Op_insert of int | Op_delete | Op_query
+
+let gen_op =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (3, return Op_join);
+      (2, return Op_leave);
+      (1, return Op_fail);
+      (6, map (fun k -> Op_insert k) (int_range 1 999_999_999));
+      (2, return Op_delete);
+      (4, return Op_query);
+    ]
+
+let print_op = function
+  | Op_join -> "join"
+  | Op_leave -> "leave"
+  | Op_fail -> "fail"
+  | Op_insert k -> Printf.sprintf "insert %d" k
+  | Op_delete -> "delete"
+  | Op_query -> "query"
+
+(* Replays a script and verifies invariants hold throughout, that keys
+   stored at surviving nodes are queryable, and that deletes remove
+   exactly what they claim. Keys on crashed nodes are forgotten, as the
+   paper's protocol loses them (no replication). *)
+let run_script ~salt ops =
+  let net = N.build ~seed:(7000 + salt) 12 in
+  let rng = Rng.create salt in
+  let live_keys = ref [] in
+  let random_victim () =
+    let ids = Net.live_ids net in
+    Net.peer net (Rng.pick rng ids)
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Op_join -> ignore (Join.join net ~via:(Net.random_peer net))
+      | Op_leave -> if Net.size net > 1 then ignore (Leave.leave net (random_victim ()))
+      | Op_fail ->
+        if Net.size net > 2 then begin
+          let v = random_victim () in
+          let lost = Baton_util.Sorted_store.to_list v.Node.store in
+          Failure.crash_and_repair net v;
+          live_keys := List.filter (fun k -> not (List.mem k lost)) !live_keys
+        end
+      | Op_insert k ->
+        ignore (Update.insert net ~from:(Net.random_peer net) k);
+        live_keys := k :: !live_keys
+      | Op_delete -> (
+        match !live_keys with
+        | [] -> ()
+        | k :: rest ->
+          let st = Update.delete net ~from:(Net.random_peer net) k in
+          if not st.Update.found then failwith "delete lost a live key";
+          live_keys := rest)
+      | Op_query -> (
+        match !live_keys with
+        | [] -> ()
+        | keys ->
+          let k = List.nth keys (Rng.int rng (List.length keys)) in
+          let found, _ = Search.lookup net ~from:(Net.random_peer net) k in
+          if not found then failwith ("lookup lost key " ^ string_of_int k)))
+    ops;
+  Check.all net;
+  true
+
+let mixed_workload_prop =
+  let open QCheck2 in
+  Test.make ~name:"mixed churn+data workload preserves all invariants" ~count:30
+    ~print:(fun (ops, salt) ->
+      Printf.sprintf "salt=%d ops=[%s]" salt
+        (String.concat "; " (List.map print_op ops)))
+    Gen.(pair (list_size (int_bound 60) gen_op) (int_bound 10_000))
+    (fun (ops, salt) -> run_script ~salt ops)
+
+let balanced_workload_prop =
+  let open QCheck2 in
+  Test.make ~name:"balancing under random skew preserves invariants" ~count:10
+    Gen.(pair (int_range 2 30) (int_bound 10_000))
+    (fun (universe, salt) ->
+      let net = N.build ~seed:(8000 + salt) 25 in
+      let cfg = Balance.default_config ~capacity:30 in
+      let gen = Baton_workload.Datagen.zipf ~universe (Rng.create salt) in
+      for _ = 1 to 800 do
+        let k = Baton_workload.Datagen.next gen in
+        let st = Update.insert net ~from:(Net.random_peer net) k in
+        ignore (Balance.maybe_balance net cfg (Net.peer net st.Update.node))
+      done;
+      Check.all net;
+      true)
+
+let height_bound_prop =
+  let open QCheck2 in
+  Test.make ~name:"height stays within the AVL bound for any size" ~count:15
+    Gen.(int_range 1 300)
+    (fun n ->
+      let net = N.build ~seed:(6000 + n) n in
+      Check.height_bound net;
+      let nodes = Check.in_order_nodes net in
+      List.length nodes = n)
+
+let range_tiling_prop =
+  let open QCheck2 in
+  Test.make ~name:"ranges tile the domain after arbitrary churn" ~count:15
+    Gen.(pair (int_range 2 80) (int_bound 10_000))
+    (fun (n, salt) ->
+      let net = N.build ~seed:(5000 + salt) n in
+      let rng = Rng.create salt in
+      for _ = 1 to n / 2 do
+        let ids = Net.live_ids net in
+        ignore (Leave.leave net (Net.peer net (Rng.pick rng ids)));
+        ignore (Join.join net ~via:(Net.random_peer net))
+      done;
+      Check.ranges net;
+      Check.all net;
+      true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest mixed_workload_prop;
+    QCheck_alcotest.to_alcotest balanced_workload_prop;
+    QCheck_alcotest.to_alcotest height_bound_prop;
+    QCheck_alcotest.to_alcotest range_tiling_prop;
+  ]
+
+(* Long mixed soak: one large deterministic random workload over a
+   mid-sized network with full invariant checks at intervals. Exercises
+   the interactions (join+balance+failure+restructure) that short
+   per-feature tests cannot reach. *)
+let soak_test () =
+  let net = N.build ~seed:424242 100 in
+  let rng = Rng.create 31337 in
+  let cfg = Balance.default_config ~capacity:60 in
+  let gen = Baton_workload.Datagen.zipf (Rng.create 27182) in
+  let live_keys = ref [] in
+  for step = 1 to 2_000 do
+    (match Rng.int rng 100 with
+    | r when r < 8 -> ignore (Join.join net ~via:(Net.random_peer net))
+    | r when r < 14 ->
+      if Net.size net > 10 then begin
+        let ids = Net.live_ids net in
+        let victim = Net.peer net (Rng.pick rng ids) in
+        let held = Baton_util.Sorted_store.to_list victim.Node.store in
+        ignore held;
+        ignore (Leave.leave net victim)
+      end
+    | r when r < 17 ->
+      if Net.size net > 10 then begin
+        let ids = Net.live_ids net in
+        let victim = Net.peer net (Rng.pick rng ids) in
+        let lost = Baton_util.Sorted_store.to_list victim.Node.store in
+        Failure.crash_and_repair net victim;
+        live_keys := List.filter (fun k -> not (List.mem k lost)) !live_keys
+      end
+    | r when r < 75 ->
+      let k = Baton_workload.Datagen.next gen in
+      let st = Update.insert net ~from:(Net.random_peer net) k in
+      ignore (Balance.maybe_balance net cfg (Net.peer net st.Update.node));
+      live_keys := k :: !live_keys
+    | r when r < 85 -> (
+      match !live_keys with
+      | [] -> ()
+      | k :: rest ->
+        let st = Update.delete net ~from:(Net.random_peer net) k in
+        if not st.Update.found then Alcotest.failf "soak: delete lost key %d" k;
+        live_keys := rest)
+    | _ -> (
+      match !live_keys with
+      | [] -> ()
+      | keys ->
+        let k = List.nth keys (Rng.int rng (List.length keys)) in
+        let found, _ = Search.lookup net ~from:(Net.random_peer net) k in
+        if not found then Alcotest.failf "soak: lookup lost key %d" k));
+    if step mod 250 = 0 then Check.all net
+  done;
+  Check.all net;
+  Alcotest.(check bool) "network alive" true (Net.size net > 10)
+
+let suite =
+  suite @ [ Alcotest.test_case "2000-op mixed soak" `Slow soak_test ]

@@ -1,0 +1,76 @@
+(* Key ranges. *)
+
+module Range = Baton.Range
+
+let r lo hi = Range.make ~lo ~hi
+
+let test_make () =
+  Alcotest.check_raises "empty" (Invalid_argument "Range.make: lo must be < hi")
+    (fun () -> ignore (r 3 3));
+  Alcotest.(check int) "width" 5 (Range.width (r 2 7))
+
+let test_contains () =
+  let range = r 2 7 in
+  Alcotest.(check bool) "lo inclusive" true (Range.contains range 2);
+  Alcotest.(check bool) "hi exclusive" false (Range.contains range 7);
+  Alcotest.(check bool) "inside" true (Range.contains range 5);
+  Alcotest.(check bool) "below" false (Range.contains range 1)
+
+let test_side_tests () =
+  let range = r 2 7 in
+  Alcotest.(check bool) "left of 7" true (Range.is_left_of range 7);
+  Alcotest.(check bool) "not left of 6" false (Range.is_left_of range 6);
+  Alcotest.(check bool) "right of 1" true (Range.is_right_of range 1);
+  Alcotest.(check bool) "not right of 2" false (Range.is_right_of range 2)
+
+let test_intersects () =
+  let range = r 10 20 in
+  Alcotest.(check bool) "overlapping" true (Range.intersects range ~lo:5 ~hi:12);
+  Alcotest.(check bool) "touching closed end" true (Range.intersects range ~lo:19 ~hi:30);
+  Alcotest.(check bool) "closed query hits lo" true (Range.intersects range ~lo:0 ~hi:10);
+  Alcotest.(check bool) "just misses (hi exclusive)" false (Range.intersects range ~lo:20 ~hi:25);
+  Alcotest.(check bool) "below" false (Range.intersects range ~lo:0 ~hi:9)
+
+let test_split_merge_roundtrip () =
+  let range = r 0 10 in
+  let a, b = Range.split_at range 4 in
+  Alcotest.(check bool) "a" true (Range.equal a (r 0 4));
+  Alcotest.(check bool) "b" true (Range.equal b (r 4 10));
+  Alcotest.(check bool) "merge back" true (Range.equal (Range.merge a b) range);
+  Alcotest.(check bool) "merge commutes" true (Range.equal (Range.merge b a) range)
+
+let test_split_validation () =
+  Alcotest.check_raises "split at lo" (Invalid_argument "Range.split_at: point outside interior")
+    (fun () -> ignore (Range.split_at (r 0 10) 0));
+  Alcotest.check_raises "split at hi" (Invalid_argument "Range.split_at: point outside interior")
+    (fun () -> ignore (Range.split_at (r 0 10) 10))
+
+let test_midpoint () =
+  let m = Range.midpoint (r 0 10) in
+  Alcotest.(check int) "midpoint" 5 m;
+  Alcotest.(check int) "width-2 midpoint legal" 1 (Range.midpoint (r 0 2));
+  Alcotest.check_raises "width 1" (Invalid_argument "Range.midpoint: range too narrow to split")
+    (fun () -> ignore (Range.midpoint (r 0 1)))
+
+let test_merge_validation () =
+  Alcotest.check_raises "gap" (Invalid_argument "Range.merge: ranges do not touch")
+    (fun () -> ignore (Range.merge (r 0 3) (r 4 6)));
+  Alcotest.check_raises "overlap" (Invalid_argument "Range.merge: ranges do not touch")
+    (fun () -> ignore (Range.merge (r 0 5) (r 4 6)))
+
+let test_touches () =
+  Alcotest.(check bool) "touches" true (Range.touches_left (r 0 3) (r 3 5));
+  Alcotest.(check bool) "does not" false (Range.touches_left (r 0 3) (r 4 5))
+
+let suite =
+  [
+    Alcotest.test_case "make/width" `Quick test_make;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "side tests" `Quick test_side_tests;
+    Alcotest.test_case "intersects" `Quick test_intersects;
+    Alcotest.test_case "split/merge roundtrip" `Quick test_split_merge_roundtrip;
+    Alcotest.test_case "split validation" `Quick test_split_validation;
+    Alcotest.test_case "midpoint" `Quick test_midpoint;
+    Alcotest.test_case "merge validation" `Quick test_merge_validation;
+    Alcotest.test_case "touches" `Quick test_touches;
+  ]

@@ -1,0 +1,138 @@
+(* Adjacent replication (extension): write-through, sync, recovery. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Replication = Baton.Replication
+module Update = Baton.Update
+module Failure = Baton.Failure
+module Rng = Baton_util.Rng
+
+let insert_with repl net k =
+  let st = Update.insert net ~from:(Net.random_peer net) k in
+  let owner = Net.peer net st.Update.node in
+  Replication.on_insert repl net ~owner k;
+  owner.Node.id
+
+let test_sync_all_covers_network () =
+  let net = N.build ~seed:1 30 in
+  let repl = Replication.create () in
+  let msgs = Replication.sync_all repl net in
+  Alcotest.(check int) "one message per peer" 30 msgs;
+  Alcotest.(check int) "replica per peer" 30 (Replication.replica_count repl)
+
+let test_holder_is_adjacent () =
+  let net = N.build ~seed:2 20 in
+  let repl = Replication.create () in
+  ignore (Replication.sync_all repl net);
+  List.iter
+    (fun (n : Node.t) ->
+      match Replication.holder_of repl n.Node.id with
+      | Some h ->
+        let adj_ids =
+          List.filter_map
+            (fun side ->
+              Option.map (fun (a : Baton.Link.info) -> a.Baton.Link.peer)
+                (Node.adjacent n side))
+            [ `Right; `Left ]
+        in
+        Alcotest.(check bool) "holder adjacent" true (List.mem h adj_ids)
+      | None -> Alcotest.fail "missing replica")
+    (Net.peers net)
+
+let test_single_peer_has_no_holder () =
+  let net = N.create ~seed:3 () in
+  ignore (N.join net);
+  let repl = Replication.create () in
+  Alcotest.(check int) "no messages" 0 (Replication.sync_all repl net);
+  Alcotest.(check int) "no replicas" 0 (Replication.replica_count repl)
+
+let test_crash_recovery_restores_data () =
+  let net = N.build ~seed:4 40 in
+  let repl = Replication.create () in
+  ignore (Replication.sync_all repl net);
+  let rng = Rng.create 7 in
+  let keys = Array.init 300 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (fun k -> ignore (insert_with repl net k)) keys;
+  (* Crash a peer with data, repair, recover from the replica. *)
+  let victim =
+    List.find (fun (n : Node.t) -> Node.load n > 0 && not (Node.is_root n)) (Net.peers net)
+  in
+  let victim_id = victim.Node.id in
+  Failure.crash net victim;
+  Failure.repair net ~reporter:(Net.random_peer net) victim_id;
+  let restored = Replication.recover repl net ~dead:victim_id in
+  Alcotest.(check bool) "some keys restored" true (restored > 0);
+  (* Every original key must again be reachable. *)
+  Array.iter
+    (fun k -> Alcotest.(check bool) "key recovered" true (N.lookup net k))
+    keys;
+  Baton.Check.all net
+
+let test_without_replication_data_is_lost () =
+  let net = N.build ~seed:4 40 in
+  let rng = Rng.create 7 in
+  let keys = Array.init 300 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (N.insert net) keys;
+  let victim =
+    List.find (fun (n : Node.t) -> Node.load n > 0 && not (Node.is_root n)) (Net.peers net)
+  in
+  let lost = Baton_util.Sorted_store.to_list victim.Node.store in
+  Failure.crash_and_repair net victim;
+  Alcotest.(check bool) "paper behaviour: keys gone" false
+    (N.lookup net (List.hd lost))
+
+let test_recover_twice_is_empty () =
+  let net = N.build ~seed:5 20 in
+  let repl = Replication.create () in
+  ignore (Replication.sync_all repl net);
+  ignore (insert_with repl net 123_456);
+  let owner =
+    (Baton.Search.exact net ~from:(Net.random_peer net) 123_456).Baton.Search.node
+  in
+  let owner_id = owner.Node.id in
+  Failure.crash net owner;
+  Failure.repair net ~reporter:(Net.random_peer net) owner_id;
+  let first = Replication.recover repl net ~dead:owner_id in
+  Alcotest.(check bool) "restored" true (first > 0);
+  Alcotest.(check int) "entry consumed" 0 (Replication.recover repl net ~dead:owner_id)
+
+let test_forget () =
+  let net = N.build ~seed:6 10 in
+  let repl = Replication.create () in
+  ignore (Replication.sync_all repl net);
+  let id = (Net.random_peer net).Node.id in
+  Replication.forget repl id;
+  Alcotest.(check bool) "dropped" true (Replication.holder_of repl id = None)
+
+let test_write_through_keeps_replica_current () =
+  let net = N.build ~seed:8 25 in
+  let repl = Replication.create () in
+  ignore (Replication.sync_all repl net);
+  (* Insert keys AFTER the sync: write-through must cover them. *)
+  let rng = Rng.create 11 in
+  let keys = Array.init 100 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (fun k -> ignore (insert_with repl net k)) keys;
+  let victim =
+    List.find (fun (n : Node.t) -> Node.load n > 0 && not (Node.is_root n)) (Net.peers net)
+  in
+  let victim_keys = Baton_util.Sorted_store.to_list victim.Node.store in
+  let victim_id = victim.Node.id in
+  Failure.crash net victim;
+  Failure.repair net ~reporter:(Net.random_peer net) victim_id;
+  ignore (Replication.recover repl net ~dead:victim_id);
+  List.iter
+    (fun k -> Alcotest.(check bool) "post-sync insert recovered" true (N.lookup net k))
+    victim_keys
+
+let suite =
+  [
+    Alcotest.test_case "sync_all coverage" `Quick test_sync_all_covers_network;
+    Alcotest.test_case "holder is adjacent" `Quick test_holder_is_adjacent;
+    Alcotest.test_case "single peer" `Quick test_single_peer_has_no_holder;
+    Alcotest.test_case "crash recovery" `Quick test_crash_recovery_restores_data;
+    Alcotest.test_case "no replication loses data" `Quick test_without_replication_data_is_lost;
+    Alcotest.test_case "recover consumes entry" `Quick test_recover_twice_is_empty;
+    Alcotest.test_case "forget" `Quick test_forget;
+    Alcotest.test_case "write-through" `Quick test_write_through_keeps_replica_current;
+  ]

@@ -1,0 +1,131 @@
+(* Deterministic PRNG: reproducibility, bounds, derived streams. *)
+
+module Rng = Baton_util.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "adjacent seeds decorrelate" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 13 in
+    Alcotest.(check bool) "0 <= v < 13" true (v >= 0 && v < 13)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_in_range () =
+  let rng = Rng.create 9 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 5_000 do
+    let v = Rng.int_in_range rng ~lo:(-3) ~hi:3 in
+    Alcotest.(check bool) "in [-3,3]" true (v >= -3 && v <= 3);
+    if v = -3 then seen_lo := true;
+    if v = 3 then seen_hi := true
+  done;
+  Alcotest.(check bool) "inclusive endpoints reachable" true (!seen_lo && !seen_hi)
+
+let test_float_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "0 <= v < 2.5" true (v >= 0. && v < 2.5)
+  done
+
+let test_float_covers_unit () =
+  let rng = Rng.create 13 in
+  let lo = ref false and hi = ref false in
+  for _ = 1 to 1_000 do
+    let v = Rng.float rng 1.0 in
+    if v < 0.1 then lo := true;
+    if v > 0.9 then hi := true
+  done;
+  Alcotest.(check bool) "hits both tails" true (!lo && !hi)
+
+let test_bool_balance () =
+  let rng = Rng.create 17 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "roughly fair" true (ratio > 0.45 && ratio < 0.55)
+
+let test_split_independence () =
+  let parent = Rng.create 21 in
+  let child = Rng.split parent in
+  (* The child stream must not merely replay the parent stream. *)
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 parent = Rng.int64 child then incr matches
+  done;
+  Alcotest.(check bool) "split decorrelates" true (!matches < 4)
+
+let test_copy_replays () =
+  let a = Rng.create 23 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 32 do
+    Alcotest.(check int64) "copy replays" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 29 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_shuffle_moves_something () =
+  let rng = Rng.create 31 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  Alcotest.(check bool) "not identity" true (a <> Array.init 50 Fun.id)
+
+let test_pick () =
+  let rng = Rng.create 37 in
+  for _ = 1 to 100 do
+    let v = Rng.pick rng [| 1; 2; 3 |] in
+    Alcotest.(check bool) "element of array" true (List.mem v [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+let test_pick_list () =
+  let rng = Rng.create 41 in
+  let v = Rng.pick_list rng [ "a"; "b" ] in
+  Alcotest.(check bool) "element of list" true (v = "a" || v = "b")
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "int_in_range inclusive" `Quick test_int_in_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "float coverage" `Quick test_float_covers_unit;
+    Alcotest.test_case "bool fair" `Quick test_bool_balance;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy replays" `Quick test_copy_replays;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_something;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "pick_list" `Quick test_pick_list;
+  ]

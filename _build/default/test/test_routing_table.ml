@@ -1,0 +1,100 @@
+(* Sideways routing tables. *)
+
+module Position = Baton.Position
+module Routing_table = Baton.Routing_table
+module Link = Baton.Link
+module Range = Baton.Range
+
+let pos l n = Position.make ~level:l ~number:n
+
+let info peer p =
+  {
+    Link.peer;
+    pos = p;
+    range = Range.make ~lo:(peer * 10) ~hi:((peer * 10) + 10);
+    has_left_child = false;
+    has_right_child = false;
+  }
+
+let owner = pos 3 5
+
+let make_right () = Routing_table.create owner `Right
+let make_left () = Routing_table.create owner `Left
+
+let test_sizes () =
+  Alcotest.(check int) "right size" 2 (Routing_table.size (make_right ()));
+  Alcotest.(check int) "left size" 3 (Routing_table.size (make_left ()))
+
+let test_set_get_full () =
+  let t = make_right () in
+  Alcotest.(check bool) "initially not full" false (Routing_table.is_full t);
+  Routing_table.set t 0 (Some (info 1 (pos 3 6)));
+  Alcotest.(check bool) "still not full" false (Routing_table.is_full t);
+  Routing_table.set t 1 (Some (info 2 (pos 3 7)));
+  Alcotest.(check bool) "full" true (Routing_table.is_full t);
+  Alcotest.(check int) "filled count" 2 (Routing_table.filled_count t);
+  Alcotest.(check bool) "get beyond size is None" true (Routing_table.get t 5 = None);
+  Alcotest.check_raises "set beyond size"
+    (Invalid_argument "Routing_table.set: slot out of range") (fun () ->
+      Routing_table.set t 2 None)
+
+let test_entries_order () =
+  let t = make_left () in
+  Routing_table.set t 2 (Some (info 9 (pos 3 1)));
+  Routing_table.set t 0 (Some (info 7 (pos 3 4)));
+  let slots = List.map fst (Routing_table.entries t) in
+  Alcotest.(check (list int)) "nearest first" [ 0; 2 ] slots
+
+let test_slot_for () =
+  let t = make_right () in
+  Alcotest.(check (option int)) "distance 1" (Some 0)
+    (Routing_table.slot_for ~owner t (pos 3 6));
+  Alcotest.(check (option int)) "distance 2" (Some 1)
+    (Routing_table.slot_for ~owner t (pos 3 7));
+  Alcotest.(check (option int)) "distance 3 not a power" None
+    (Routing_table.slot_for ~owner t (pos 3 8));
+  Alcotest.(check (option int)) "wrong side" None
+    (Routing_table.slot_for ~owner t (pos 3 4));
+  Alcotest.(check (option int)) "wrong level" None
+    (Routing_table.slot_for ~owner t (pos 2 4));
+  let left = make_left () in
+  Alcotest.(check (option int)) "left distance 4" (Some 2)
+    (Routing_table.slot_for ~owner left (pos 3 1))
+
+let test_update_remove_peer () =
+  let t = make_left () in
+  Routing_table.set t 0 (Some (info 1 (pos 3 4)));
+  Routing_table.set t 1 (Some (info 1 (pos 3 3)));
+  Routing_table.set t 2 (Some (info 2 (pos 3 1)));
+  Routing_table.update_peer t 1 (fun i -> { i with Link.has_left_child = true });
+  (match Routing_table.get t 0 with
+  | Some i -> Alcotest.(check bool) "updated" true i.Link.has_left_child
+  | None -> Alcotest.fail "slot lost");
+  (match Routing_table.get t 2 with
+  | Some i -> Alcotest.(check bool) "other peer untouched" false i.Link.has_left_child
+  | None -> Alcotest.fail "slot lost");
+  Routing_table.remove_peer t 1;
+  Alcotest.(check int) "two slots emptied" 1 (Routing_table.filled_count t)
+
+let test_find_and_farthest () =
+  let t = make_left () in
+  Routing_table.set t 0 (Some (info 1 (pos 3 4)));
+  Routing_table.set t 1 (Some (info 2 (pos 3 3)));
+  Routing_table.set t 2 (Some (info 3 (pos 3 1)));
+  (match Routing_table.find t (fun i -> i.Link.peer > 1) with
+  | Some i -> Alcotest.(check int) "nearest match" 2 i.Link.peer
+  | None -> Alcotest.fail "expected match");
+  (match Routing_table.find_farthest t (fun i -> i.Link.peer < 3) with
+  | Some i -> Alcotest.(check int) "farthest match" 2 i.Link.peer
+  | None -> Alcotest.fail "expected match");
+  Alcotest.(check bool) "no match" true (Routing_table.find t (fun _ -> false) = None)
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "set/get/full" `Quick test_set_get_full;
+    Alcotest.test_case "entries order" `Quick test_entries_order;
+    Alcotest.test_case "slot_for" `Quick test_slot_for;
+    Alcotest.test_case "update/remove peer" `Quick test_update_remove_peer;
+    Alcotest.test_case "find/find_farthest" `Quick test_find_and_farthest;
+  ]

@@ -1,0 +1,121 @@
+(* Sorted multiset store: unit behaviour + qcheck model vs sorted list. *)
+
+module Store = Baton_util.Sorted_store
+
+let of_list = Store.of_list
+
+let test_insert_keeps_order () =
+  let s = Store.create () in
+  List.iter (Store.insert s) [ 5; 1; 3; 2; 4; 3 ];
+  Alcotest.(check (list int)) "sorted with duplicates" [ 1; 2; 3; 3; 4; 5 ]
+    (Store.to_list s)
+
+let test_mem_count () =
+  let s = of_list [ 1; 3; 3; 7 ] in
+  Alcotest.(check bool) "mem present" true (Store.mem s 3);
+  Alcotest.(check bool) "mem absent" false (Store.mem s 4);
+  Alcotest.(check int) "count dup" 2 (Store.count s 3);
+  Alcotest.(check int) "count absent" 0 (Store.count s 4)
+
+let test_remove () =
+  let s = of_list [ 1; 3; 3 ] in
+  Alcotest.(check bool) "remove one occurrence" true (Store.remove s 3);
+  Alcotest.(check int) "one left" 1 (Store.count s 3);
+  Alcotest.(check bool) "remove absent" false (Store.remove s 9)
+
+let test_min_max () =
+  let s = of_list [ 4; 2; 9 ] in
+  Alcotest.(check (option int)) "min" (Some 2) (Store.min_key s);
+  Alcotest.(check (option int)) "max" (Some 9) (Store.max_key s);
+  let empty = Store.create () in
+  Alcotest.(check (option int)) "empty min" None (Store.min_key empty)
+
+let test_keys_in () =
+  let s = of_list [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "inner range" [ 2; 3; 4 ] (Store.keys_in s ~lo:2 ~hi:4);
+  Alcotest.(check (list int)) "empty range" [] (Store.keys_in s ~lo:6 ~hi:9);
+  Alcotest.(check int) "count_in" 3 (Store.count_in s ~lo:2 ~hi:4)
+
+let test_split_halves () =
+  let s = of_list [ 1; 2; 3; 4; 5 ] in
+  let low = Store.split_lower_half s in
+  Alcotest.(check (list int)) "low half" [ 1; 2 ] (Store.to_list low);
+  Alcotest.(check (list int)) "remaining" [ 3; 4; 5 ] (Store.to_list s);
+  let s2 = of_list [ 1; 2; 3; 4; 5 ] in
+  let high = Store.split_upper_half s2 in
+  Alcotest.(check (list int)) "high half" [ 4; 5 ] (Store.to_list high);
+  Alcotest.(check (list int)) "remaining2" [ 1; 2; 3 ] (Store.to_list s2)
+
+let test_split_at_boundary () =
+  let s = of_list [ 1; 3; 3; 5 ] in
+  let below = Store.split_below s 3 in
+  Alcotest.(check (list int)) "strictly below" [ 1 ] (Store.to_list below);
+  Alcotest.(check (list int)) "rest keeps 3s" [ 3; 3; 5 ] (Store.to_list s);
+  let s2 = of_list [ 1; 3; 3; 5 ] in
+  let above = Store.split_at_or_above s2 3 in
+  Alcotest.(check (list int)) "at or above" [ 3; 3; 5 ] (Store.to_list above);
+  Alcotest.(check (list int)) "rest" [ 1 ] (Store.to_list s2)
+
+let test_absorb_merges_sorted () =
+  let a = of_list [ 1; 4; 6 ] and b = of_list [ 2; 4; 7 ] in
+  Store.absorb a b;
+  Alcotest.(check (list int)) "merged" [ 1; 2; 4; 4; 6; 7 ] (Store.to_list a);
+  Alcotest.(check bool) "source emptied" true (Store.is_empty b)
+
+(* Model test vs a sorted list. *)
+let model_prop =
+  let open QCheck2 in
+  let op =
+    Gen.oneof
+      [
+        Gen.map (fun v -> `Insert v) (Gen.int_bound 20);
+        Gen.map (fun v -> `Remove v) (Gen.int_bound 20);
+        Gen.map (fun v -> `SplitBelow v) (Gen.int_bound 20);
+      ]
+  in
+  Test.make ~name:"sorted_store agrees with sorted-list model" ~count:300
+    Gen.(list_size (int_bound 40) op)
+    (fun ops ->
+      let s = Store.create () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert v ->
+            Store.insert s v;
+            model := List.sort compare (v :: !model)
+          | `Remove v ->
+            let removed = Store.remove s v in
+            assert (removed = List.mem v !model);
+            if removed then begin
+              let dropped = ref false in
+              model :=
+                List.filter
+                  (fun x ->
+                    if x = v && not !dropped then begin
+                      dropped := true;
+                      false
+                    end
+                    else true)
+                  !model
+            end
+          | `SplitBelow v ->
+            let below = Store.split_below s v in
+            let expect_below = List.filter (fun x -> x < v) !model in
+            assert (Store.to_list below = expect_below);
+            model := List.filter (fun x -> x >= v) !model)
+        ops;
+      Store.to_list s = !model)
+
+let suite =
+  [
+    Alcotest.test_case "insert keeps order" `Quick test_insert_keeps_order;
+    Alcotest.test_case "mem/count" `Quick test_mem_count;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "keys_in/count_in" `Quick test_keys_in;
+    Alcotest.test_case "split halves" `Quick test_split_halves;
+    Alcotest.test_case "split at boundary" `Quick test_split_at_boundary;
+    Alcotest.test_case "absorb merges" `Quick test_absorb_merges_sorted;
+    QCheck_alcotest.to_alcotest model_prop;
+  ]

@@ -1,0 +1,64 @@
+(* Descriptive statistics against hand-computed values. *)
+
+module Stats = Baton_util.Stats
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let check_f ?eps name expected actual =
+  Alcotest.(check bool) name true (feq ?eps expected actual)
+
+let test_mean () =
+  check_f "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  check_f "empty mean" 0. (Stats.mean [||]);
+  check_f "mean_int" 2. (Stats.mean_int [| 1; 2; 3 |])
+
+let test_variance_stddev () =
+  check_f "variance" 2. (Stats.variance [| 1.; 2.; 3.; 4.; 5. |]);
+  check_f "stddev" (sqrt 2.) (Stats.stddev [| 1.; 2.; 3.; 4.; 5. |]);
+  check_f "singleton variance" 0. (Stats.variance [| 7. |])
+
+let test_percentile () =
+  let a = [| 5.; 1.; 3.; 2.; 4. |] in
+  check_f "p0 -> min" 1. (Stats.percentile a 0.);
+  check_f "p100 -> max" 5. (Stats.percentile a 100.);
+  check_f "median" 3. (Stats.median a);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Stats.percentile [||] 50.));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile a 101.))
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 0. |] in
+  check_f "min" (-1.) lo;
+  check_f "max" 7. hi
+
+let test_linear_fit_exact () =
+  let points = Array.init 10 (fun i -> (float_of_int i, (2. *. float_of_int i) +. 1.)) in
+  let slope, intercept = Stats.linear_fit points in
+  check_f ~eps:1e-6 "slope" 2. slope;
+  check_f ~eps:1e-6 "intercept" 1. intercept
+
+let test_linear_fit_validation () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Stats.linear_fit: need at least two points") (fun () ->
+      ignore (Stats.linear_fit [| (0., 0.) |]));
+  Alcotest.check_raises "degenerate x"
+    (Invalid_argument "Stats.linear_fit: degenerate x") (fun () ->
+      ignore (Stats.linear_fit [| (1., 0.); (1., 5.) |]))
+
+let test_summary_nonempty () =
+  let s = Stats.summary [| 1.; 2. |] in
+  Alcotest.(check bool) "mentions mean" true
+    (String.length s > 0 && String.index_opt s '=' <> None)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "linear fit" `Quick test_linear_fit_exact;
+    Alcotest.test_case "linear fit validation" `Quick test_linear_fit_validation;
+    Alcotest.test_case "summary" `Quick test_summary_nonempty;
+  ]

@@ -1,0 +1,52 @@
+(* Diagnostics rendering. *)
+
+module N = Baton.Network
+module Viz = Baton.Viz
+
+let test_tree_lists_every_peer () =
+  let net = N.build ~seed:1 15 in
+  let text = Viz.tree net in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "one line per peer" 15 (List.length lines);
+  Alcotest.(check bool) "root first" true
+    (String.length (List.hd lines) > 0 && (List.hd lines).[0] = '(')
+
+let test_tree_depth_cut () =
+  let net = N.build ~seed:2 31 in
+  let text = Viz.tree ~max_depth:2 net in
+  Alcotest.(check bool) "elision marker" true
+    (String.length text > 0
+    &&
+    let re = Str.regexp_string "more nodes below" in
+    (try ignore (Str.search_forward re text 0); true with Not_found -> false))
+
+let test_empty_network () =
+  let net = N.create ~seed:3 () in
+  Alcotest.(check string) "empty marker" "(empty network)\n" (Viz.tree net)
+
+let test_level_summary () =
+  let net = N.build ~seed:4 7 in
+  N.insert net 500;
+  let text = Viz.level_summary net in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "three levels" 3 (List.length lines)
+
+let test_node_line_mentions_load () =
+  let net = N.build ~seed:5 3 in
+  N.insert net 123;
+  let owner =
+    (Baton.Search.exact net ~from:(Baton.Net.random_peer net) 123).Baton.Search.node
+  in
+  let line = Viz.node_line owner in
+  Alcotest.(check bool) "shows load" true
+    (let re = Str.regexp_string "load=1" in
+     (try ignore (Str.search_forward re line 0); true with Not_found -> false))
+
+let suite =
+  [
+    Alcotest.test_case "tree lists peers" `Quick test_tree_lists_every_peer;
+    Alcotest.test_case "depth cut" `Quick test_tree_depth_cut;
+    Alcotest.test_case "empty network" `Quick test_empty_network;
+    Alcotest.test_case "level summary" `Quick test_level_summary;
+    Alcotest.test_case "node line" `Quick test_node_line_mentions_load;
+  ]

@@ -1,0 +1,158 @@
+(* Tree-geometry helpers: in-order navigation, structural predicates,
+   announce/retract plumbing. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Wiring = Baton.Wiring
+module Position = Baton.Position
+module Check = Baton.Check
+
+let pos l n = Position.make ~level:l ~number:n
+
+let test_in_order_navigation_matches_traversal () =
+  let net = N.build ~seed:1 77 in
+  let nodes = Check.in_order_nodes net in
+  let rec walk = function
+    | (a : Node.t) :: ((b : Node.t) :: _ as rest) ->
+      (match Wiring.in_order_successor net a.Node.pos with
+      | Some p -> Alcotest.(check bool) "successor" true (Position.equal p b.Node.pos)
+      | None -> Alcotest.fail "missing successor");
+      (match Wiring.in_order_predecessor net b.Node.pos with
+      | Some p -> Alcotest.(check bool) "predecessor" true (Position.equal p a.Node.pos)
+      | None -> Alcotest.fail "missing predecessor");
+      walk rest
+    | [ last ] ->
+      Alcotest.(check bool) "last has no successor" true
+        (Wiring.in_order_successor net last.Node.pos = None)
+    | [] -> ()
+  in
+  walk nodes;
+  let first = List.hd nodes in
+  Alcotest.(check bool) "first has no predecessor" true
+    (Wiring.in_order_predecessor net first.Node.pos = None)
+
+let test_adjacent_position_sides () =
+  let net = N.build ~seed:2 20 in
+  let some = Net.random_peer net in
+  Alcotest.(check bool) "left = predecessor" true
+    (Wiring.adjacent_position net some.Node.pos `Left
+    = Wiring.in_order_predecessor net some.Node.pos);
+  Alcotest.(check bool) "right = successor" true
+    (Wiring.adjacent_position net some.Node.pos `Right
+    = Wiring.in_order_successor net some.Node.pos)
+
+let test_tables_full_at () =
+  (* Build a complete 7-node tree: every position's tables are
+     structurally full. *)
+  let net = N.build ~seed:3 7 in
+  List.iter
+    (fun (n : Node.t) ->
+      Alcotest.(check bool) "full in complete tree" true
+        (Wiring.tables_full_at net n.Node.pos))
+    (Net.peers net);
+  (* At 8 peers one level-3 position exists alone: its level-3
+     neighbours are missing. *)
+  let net8 = N.build ~seed:3 8 in
+  let deepest =
+    List.find (fun (n : Node.t) -> Node.level n = 3) (Net.peers net8)
+  in
+  Alcotest.(check bool) "lone deep node lacks neighbours" false
+    (Wiring.tables_full_at net8 deepest.Node.pos)
+
+let test_safe_leaf_removal () =
+  let net = N.build ~seed:4 7 in
+  (* Complete tree: all leaves are at the same level with no deeper
+     children anywhere, so every leaf is safely removable. *)
+  List.iter
+    (fun (n : Node.t) ->
+      if Node.is_leaf n then
+        Alcotest.(check bool) "leaf removable in complete tree" true
+          (Wiring.safe_leaf_removal net n.Node.pos))
+    (Net.peers net);
+  (* Internal positions are never safely removable. *)
+  let root = Option.get (Net.root net) in
+  Alcotest.(check bool) "root not removable" false
+    (Wiring.safe_leaf_removal net root.Node.pos);
+  (* With 8 peers, removing a level-2 leaf that is a table neighbour of
+     the level-3 node's parent would break Theorem 1. *)
+  let net8 = N.build ~seed:4 8 in
+  let deep = List.find (fun (n : Node.t) -> Node.level n = 3) (Net.peers net8) in
+  let parent = Position.parent deep.Node.pos in
+  let unsafe_neighbor =
+    (* any occupied same-level sideways neighbour of the deep node's
+       parent must not be removable *)
+    List.find_map
+      (fun side ->
+        let rec probe j =
+          match Position.neighbor parent side j with
+          | Some q when Wiring.occupied net8 q -> Some q
+          | Some _ -> probe (j + 1)
+          | None -> None
+        in
+        probe 0)
+      [ `Left; `Right ]
+  in
+  match unsafe_neighbor with
+  | Some q ->
+    Alcotest.(check bool) "neighbour of child-bearing node not removable" false
+      (Wiring.safe_leaf_removal net8 q)
+  | None -> Alcotest.fail "expected an occupied neighbour"
+
+let test_subtree_height () =
+  let net = N.build ~seed:5 7 in
+  Alcotest.(check int) "root subtree" 2 (Wiring.subtree_height net Position.root);
+  Alcotest.(check int) "leaf subtree" 0 (Wiring.subtree_height net (pos 2 1));
+  Alcotest.(check int) "empty position" (-1) (Wiring.subtree_height net (pos 3 1))
+
+let test_rebuild_links_restores_strict_state () =
+  let net = N.build ~seed:6 60 in
+  let victim = Net.random_peer net in
+  (* Wreck the node's local view, then rebuild. *)
+  Node.drop_links_for_peer victim
+    (match victim.Node.parent with Some p -> p.Baton.Link.peer | None -> victim.Node.id);
+  Baton.Node.reset_tables victim;
+  Wiring.rebuild_links net victim ~kind:"test";
+  Check.links ~strict:true net
+
+let test_announce_refreshes_watchers () =
+  let net = N.build ~seed:7 40 in
+  let victim = Net.random_peer net in
+  (* Change the node's range boundary artificially and announce; every
+     watcher must see the new range (then restore). *)
+  let saved = victim.Node.range in
+  victim.Node.range <- saved;
+  Wiring.announce net victim ~kind:"test";
+  Check.links ~strict:true net
+
+let test_retract_drops_all_references () =
+  let net = N.build ~seed:8 40 in
+  let victim = Net.random_peer net in
+  Wiring.retract net victim ~kind:"test";
+  List.iter
+    (fun (w : Node.t) ->
+      if w.Node.id <> victim.Node.id then begin
+        let refers (l : Baton.Link.info option) =
+          match l with Some i -> i.Baton.Link.peer = victim.Node.id | None -> false
+        in
+        Alcotest.(check bool) "no link remains" false
+          (refers w.Node.parent || refers w.Node.left_child
+          || refers w.Node.right_child || refers w.Node.left_adjacent
+          || refers w.Node.right_adjacent
+          || List.exists
+               (fun (_, i) -> i.Baton.Link.peer = victim.Node.id)
+               (Node.neighbor_entries w))
+      end)
+    (Net.peers net)
+
+let suite =
+  [
+    Alcotest.test_case "in-order navigation" `Quick test_in_order_navigation_matches_traversal;
+    Alcotest.test_case "adjacent position sides" `Quick test_adjacent_position_sides;
+    Alcotest.test_case "tables_full_at" `Quick test_tables_full_at;
+    Alcotest.test_case "safe_leaf_removal" `Quick test_safe_leaf_removal;
+    Alcotest.test_case "subtree_height" `Quick test_subtree_height;
+    Alcotest.test_case "rebuild restores strict state" `Quick test_rebuild_links_restores_strict_state;
+    Alcotest.test_case "announce refreshes watchers" `Quick test_announce_refreshes_watchers;
+    Alcotest.test_case "retract drops references" `Quick test_retract_drops_all_references;
+  ]

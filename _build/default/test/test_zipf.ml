@@ -1,0 +1,93 @@
+(* Zipfian sampler: frequency ordering, parameter effects, key scatter. *)
+
+module Zipf = Baton_util.Zipf
+module Rng = Baton_util.Rng
+
+let frequencies z rng draws =
+  let counts = Array.make (Zipf.n z + 1) 0 in
+  for _ = 1 to draws do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  counts
+
+let test_rank_bounds () =
+  let z = Zipf.create ~n:50 ~theta:1.0 in
+  let rng = Rng.create 5 in
+  for _ = 1 to 5_000 do
+    let r = Zipf.sample z rng in
+    Alcotest.(check bool) "rank in [1,n]" true (r >= 1 && r <= 50)
+  done
+
+let test_rank_one_most_frequent () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let rng = Rng.create 7 in
+  let counts = frequencies z rng 20_000 in
+  let max_rank = ref 1 in
+  for r = 2 to 100 do
+    if counts.(r) > counts.(!max_rank) then max_rank := r
+  done;
+  Alcotest.(check int) "rank 1 dominates" 1 !max_rank
+
+let test_skew_ratio () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let rng = Rng.create 11 in
+  let counts = frequencies z rng 50_000 in
+  (* With theta = 1 the rank-1/rank-10 frequency ratio is about 10. *)
+  let ratio = float_of_int counts.(1) /. float_of_int (max 1 counts.(10)) in
+  Alcotest.(check bool) "ratio near 10" true (ratio > 5. && ratio < 20.)
+
+let test_theta_zero_uniform () =
+  let z = Zipf.create ~n:10 ~theta:0. in
+  let rng = Rng.create 13 in
+  let counts = frequencies z rng 50_000 in
+  for r = 1 to 10 do
+    let share = float_of_int counts.(r) /. 50_000. in
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d near 1/10" r)
+      true
+      (share > 0.07 && share < 0.13)
+  done
+
+let test_single_rank () =
+  let z = Zipf.create ~n:1 ~theta:1.0 in
+  let rng = Rng.create 17 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "only rank 1" 1 (Zipf.sample z rng)
+  done
+
+let test_create_validation () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Zipf.create: n must be >= 1")
+    (fun () -> ignore (Zipf.create ~n:0 ~theta:1.0));
+  Alcotest.check_raises "negative theta"
+    (Invalid_argument "Zipf.create: theta must be >= 0.") (fun () ->
+      ignore (Zipf.create ~n:5 ~theta:(-1.)))
+
+let test_sample_key_bounds () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let rng = Rng.create 19 in
+  for _ = 1 to 5_000 do
+    let k = Zipf.sample_key z rng ~lo:10 ~hi:99 in
+    Alcotest.(check bool) "key in [10,99]" true (k >= 10 && k <= 99)
+  done
+
+let test_sample_key_deterministic_scatter () =
+  (* The same rank always lands on the same key. *)
+  let z = Zipf.create ~n:1 ~theta:1.0 in
+  let rng = Rng.create 23 in
+  let k0 = Zipf.sample_key z rng ~lo:0 ~hi:1_000_000 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "stable mapping" k0 (Zipf.sample_key z rng ~lo:0 ~hi:1_000_000)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "rank bounds" `Quick test_rank_bounds;
+    Alcotest.test_case "rank 1 most frequent" `Quick test_rank_one_most_frequent;
+    Alcotest.test_case "skew ratio" `Quick test_skew_ratio;
+    Alcotest.test_case "theta 0 is uniform" `Quick test_theta_zero_uniform;
+    Alcotest.test_case "single rank" `Quick test_single_rank;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "sample_key bounds" `Quick test_sample_key_bounds;
+    Alcotest.test_case "sample_key scatter stable" `Quick test_sample_key_deterministic_scatter;
+  ]
