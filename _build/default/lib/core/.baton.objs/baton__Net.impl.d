@@ -1,1 +1,1 @@
-lib/core/net.ml: Array Baton_sim Baton_util Fun Hashtbl List Marshal Node Position Range String
+lib/core/net.ml: Array Baton_sim Baton_util Fun Hashtbl List Marshal Msg Node Position Range String

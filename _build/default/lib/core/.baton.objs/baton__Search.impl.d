@@ -1,1 +1,1 @@
-lib/core/search.ml: Baton_sim Baton_util Link List Msg Net Node Range Routing_table Wiring
+lib/core/search.ml: Baton_sim Baton_util Failure Link List Msg Net Node Range Routing_table Wiring

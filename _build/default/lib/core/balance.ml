@@ -15,6 +15,7 @@ let balance_with_adjacent net (u : Node.t) side =
   | Some v_link -> (
     match Net.send net ~src:u.Node.id ~dst:v_link.Link.peer ~kind:Msg.balance with
     | exception Bus.Unreachable _ -> false
+    | exception Bus.Timeout _ -> false
     | exception Not_found -> false
     | v ->
       let lu = Node.load u and lv = Node.load v in
@@ -69,6 +70,7 @@ let balance_with_adjacent net (u : Node.t) side =
 let probe_load net (u : Node.t) (target : Link.info) =
   match Net.send net ~src:u.Node.id ~dst:target.Link.peer ~kind:Msg.balance with
   | exception Bus.Unreachable _ -> None
+  | exception Bus.Timeout _ -> None
   | exception Not_found -> None
   | t ->
     ignore (Net.send net ~src:t.Node.id ~dst:u.Node.id ~kind:Msg.balance);
@@ -85,6 +87,7 @@ let recruit net (u : Node.t) (f : Node.t) =
       | Some g_link -> (
         match Net.send net ~src:f.Node.id ~dst:g_link.Link.peer ~kind:Msg.balance with
         | exception Bus.Unreachable _ -> false
+        | exception Bus.Timeout _ -> false
         | exception Not_found -> false
         | g ->
           Sorted_store.absorb g.Node.store f.Node.store;

@@ -38,9 +38,9 @@ let regenerate net (guardian_node : Node.t) (dead : Node.t) =
     match Wiring.occupant net target_pos with
     | Some (t : Node.t) ->
       (try ignore (Net.send net ~src:guardian_node.Node.id ~dst:t.Node.id ~kind:Msg.repair)
-       with Bus.Unreachable _ -> ());
+       with Bus.Unreachable _ | Bus.Timeout _ -> ());
       (try ignore (Net.send net ~src:t.Node.id ~dst:guardian_node.Node.id ~kind:Msg.repair)
-       with Bus.Unreachable _ -> ());
+       with Bus.Unreachable _ | Bus.Timeout _ -> ());
       Some (Node.info t)
     | None -> None
   in
@@ -94,7 +94,7 @@ let rec repair net ~reporter dead_id =
       | Some g ->
         (* The discovery report travels to the guardian. *)
         (try ignore (Net.send net ~src:reporter.Node.id ~dst:g.Node.id ~kind:Msg.repair)
-         with Bus.Unreachable _ -> ());
+         with Bus.Unreachable _ | Bus.Timeout _ -> ());
         regenerate net g dead;
         (* The dead node's data is gone; only its range survives. The
            guardian now drives a graceful departure on its behalf. *)
@@ -124,7 +124,7 @@ let rec repair net ~reporter dead_id =
               (match Wiring.occupant net q with
               | Some c ->
                 (try ignore (Net.send net ~src:g.Node.id ~dst:c.Node.id ~kind:Msg.repair)
-                 with Bus.Unreachable _ -> ())
+                 with Bus.Unreachable _ | Bus.Timeout _ -> ())
               | None -> ());
               if live_safe q then Wiring.occupant net q else scan step q
           in
@@ -135,8 +135,19 @@ let rec repair net ~reporter dead_id =
         if Leave.can_depart_directly dead && not has_structural_child then
           Leave.direct_departure net dead ~kind:Msg.repair
         else begin
-          let replacement, _msgs = Leave.find_replacement net dead in
-          if replacement.Node.id <> dead.Node.id then begin
+          (* The walk must end on a *structural* leaf: hopping towards a
+             dead child drops the link, so a node with a failed child can
+             come out of the walk looking like a leaf. Departing it would
+             orphan its real subtree and break the range tiling, so check
+             the position map, not the (possibly damaged) links. *)
+          let replacement, _msgs = Leave.resolve_replacement net dead in
+          let structural_leaf (y : Node.t) =
+            not
+              (Wiring.occupied net (Position.left_child y.Node.pos)
+              || Wiring.occupied net (Position.right_child y.Node.pos))
+          in
+          if replacement.Node.id <> dead.Node.id && structural_leaf replacement
+          then begin
             Leave.direct_departure net replacement ~kind:Msg.repair;
             Leave.assume_position net ~leaver:dead ~replacement ~kind:Msg.repair
           end
@@ -163,3 +174,45 @@ let crash_and_repair net (x : Node.t) =
     Net.random_peer net
   in
   repair net ~reporter x.Node.id
+
+(* --- Suspicion-driven (lazy) failure detection -------------------- *)
+
+(* How many timeout observations convict a peer. A single timeout on a
+   lossy network proves nothing; repeated silence from independent
+   routing attempts does. Unreachable addresses convict immediately —
+   in this simulator an Unreachable outcome is certain knowledge, the
+   paper's "discover the address unreachable". *)
+let suspicion_threshold = 3
+
+(* Run the repair protocol on behalf of [observer], tolerating the
+   reporter or any helper dying (or timing out) mid-repair: the
+   attempt is abandoned and the still-failed node is picked up by a
+   later report, exactly like the paper's repeated discovery. Partial
+   progress is safe — [regenerate] only rewrites the dead node's own
+   links, and the departure phase mutates shared state only after its
+   messages went through. *)
+let trigger net ~observer suspect_id =
+  Baton_sim.Metrics.event (Net.metrics net) Msg.ev_repair_triggered;
+  Net.clear_suspicion net suspect_id;
+  try repair net ~reporter:observer suspect_id
+  with Bus.Unreachable _ | Bus.Timeout _ | Not_found | Failure _ -> ()
+
+let observe_unreachable net ~observer dead_id =
+  if Net.suspicion_repair net then begin
+    Baton_sim.Metrics.event (Net.metrics net) Msg.ev_suspect;
+    trigger net ~observer dead_id
+  end
+
+let observe_timeout net ~observer suspect_id =
+  if Net.suspicion_repair net then begin
+    Baton_sim.Metrics.event (Net.metrics net) Msg.ev_suspect;
+    if Net.suspect net suspect_id >= suspicion_threshold then begin
+      (* Probe before acting: only an unreachable address convicts.
+         The probe is an ordinary counted message (with retries). *)
+      match Net.send net ~src:observer.Node.id ~dst:suspect_id ~kind:Msg.repair with
+      | (_ : Node.t) -> Net.clear_suspicion net suspect_id (* alive after all *)
+      | exception Bus.Unreachable _ -> trigger net ~observer suspect_id
+      | exception Bus.Timeout _ -> () (* still ambiguous: keep counting *)
+      | exception Not_found -> Net.clear_suspicion net suspect_id (* departed *)
+    end
+  end

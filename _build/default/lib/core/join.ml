@@ -25,6 +25,10 @@ let find_join_node net ~via =
     | exception Baton_sim.Bus.Unreachable dead ->
       Node.drop_links_for_peer n dead;
       None
+    | exception Baton_sim.Bus.Timeout _ ->
+      (* Possibly alive behind a lossy link: keep the link, just pick
+         another option this round. *)
+      None
     | exception Not_found ->
       Node.drop_links_for_peer n target.Link.peer;
       None

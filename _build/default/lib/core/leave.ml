@@ -41,7 +41,10 @@ let direct_departure net (x : Node.t) ~kind =
           (* The peer behind the cached link may have moved to another
              position since; it redirects us. *)
           if Position.equal p.Node.pos parent_pos then p else detour ()
-        | exception Baton_sim.Bus.Unreachable _ | exception Not_found -> detour ())
+        | exception Baton_sim.Bus.Unreachable _
+        | exception Baton_sim.Bus.Timeout _
+        | exception Not_found ->
+          detour ())
     in
     Sorted_store.absorb p.Node.store x.Node.store;
     p.Node.range <- Range.merge p.Node.range x.Node.range;
@@ -78,6 +81,9 @@ let find_replacement net (x : Node.t) =
     | next -> Some next
     | exception Baton_sim.Bus.Unreachable dead ->
       Node.drop_links_for_peer n dead;
+      None
+    | exception Baton_sim.Bus.Timeout _ ->
+      (* Possibly alive behind a lossy link: try another path. *)
       None
     | exception Not_found ->
       Node.drop_links_for_peer n target.Link.peer;
@@ -129,7 +135,11 @@ let assume_position net ~leaver:(x : Node.t) ~replacement:(y : Node.t) ~kind =
   (* One message hands over content, range and x's link state. The
      replacement already left the position map, so talk to it through
      the bus directly. *)
-  Baton_sim.Bus.send (Net.bus net) ~src:x.Node.id ~dst:y.Node.id ~kind;
+  (* The handover must eventually get through: y already committed to
+     replacing x. Retries are counted; a residual timeout is tolerated
+     (the coordinator would keep retrying off-protocol). *)
+  (try Net.send_raw net ~src:x.Node.id ~dst:y.Node.id ~kind
+   with Baton_sim.Bus.Timeout _ -> ());
   Sorted_store.absorb y.Node.store x.Node.store;
   Net.unregister net x;
   y.Node.pos <- x.Node.pos;
@@ -161,11 +171,13 @@ let ensure_fresh_children net (x : Node.t) =
   if stale `Left || stale `Right then Wiring.rebuild_links net x ~kind:Msg.leave_update
 
 (* Walk until the replacement is a structural leaf. *)
-let rec resolve_replacement net (x : Node.t) acc =
+let rec resolve_from net (x : Node.t) acc =
   let y, msgs = find_replacement net x in
   ensure_fresh_children net y;
   if Node.is_leaf y || y.Node.id = x.Node.id then (y, acc + msgs)
-  else resolve_replacement net y (acc + msgs)
+  else resolve_from net y (acc + msgs)
+
+let resolve_replacement net x = resolve_from net x 0
 
 let leave net (x : Node.t) =
   let metrics = Net.metrics net in
@@ -176,7 +188,7 @@ let leave net (x : Node.t) =
     { replacement = None; search_msgs = 0; update_msgs = Metrics.since metrics cp }
   end
   else begin
-    let y, search_msgs = resolve_replacement net x 0 in
+    let y, search_msgs = resolve_replacement net x in
     let cp_update = Metrics.checkpoint metrics in
     if y.Node.id = x.Node.id then begin
       (* Stale flags made the walk come home: x itself is safely

@@ -11,6 +11,15 @@ let balance = "balance"
 let restructure = "restructure"
 let repair = "repair"
 
+(* Simulator event names (Metrics.event) — observations that are not
+   themselves messages. *)
+let ev_retry = "send.retry"
+let ev_give_up = "send.give_up"
+let ev_notify_dropped = "notify.dropped"
+let ev_notify_stale = "notify.stale"
+let ev_suspect = "repair.suspect"
+let ev_repair_triggered = "repair.triggered"
+
 let all =
   [
     join_search;

@@ -42,3 +42,32 @@ val repair : string
 (** Failure discovery, reporting and routing-table regeneration. *)
 
 val all : string list
+
+(** {2 Event names}
+
+    Names for {!Baton_sim.Metrics.event} counters — things worth
+    observing that are not passing messages, so they never perturb the
+    paper's message-count metric. *)
+
+val ev_retry : string
+(** A timed-out send was retransmitted (the retransmission itself is a
+    counted message; this event records that it happened). *)
+
+val ev_give_up : string
+(** A send exhausted its retry budget and surfaced [Timeout]. *)
+
+val ev_notify_dropped : string
+(** A one-way notification was lost: destination failed, departed, or
+    the fault model dropped it. *)
+
+val ev_notify_stale : string
+(** A notification arrived at a peer that changed position since it
+    was addressed, and was ignored. *)
+
+val ev_suspect : string
+(** A routing peer observed a timeout/unreachable neighbour and filed
+    a suspicion against it. *)
+
+val ev_repair_triggered : string
+(** Accumulated suspicion crossed the threshold and the observer
+    initiated the repair protocol. *)

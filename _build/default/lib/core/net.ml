@@ -19,7 +19,14 @@ type t = {
   mutable defer : bool;
   deferred : (unit -> unit) Dyn_array.t;
   shifts : Histogram.t;
+  (* Resilient-messaging state: bounded retransmissions on Timeout and
+     the per-peer suspicion counters behind lazy failure detection. *)
+  mutable retry_limit : int;
+  suspicions : (int, int) Hashtbl.t;
+  mutable suspicion_repair : bool;
 }
+
+let default_retry_limit = 3
 
 let create ?(seed = 42) ~domain () =
   {
@@ -34,6 +41,9 @@ let create ?(seed = 42) ~domain () =
     defer = false;
     deferred = Dyn_array.create ();
     shifts = Histogram.create ();
+    retry_limit = default_retry_limit;
+    suspicions = Hashtbl.create 64;
+    suspicion_repair = false;
   }
 
 let bus t = t.bus
@@ -122,25 +132,69 @@ let random_peer t =
   in
   draw ()
 
+let set_retry_limit t n =
+  if n < 0 then invalid_arg "Net.set_retry_limit: negative";
+  t.retry_limit <- n
+
+let retry_limit t = t.retry_limit
+
+(* Retransmit on Timeout, up to [retry_limit] extra attempts. Every
+   attempt passes over the bus and is counted — the paper's message
+   metric stays honest under retries. Unreachable (permanent crash)
+   propagates immediately: retrying a dead address cannot help and the
+   protocols have dedicated detour logic for it. *)
+let send_raw t ~src ~dst ~kind =
+  let ev = Bus.metrics t.bus in
+  let rec attempt k =
+    match Bus.send t.bus ~src ~dst ~kind with
+    | () -> ()
+    | exception Bus.Timeout _ when k < t.retry_limit ->
+      Metrics.event ev Msg.ev_retry;
+      attempt (k + 1)
+    | exception (Bus.Timeout _ as e) ->
+      Metrics.event ev Msg.ev_give_up;
+      raise e
+  in
+  attempt 0
+
 let send t ~src ~dst ~kind =
-  Bus.send t.bus ~src ~dst ~kind;
+  send_raw t ~src ~dst ~kind;
   peer t dst
 
+let suspect t id =
+  let n = 1 + (match Hashtbl.find_opt t.suspicions id with Some c -> c | None -> 0) in
+  Hashtbl.replace t.suspicions id n;
+  n
+
+let clear_suspicion t id = Hashtbl.remove t.suspicions id
+
+let set_suspicion_repair t flag = t.suspicion_repair <- flag
+let suspicion_repair t = t.suspicion_repair
+
 let apply_notification t ~src ~dst ~kind ~expect_pos f =
+  let ev name = Metrics.event (Bus.metrics t.bus) name in
+  (* Notifications are one-way cache refreshes: fire-and-forget, no
+     retransmission. A lost one just widens the staleness window that
+     the dynamics experiment measures; it is counted as an event so the
+     loss is observable instead of silent. *)
   match peer_opt t dst with
   | None ->
     (* The destination left the network: the message is still sent (and
        counted); it is simply never acted upon. *)
-    (try Bus.send t.bus ~src ~dst ~kind with Bus.Unreachable _ -> ())
+    (try Bus.send t.bus ~src ~dst ~kind
+     with Bus.Unreachable _ | Bus.Timeout _ -> ());
+    ev Msg.ev_notify_dropped
   | Some node -> (
     match Bus.send t.bus ~src ~dst ~kind with
     | () -> (
       (* A peer that changed position since the message was addressed
          ignores it: the update concerns a role it no longer holds. *)
       match expect_pos with
-      | Some pos when not (Position.equal node.Node.pos pos) -> ()
+      | Some pos when not (Position.equal node.Node.pos pos) ->
+        ev Msg.ev_notify_stale
       | Some _ | None -> f node)
-    | exception Bus.Unreachable _ -> ())
+    | exception Bus.Unreachable _ -> ev Msg.ev_notify_dropped
+    | exception Bus.Timeout _ -> ev Msg.ev_notify_dropped)
 
 let notify ?expect_pos t ~src ~dst ~kind f =
   if t.defer then
@@ -166,7 +220,7 @@ let shift_histogram t = t.shifts
 (* Snapshot format: a magic string (to fail fast on foreign files)
    followed by the marshalled record. The record holds no closures once
    the deferred queue is empty and the bus trace hook is cleared. *)
-let snapshot_magic = "BATON-NET-v1"
+let snapshot_magic = "BATON-NET-v2"
 
 let save t path =
   if not (Baton_util.Dyn_array.is_empty t.deferred) then

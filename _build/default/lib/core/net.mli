@@ -60,7 +60,38 @@ val random_peer : t -> Node.t
 val send : t -> src:int -> dst:int -> kind:string -> Node.t
 (** Account one protocol hop and return the destination's state (the
     simulator's stand-in for the remote peer processing the message).
-    @raise Baton_sim.Bus.Unreachable if the destination failed. *)
+    Under an installed fault model, a timed-out attempt is
+    retransmitted up to {!retry_limit} times; every attempt is a
+    counted message.
+    @raise Baton_sim.Bus.Unreachable if the destination failed.
+    @raise Baton_sim.Bus.Timeout if every attempt timed out. *)
+
+val send_raw : t -> src:int -> dst:int -> kind:string -> unit
+(** {!send} without the destination-state lookup — for handover
+    messages to peers that are (legitimately) absent from the position
+    map mid-protocol.
+    @raise Baton_sim.Bus.Unreachable / [Timeout] as {!send}. *)
+
+val set_retry_limit : t -> int -> unit
+(** Retransmissions allowed per logical send (default 3). [0] disables
+    retries. @raise Invalid_argument on negative values. *)
+
+val retry_limit : t -> int
+
+val suspect : t -> int -> int
+(** File one suspicion observation against a peer and return its
+    accumulated count. State only — the protocol reacting to the count
+    lives in {!Failure}. *)
+
+val clear_suspicion : t -> int -> unit
+
+val set_suspicion_repair : t -> bool -> unit
+(** Enable lazy, suspicion-driven repair: routing peers that observe
+    enough timeouts (or an unreachable address) initiate the repair
+    protocol themselves, with no help from the harness's god view.
+    Off by default so quiescent-network experiments stay untouched. *)
+
+val suspicion_repair : t -> bool
 
 val notify :
   ?expect_pos:Position.t ->

@@ -22,7 +22,7 @@ let sync_one t net (owner : Node.t) =
   | None -> false (* a single-peer network has nowhere to replicate *)
   | Some holder -> (
     match Bus.send (Net.bus net) ~src:owner.Node.id ~dst:holder ~kind:Msg.balance with
-    | () | (exception Bus.Unreachable _) ->
+    | () | (exception Bus.Unreachable _) | (exception Bus.Timeout _) ->
       (* The copy travels either way; an unreachable holder simply
          yields a dead replica that recover will skip. *)
       Hashtbl.replace t.replicas owner.Node.id
@@ -40,7 +40,8 @@ let on_insert t net ~owner key =
   | Some e -> (
     match Bus.send (Net.bus net) ~src:owner.Node.id ~dst:e.holder ~kind:Msg.balance with
     | () -> Sorted_store.insert e.keys key
-    | exception Bus.Unreachable _ -> ())
+    | exception Bus.Unreachable _ -> ()
+    | exception Bus.Timeout _ -> ())
   | None -> ignore (sync_one t net owner)
 
 let recover t net ~dead =

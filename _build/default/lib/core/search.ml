@@ -10,92 +10,155 @@ exception Routing_stuck of int
    around stale links. *)
 let hop_budget net = 64 + (4 * (1 + Net.size net))
 
-(* Pick the next hop towards [v] from [node], per the paper's
-   algorithm. [`Right] direction: v lies right of node's range. *)
-let next_hop (node : Node.t) v =
-  if Range.contains node.Node.range v then None
-  else if Range.is_left_of node.Node.range v then
-    (* v >= hi: farthest right neighbour with lower bound <= v. *)
-    let candidate =
-      Routing_table.find_farthest node.Node.right_table (fun i ->
-          i.Link.range.Range.lo <= v)
-    in
-    match candidate with
-    | Some m -> Some m
-    | None -> (
-      match node.Node.right_child with
-      | Some c -> Some c
-      | None -> node.Node.right_adjacent)
-  else
-    (* v < lo: farthest left neighbour whose upper bound is > v. *)
-    let candidate =
-      Routing_table.find_farthest node.Node.left_table (fun i ->
-          i.Link.range.Range.hi > v)
-    in
-    match candidate with
-    | Some m -> Some m
-    | None -> (
-      match node.Node.left_child with
-      | Some c -> Some c
-      | None -> node.Node.left_adjacent)
+(* Ordered candidate next hops towards [v] from [node], per the
+   paper's algorithm: the farthest admissible routing-table neighbour
+   first, then the nearer admissible sideways entries, then the child
+   and adjacent node on the target's side. An empty list means [node]
+   is the boundary node that would expand for out-of-range values
+   (Section IV-C). *)
+let candidates (node : Node.t) v =
+  let side = if Range.is_left_of node.Node.range v then `Right else `Left in
+  let admissible (i : Link.info) =
+    match side with
+    | `Right -> i.Link.range.Range.lo <= v
+    | `Left -> i.Link.range.Range.hi > v
+  in
+  let sideways =
+    Routing_table.entries (Node.table node side)
+    |> List.rev_map snd
+    |> List.filter admissible
+  in
+  let structural =
+    List.filter_map
+      (fun l -> l)
+      [ Node.child node side; Node.adjacent node side ]
+  in
+  sideways @ structural
 
 let exact ?(kind = Msg.search_exact) net ~from v =
   let budget = hop_budget net in
-  let rec loop (node : Node.t) hops =
-    if hops > budget then raise (Routing_stuck hops)
+  (* [tried] are the peers that timed out from the current node on this
+     visit; it resets whenever a hop succeeds. A dead (unreachable)
+     peer is handled the stronger way: drop the link and reconstitute
+     the missing links through the surviving neighbourhood, so the
+     detour costs messages exactly as the paper predicts. *)
+  let rec loop (node : Node.t) hops ~tried =
+    if Range.contains node.Node.range v then { node; hops }
+    else if hops > budget then raise (Routing_stuck hops)
     else
-      match next_hop node v with
-      | None -> { node; hops }
-      | Some target -> (
+      match candidates node v with
+      | [] -> { node; hops }
+      | primary -> (
+        let fresh (i : Link.info) = not (List.mem i.Link.peer tried) in
+        (* When every forward link has timed out, escape upwards via
+           the parent — one more of Section III-D's alternative paths —
+           before declaring the neighbourhood silent. *)
+        let escape =
+          match node.Node.parent with
+          | Some p when tried <> [] -> [ p ]
+          | Some _ | None -> []
+        in
+        match List.filter fresh (primary @ escape) with
+        | [] ->
+          (* Every alternative timed out too. Treat the silent peers
+             like dead ones: drop them, rebuild through survivors, and
+             route on. *)
+          List.iter (Node.drop_links_for_peer node) tried;
+          Wiring.rebuild_links ~skip_failed:true net node ~kind;
+          loop node (hops + 1) ~tried:[]
+        | target :: _ -> (
         match Net.send net ~src:node.Node.id ~dst:target.Link.peer ~kind with
-        | next -> loop next (hops + 1)
+        | next -> loop next (hops + 1) ~tried:[]
         | exception Bus.Unreachable dead ->
           (* Fault tolerance (Section III-D): drop the dead link,
              reconstitute the missing links through the surviving
              neighbourhood, and route on; the detour costs messages. *)
+          Failure.observe_unreachable net ~observer:node dead;
           Node.drop_links_for_peer node dead;
           Wiring.rebuild_links ~skip_failed:true net node ~kind;
-          loop node (hops + 1)
+          loop node (hops + 1) ~tried:[]
+        | exception Bus.Timeout silent ->
+          (* The peer may be alive behind a lossy link: keep the link,
+             file a suspicion, and try the next-best candidate. *)
+          Failure.observe_timeout net ~observer:node silent;
+          loop node (hops + 1) ~tried:(silent :: tried)
         | exception Not_found ->
           (* The target peer left the network and the link is stale. *)
           Node.drop_links_for_peer node target.Link.peer;
           Wiring.rebuild_links ~skip_failed:true net node ~kind;
-          loop node (hops + 1))
+          loop node (hops + 1) ~tried:[]))
   in
-  loop from 0
+  loop from 0 ~tried:[]
 
 let lookup net ~from v =
   let { node; hops } = exact net ~from v in
   (Sorted_store.mem node.Node.store v, hops)
 
-type range_outcome = { keys : int list; nodes_visited : int; range_hops : int }
+type range_outcome = {
+  keys : int list;
+  nodes_visited : int;
+  range_hops : int;
+  complete : bool;
+}
 
 (* Collect matching keys from one direction of adjacent links, starting
    at (and excluding) [node]. Returns (keys in visit order, peers
-   visited, messages paid). *)
+   visited, messages paid, interval fully covered?). A dead or silent
+   adjacent peer no longer aborts the scan: the current node drops the
+   link, bridges the gap through its surviving neighbourhood, and
+   carries on — flagging the answer incomplete when the skipped peer's
+   cached range intersected the query. *)
 let sweep net (node : Node.t) side ~lo ~hi =
   let keys = ref [] and visited = ref 0 and msgs = ref 0 in
+  let complete = ref true in
   let continue (n : Node.t) =
     match side with
     | `Right -> Range.is_left_of n.Node.range hi
     | `Left -> lo < n.Node.range.Range.lo
   in
-  let rec go (n : Node.t) =
+  let rec go (n : Node.t) bridges =
     if continue n then
       match Node.adjacent n side with
       | None -> ()
       | Some next -> (
-        match Net.send net ~src:n.Node.id ~dst:next.Link.peer ~kind:Msg.search_range with
+        let lost_data () =
+          if Range.intersects next.Link.range ~lo ~hi then complete := false
+        in
+        let bridge ~data_lost =
+          if data_lost then lost_data ();
+          Node.drop_links_for_peer n next.Link.peer;
+          if bridges < 2 then begin
+            Wiring.rebuild_links ~skip_failed:true net n
+              ~kind:Msg.search_range;
+            go n (bridges + 1)
+          end
+          else complete := false
+        in
+        match
+          Net.send net ~src:n.Node.id ~dst:next.Link.peer
+            ~kind:Msg.search_range
+        with
         | next_node ->
           incr msgs;
           incr visited;
           keys := Sorted_store.keys_in next_node.Node.store ~lo ~hi :: !keys;
-          go next_node
-        | exception Bus.Unreachable _ -> ()
-        | exception Not_found -> ())
+          go next_node 0
+        | exception Bus.Unreachable dead ->
+          (* The peer is gone and its data with it. *)
+          Failure.observe_unreachable net ~observer:n dead;
+          bridge ~data_lost:true
+        | exception Bus.Timeout silent ->
+          (* Possibly alive behind a lossy link; its data may exist but
+             cannot be fetched now, so the answer is partial. *)
+          Failure.observe_timeout net ~observer:n silent;
+          bridge ~data_lost:true
+        | exception Not_found ->
+          (* Departed gracefully: its data moved to a survivor still on
+             the chain, nothing is lost. *)
+          bridge ~data_lost:false)
   in
-  go node;
-  (!keys, !visited, !msgs)
+  go node 0;
+  (!keys, !visited, !msgs, !complete)
 
 let range net ~from ~lo ~hi =
   if lo > hi then invalid_arg "Search.range: lo > hi";
@@ -105,8 +168,12 @@ let range net ~from ~lo ~hi =
      remainder of the searched range" along adjacent links. *)
   let { node; hops } = exact ~kind:Msg.search_range net ~from lo in
   let here = Sorted_store.keys_in node.Node.store ~lo ~hi in
-  let left_keys, left_visited, left_msgs = sweep net node `Left ~lo ~hi in
-  let right_keys, right_visited, right_msgs = sweep net node `Right ~lo ~hi in
+  let left_keys, left_visited, left_msgs, left_complete =
+    sweep net node `Left ~lo ~hi
+  in
+  let right_keys, right_visited, right_msgs, right_complete =
+    sweep net node `Right ~lo ~hi
+  in
   let keys =
     List.concat (List.rev left_keys) @ here @ List.concat (List.rev right_keys)
   in
@@ -114,4 +181,5 @@ let range net ~from ~lo ~hi =
     keys;
     nodes_visited = 1 + left_visited + right_visited;
     range_hops = hops + left_msgs + right_msgs;
+    complete = left_complete && right_complete;
   }

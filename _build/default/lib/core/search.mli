@@ -8,7 +8,15 @@
     issuing node's local links and cached ranges — caches can be stale,
     in which case the query simply pays extra hops (or routes around an
     unreachable peer), exactly the effect measured by the paper's
-    network-dynamics experiment. *)
+    network-dynamics experiment.
+
+    Under an installed fault model (see {!Baton_sim.Bus.set_faults}) a
+    hop can also time out after its retransmissions. The search then
+    routes around the silent peer through alternative links — other
+    sideways entries, the child or adjacent node on the target's side,
+    the parent — degrading to extra hops rather than raising, and files
+    a suspicion against the silent peer so repair can be triggered
+    lazily ({!Failure.observe_timeout}). *)
 
 type outcome = {
   node : Node.t;  (** the node responsible for the searched value *)
@@ -36,10 +44,17 @@ type range_outcome = {
   keys : int list;  (** matching keys, ascending *)
   nodes_visited : int;  (** partial-answer nodes contacted *)
   range_hops : int;  (** total messages: search + adjacent expansion *)
+  complete : bool;
+      (** [false] when a dead or silent peer whose cached range
+          intersected the query had to be skipped: [keys] is the
+          partial answer collected from the surviving chain. *)
 }
 
 val range : Net.t -> from:Node.t -> lo:int -> hi:int -> range_outcome
 (** [range net ~from ~lo ~hi] answers the closed range query
     [\[lo, hi\]]: exact-search the first intersecting node, then follow
-    right-adjacent links, one message per additional node (paper:
-    [O(log N + X)]). *)
+    adjacent links, one message per additional node (paper:
+    [O(log N + X)]). A mid-scan dead or timed-out adjacent peer no
+    longer aborts the query: the scan bridges the gap through the
+    surviving neighbourhood and returns what it collected, flagging
+    [complete = false] if skipped data intersected the interval. *)

@@ -74,6 +74,7 @@ let bulk_insert net ~from keys =
             with
             | next_node -> distribute next_node rest
             | exception Baton_sim.Bus.Unreachable _ -> ()
+            | exception Baton_sim.Bus.Timeout _ -> ()
             | exception Not_found -> ())
           | None ->
             (* Rightmost node: the remaining keys lie beyond the key

@@ -80,7 +80,7 @@ let rec subtree_height net pos =
    protocol), so the snapshot is returned either way. *)
 let fetch_info net ~src ~kind (target : Node.t) =
   (try ignore (Net.send net ~src ~dst:target.Node.id ~kind)
-   with Baton_sim.Bus.Unreachable _ -> ());
+   with Baton_sim.Bus.Unreachable _ | Baton_sim.Bus.Timeout _ -> ());
   Node.info target
 
 let link_to ?(skip_failed = false) net ~src ~kind pos =

@@ -1,0 +1,1 @@
+lib/experiments/exp_resilience.ml: Baton Baton_sim Baton_util Common Filename List Params Printf Sys Table

@@ -1,0 +1,104 @@
+module Rng = Baton_util.Rng
+module Metrics = Baton_sim.Metrics
+module Bus = Baton_sim.Bus
+
+let losses = [ 0; 5; 10; 20 ]
+let fail_fractions = [ 0; 10; 20 ]
+
+let run (p : Params.t) =
+  let n = List.nth p.Params.sizes (List.length p.Params.sizes - 1) in
+  let queries = max 100 (p.Params.queries / 2) in
+  (* Build the tree once and snapshot it; every cell of the sweep
+     restores a pristine twin, so the cells are independent and the
+     whole table is a pure function of the seed. *)
+  let snapshot = Filename.temp_file "baton_resilience" ".snap" in
+  let keys =
+    let net, keys =
+      Common.build_baton ~seed:(p.Params.seed + 301) ~n
+        ~keys_per_node:p.Params.keys_per_node ()
+    in
+    Baton.Net.save net snapshot;
+    keys
+  in
+  let cell loss fail =
+    let net = Baton.Net.load snapshot in
+    let m = Baton.Net.metrics net in
+    Bus.set_faults (Baton.Net.bus net)
+      ~seed:(p.Params.seed + (101 * loss) + fail)
+      ~drop_rate:(float_of_int loss /. 100.)
+      ~transient_rate:0. ();
+    (* Failures are discovered and repaired only by peers that observe
+       them while routing — no god view. *)
+    Baton.Net.set_suspicion_repair net true;
+    let vrng = Rng.create (p.Params.seed + 303 + (7 * loss) + fail) in
+    let victims =
+      List.filter
+        (fun (node : Baton.Node.t) ->
+          (not (Baton.Node.is_root node)) && Rng.int vrng 100 < fail)
+        (Baton.Net.peers net)
+    in
+    List.iter (fun v -> Baton.Failure.crash net v) victims;
+    let dead_ranges =
+      List.map (fun (v : Baton.Node.t) -> v.Baton.Node.range) victims
+    in
+    let lost k = List.exists (fun r -> Baton.Range.contains r k) dead_ranges in
+    let qrng = Rng.create (p.Params.seed + 307) in
+    let cp = Metrics.checkpoint m in
+    let asked = ref 0 and answered = ref 0 and stuck = ref 0 in
+    for _ = 1 to queries do
+      let k = Rng.pick qrng keys in
+      if not (lost k) then begin
+        incr asked;
+        match Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k with
+        | true, _ -> incr answered
+        | false, _ -> ()
+        | exception Baton.Search.Routing_stuck _ -> incr stuck
+        | exception Bus.Unreachable _ -> incr stuck
+        | exception Bus.Timeout _ -> incr stuck
+      end
+    done;
+    [
+      Table.cell_int loss;
+      Table.cell_int fail;
+      Table.cell_int (List.length victims);
+      Printf.sprintf "%.1f%%"
+        (100. *. float_of_int !answered /. float_of_int (max 1 !asked));
+      Table.cell_int !stuck;
+      Table.cell_float
+        (float_of_int (Metrics.since m cp) /. float_of_int (max 1 !asked));
+      Table.cell_int (Metrics.event_since m cp Baton.Msg.ev_retry);
+      Table.cell_int (Metrics.event_since m cp Baton.Msg.ev_give_up);
+      Table.cell_int (Metrics.event_since m cp Baton.Msg.ev_repair_triggered);
+    ]
+  in
+  let rows =
+    List.concat_map (fun loss -> List.map (cell loss) fail_fractions) losses
+  in
+  Sys.remove snapshot;
+  Table.make ~id:"resilience"
+    ~title:
+      "Answered queries under message loss and unrepaired failures \
+       (resilient routing + lazy repair)"
+    ~header:
+      [
+        "loss %";
+        "down %";
+        "peers down";
+        "answered";
+        "stuck";
+        "msgs/query";
+        "retries";
+        "give-ups";
+        "repairs";
+      ]
+    ~notes:
+      [
+        Printf.sprintf
+          "N = %d peers; %d queries per cell targeting keys whose owners \
+           survive the initial crashes; bounded retransmissions on timeout; \
+           failures repaired only when routing peers observe and convict \
+           them (suspicion threshold %d). Every retransmission is a counted \
+           message."
+          n queries Baton.Failure.suspicion_threshold;
+      ]
+    rows

@@ -16,7 +16,8 @@ let experiments =
     ("fig8i", fun p -> [ Exp_dynamics.run p ]);
     (* Extensions beyond the paper's figures. *)
     ("ablation-tables", fun p -> [ Exp_ablation.run p ]);
-    ("fault-resilience", fun p -> [ Exp_fault.run p ]);
+    ( "fault-resilience+resilience",
+      fun p -> [ Exp_fault.run p; Exp_resilience.run p ] );
     ("replication", fun p -> [ Exp_replication.run p ]);
     ("moving-hotspot", fun p -> [ Exp_hotspot.run p ]);
     ("latency", fun p -> [ Exp_latency.run p ]);

@@ -1,1 +1,1 @@
-lib/sim/bus.ml: Hashtbl Metrics
+lib/sim/bus.ml: Baton_util Hashtbl Metrics Option

@@ -1,26 +1,107 @@
+module Rng = Baton_util.Rng
+
+type fault_config = {
+  drop_rate : float;
+  transient_rate : float;
+  transient_len : int;
+}
+
+type fault_state = {
+  config : fault_config;
+  frng : Rng.t;
+  (* peer id -> number of further incoming messages it will ignore *)
+  stunned : (int, int) Hashtbl.t;
+}
+
 type t = {
   metrics : Metrics.t;
   failed : (int, unit) Hashtbl.t;
+  mutable faults : fault_state option;
   mutable trace : (src:int -> dst:int -> kind:string -> unit) option;
 }
 
 exception Unreachable of int
+exception Timeout of int
+
+let drop_event = "fault.drop"
+let transient_event = "fault.transient"
 
 let create () =
-  { metrics = Metrics.create (); failed = Hashtbl.create 64; trace = None }
+  {
+    metrics = Metrics.create ();
+    failed = Hashtbl.create 64;
+    faults = None;
+    trace = None;
+  }
 
 let metrics t = t.metrics
 
 let is_failed t id = Hashtbl.mem t.failed id
 
+let set_faults t ?(transient_len = 2) ~seed ~drop_rate ~transient_rate () =
+  if drop_rate < 0. || drop_rate > 1. then
+    invalid_arg "Bus.set_faults: drop_rate outside [0, 1]";
+  if transient_rate < 0. || transient_rate > 1. then
+    invalid_arg "Bus.set_faults: transient_rate outside [0, 1]";
+  if transient_len < 1 then invalid_arg "Bus.set_faults: transient_len < 1";
+  t.faults <-
+    Some
+      {
+        config = { drop_rate; transient_rate; transient_len };
+        frng = Rng.create seed;
+        stunned = Hashtbl.create 64;
+      }
+
+let clear_faults t = t.faults <- None
+let faults_enabled t = Option.is_some t.faults
+
+let fault_config t =
+  match t.faults with None -> None | Some f -> Some f.config
+
+let stun t id ~msgs =
+  match t.faults with
+  | None -> invalid_arg "Bus.stun: no fault model installed"
+  | Some f -> Hashtbl.replace f.stunned id (max 1 msgs)
+
+(* Decide the fate of one transmitted message under the fault model.
+   A stunned destination consumes one of its silent slots without
+   advancing the PRNG; otherwise exactly one draw decides drop /
+   stun-and-drop / deliver, so the fault sequence is a pure function of
+   the fault seed and the order of sends. *)
+let fault_verdict t dst =
+  match t.faults with
+  | None -> `Deliver
+  | Some f -> (
+    match Hashtbl.find_opt f.stunned dst with
+    | Some n ->
+      if n <= 1 then Hashtbl.remove f.stunned dst
+      else Hashtbl.replace f.stunned dst (n - 1);
+      `Transient
+    | None ->
+      let u = Rng.float f.frng 1.0 in
+      if u < f.config.drop_rate then `Drop
+      else if u < f.config.drop_rate +. f.config.transient_rate then begin
+        Hashtbl.replace f.stunned dst (f.config.transient_len - 1);
+        `Transient
+      end
+      else `Deliver)
+
 let send t ~src ~dst ~kind =
   if src <> dst then begin
     (* The message is transmitted — and therefore counted — whether or
-       not the destination is alive; a dead destination just never
-       answers, which is how failures are discovered (Section III-C). *)
+       not the destination is alive or the network loses it; a missing
+       answer is how the sender discovers the problem (Section III-C). *)
     Metrics.record t.metrics ~dst ~kind;
     (match t.trace with None -> () | Some hook -> hook ~src ~dst ~kind);
-    if is_failed t dst then raise (Unreachable dst)
+    if is_failed t dst then raise (Unreachable dst);
+    match fault_verdict t dst with
+    | `Deliver -> ()
+    | `Drop ->
+      Metrics.event t.metrics drop_event;
+      raise (Timeout dst)
+    | `Transient ->
+      Metrics.event t.metrics transient_event;
+      raise (Timeout dst)
   end
 
 let fail t id = if not (is_failed t id) then Hashtbl.add t.failed id ()

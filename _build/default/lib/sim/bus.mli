@@ -6,13 +6,41 @@
     live peer discovers a dead one in the paper (Section III-C: "some
     nodes wishing to access the departed node will discover the address
     unreachable"). The bus never routes anything itself: routing is the
-    job of the overlay protocols built on top. *)
+    job of the overlay protocols built on top.
+
+    An optional, seeded fault model adds two weaker failure modes on
+    top of permanent crashes: probabilistic message loss and transient
+    (temporarily unresponsive) peers. Both surface as {!Timeout} — the
+    sender cannot tell a lost message from a slow peer, only that no
+    answer came back in time — and both are deterministic per fault
+    seed, so faulty runs replay exactly. *)
 
 type t
 
 exception Unreachable of int
-(** Raised by {!send} when the destination peer is failed. Carries the
-    failed peer id. *)
+(** Raised by {!send} when the destination peer is permanently failed.
+    Carries the failed peer id. *)
+
+exception Timeout of int
+(** Raised by {!send} when the fault model loses the message or the
+    destination is transiently unresponsive. The message was
+    transmitted (and counted); no answer will come. Carries the
+    destination peer id. *)
+
+type fault_config = {
+  drop_rate : float;  (** per-message loss probability in [\[0, 1\]] *)
+  transient_rate : float;
+      (** per-message probability that the destination goes silent *)
+  transient_len : int;
+      (** messages a freshly silent peer ignores (including this one) *)
+}
+
+val drop_event : string
+(** {!Metrics.event} name bumped on every lost message. *)
+
+val transient_event : string
+(** {!Metrics.event} name bumped on every message a transiently
+    unresponsive peer ignores. *)
 
 val create : unit -> t
 
@@ -24,7 +52,36 @@ val send : t -> src:int -> dst:int -> kind:string -> unit
     consulting its own state passes no network message. Messages to
     failed peers are still counted — they are transmitted, and the
     missing answer is how the sender discovers the failure.
-    @raise Unreachable if [dst] is failed. *)
+    @raise Unreachable if [dst] is permanently failed.
+    @raise Timeout if the fault model drops the message or [dst] is
+    transiently unresponsive. *)
+
+val set_faults :
+  t ->
+  ?transient_len:int ->
+  seed:int ->
+  drop_rate:float ->
+  transient_rate:float ->
+  unit ->
+  unit
+(** Install (or replace) the fault model. The fault PRNG is seeded
+    independently of every other stream so the same seed yields the
+    same drop/stun sequence for the same order of sends.
+    [transient_len] defaults to 2.
+    @raise Invalid_argument on rates outside [\[0, 1\]] or
+    [transient_len < 1]. *)
+
+val clear_faults : t -> unit
+(** Remove the fault model; sends become reliable again. *)
+
+val faults_enabled : t -> bool
+
+val fault_config : t -> fault_config option
+
+val stun : t -> int -> msgs:int -> unit
+(** Force a peer to ignore its next [msgs] incoming messages —
+    deterministic transient-failure injection for tests.
+    @raise Invalid_argument if no fault model is installed. *)
 
 val fail : t -> int -> unit
 (** Mark a peer as failed (crashed / abruptly departed). *)

@@ -3,6 +3,7 @@ type t = {
   by_kind : (string, int ref) Hashtbl.t;
   by_node : (int, int ref) Hashtbl.t;
   by_node_kind : (int * string, int ref) Hashtbl.t;
+  by_event : (string, int ref) Hashtbl.t;
 }
 
 let create () =
@@ -11,6 +12,7 @@ let create () =
     by_kind = Hashtbl.create 32;
     by_node = Hashtbl.create 1024;
     by_node_kind = Hashtbl.create 1024;
+    by_event = Hashtbl.create 32;
   }
 
 let bump tbl key =
@@ -26,25 +28,39 @@ let record t ~dst ~kind =
 
 let total t = t.total
 
+let event t name = bump t.by_event name
+
 let find tbl key = match Hashtbl.find_opt tbl key with Some r -> !r | None -> 0
 
 let kind_count t kind = find t.by_kind kind
 let node_count t node = find t.by_node node
 let node_kind_count t node kind = find t.by_node_kind (node, kind)
 
+let event_count t name = find t.by_event name
+
 let kinds t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_kind []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let events t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_event []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset t =
   t.total <- 0;
   Hashtbl.reset t.by_kind;
   Hashtbl.reset t.by_node;
-  Hashtbl.reset t.by_node_kind
+  Hashtbl.reset t.by_node_kind;
+  Hashtbl.reset t.by_event
 
-type checkpoint = { at_total : int; kind_snapshot : (string * int) list }
+type checkpoint = {
+  at_total : int;
+  kind_snapshot : (string * int) list;
+  event_snapshot : (string * int) list;
+}
 
-let checkpoint t = { at_total = t.total; kind_snapshot = kinds t }
+let checkpoint t =
+  { at_total = t.total; kind_snapshot = kinds t; event_snapshot = events t }
 
 let since t cp = t.total - cp.at_total
 
@@ -53,3 +69,9 @@ let kind_since t cp kind =
     match List.assoc_opt kind cp.kind_snapshot with Some n -> n | None -> 0
   in
   kind_count t kind - before
+
+let event_since t cp name =
+  let before =
+    match List.assoc_opt name cp.event_snapshot with Some n -> n | None -> 0
+  in
+  event_count t name - before

@@ -30,6 +30,18 @@ val node_kind_count : t -> int -> string -> int
 val kinds : t -> (string * int) list
 (** All (kind, count) pairs, sorted by kind. *)
 
+val event : t -> string -> unit
+(** Count one named simulator event. Events are everything worth
+    observing that is {e not} a passing message — lost or stale
+    deliveries, retransmissions, suspicion reports — so they never
+    perturb {!total}, the paper's metric. *)
+
+val event_count : t -> string -> int
+(** Occurrences of a named event (0 if none). *)
+
+val events : t -> (string * int) list
+(** All (event, count) pairs, sorted by name. *)
+
 val reset : t -> unit
 (** Zero every counter. *)
 
@@ -43,3 +55,6 @@ val since : t -> checkpoint -> int
 
 val kind_since : t -> checkpoint -> string -> int
 (** Messages of one kind recorded since the checkpoint. *)
+
+val event_since : t -> checkpoint -> string -> int
+(** Occurrences of one event recorded since the checkpoint. *)

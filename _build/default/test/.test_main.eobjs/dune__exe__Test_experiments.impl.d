@@ -1,1 +1,1 @@
-test/test_experiments.ml: Alcotest Baton_experiments List String
+test/test_experiments.ml: Alcotest Baton_experiments Filename List String

@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Array Baton Baton_sim Baton_util Filename List Option Sys

@@ -101,6 +101,29 @@ let test_fault_table () =
   Alcotest.(check bool) "failures cost messages" true
     (float_cell last 3 >= float_cell first 3)
 
+let test_resilience_table () =
+  let t = Baton_experiments.Exp_resilience.run tiny in
+  Alcotest.(check string) "id" "resilience" t.Table.id;
+  Alcotest.(check int) "loss x failure grid" 12 (List.length t.Table.rows);
+  (* The headline: queries for surviving keys are answered, not stuck,
+     even with loss and unrepaired failures in every cell. *)
+  List.iter
+    (fun row ->
+      let answered =
+        float_of_string (Filename.chop_suffix (List.nth row 3) "%")
+      in
+      Alcotest.(check bool) "answered >= 99%" true (answered >= 99.);
+      Alcotest.(check string) "no stuck queries" "0" (List.nth row 4))
+    t.Table.rows;
+  (* Loss produces retransmissions; an unrepaired-failure cell triggers
+     suspicion-driven repairs. *)
+  let lossy = List.nth t.Table.rows 11 in
+  Alcotest.(check bool) "retries under loss" true (float_cell lossy 6 > 0.);
+  Alcotest.(check bool) "lazy repairs fired" true (float_cell lossy 8 > 0.);
+  (* Byte-identical on a rerun: the sweep is a pure function of the seed. *)
+  let t2 = Baton_experiments.Exp_resilience.run tiny in
+  Alcotest.(check bool) "deterministic table" true (t = t2)
+
 let test_churn_sweep_table () =
   let t = Baton_experiments.Exp_churn_sweep.run tiny in
   Alcotest.(check string) "id" "churn-sweep" t.Table.id;
@@ -142,6 +165,7 @@ let suite =
     Alcotest.test_case "dynamics table" `Slow test_dynamics_table;
     Alcotest.test_case "ablation table" `Slow test_ablation_table;
     Alcotest.test_case "fault table" `Slow test_fault_table;
+    Alcotest.test_case "resilience table" `Slow test_resilience_table;
     Alcotest.test_case "churn sweep table" `Slow test_churn_sweep_table;
     Alcotest.test_case "runner covers figures" `Quick test_runner_covers_all_figures;
     Alcotest.test_case "run_one" `Slow test_run_one;

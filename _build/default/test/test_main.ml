@@ -29,6 +29,7 @@ let () =
       ("baton.balance", Test_baton_balance.suite);
       ("baton.dynamics", Test_baton_dynamics.suite);
       ("baton.fault_tolerance", Test_fault_tolerance.suite);
+      ("baton.resilience", Test_resilience.suite);
       ("baton.replication", Test_replication.suite);
       ("baton.viz", Test_viz.suite);
       ("chord", Test_chord.suite);

@@ -1,0 +1,240 @@
+(* Fault-injection bus + resilient routing: determinism of the fault
+   model, bounded retries, routing around silent/dead peers, partial
+   range answers, suspicion-driven repair, and snapshot round-trips of
+   the fault state. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Msg = Baton.Msg
+module Search = Baton.Search
+module Failure = Baton.Failure
+module Check = Baton.Check
+module Position = Baton.Position
+module Bus = Baton_sim.Bus
+module Metrics = Baton_sim.Metrics
+module Rng = Baton_util.Rng
+
+let build_with_keys ~seed ~n ~keys =
+  let net = N.build ~seed n in
+  let rng = Rng.create (seed + 1) in
+  let ks = Array.init keys (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (N.insert net) ks;
+  (net, ks)
+
+(* A deterministic lookup workload; exceptions are tolerated (and
+   counted) so faulty runs can be compared structurally. *)
+let drive net keys ~seed ~ops =
+  let rng = Rng.create seed in
+  let found = ref 0 and raised = ref 0 in
+  for _ = 1 to ops do
+    let k = Rng.pick rng keys in
+    match Search.lookup net ~from:(Net.random_peer net) k with
+    | true, _ -> incr found
+    | false, _ -> ()
+    | exception (Search.Routing_stuck _ | Bus.Unreachable _ | Bus.Timeout _) ->
+      incr raised
+  done;
+  (!found, !raised)
+
+let test_fault_model_deterministic () =
+  let run () =
+    let net, keys = build_with_keys ~seed:21 ~n:80 ~keys:200 in
+    Bus.set_faults (Net.bus net) ~seed:77 ~drop_rate:0.15 ~transient_rate:0.02 ();
+    let outcome = drive net keys ~seed:5 ~ops:150 in
+    let m = Net.metrics net in
+    (outcome, Metrics.total m, Metrics.events m)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical faulty runs" true (a = b);
+  let _, _, events = a in
+  Alcotest.(check bool) "faults actually fired" true
+    (List.mem_assoc Bus.drop_event events)
+
+let test_retries_bounded_at_total_loss () =
+  let net = N.build ~seed:23 12 in
+  Bus.set_faults (Net.bus net) ~seed:1 ~drop_rate:1.0 ~transient_rate:0. ();
+  let m = Net.metrics net in
+  let before = Metrics.total m in
+  (match Net.send net ~src:0 ~dst:1 ~kind:Msg.search_exact with
+  | (_ : Node.t) -> Alcotest.fail "send succeeded at 100% loss"
+  | exception Bus.Timeout dst -> Alcotest.(check int) "timed-out dst" 1 dst);
+  Alcotest.(check int) "attempts = 1 + retry_limit"
+    (1 + Net.retry_limit net)
+    (Metrics.total m - before);
+  Alcotest.(check int) "retry events" (Net.retry_limit net)
+    (Metrics.event_count m Msg.ev_retry);
+  Alcotest.(check int) "one give-up" 1 (Metrics.event_count m Msg.ev_give_up)
+
+let test_retries_ride_out_transient () =
+  let net = N.build ~seed:25 12 in
+  Bus.set_faults (Net.bus net) ~seed:1 ~drop_rate:0. ~transient_rate:0. ();
+  Bus.stun (Net.bus net) 1 ~msgs:2;
+  let m = Net.metrics net in
+  let before = Metrics.total m in
+  let (_ : Node.t) = Net.send net ~src:0 ~dst:1 ~kind:Msg.search_exact in
+  Alcotest.(check int) "two silent attempts + one delivered" 3
+    (Metrics.total m - before);
+  Alcotest.(check int) "two retries" 2 (Metrics.event_count m Msg.ev_retry);
+  Alcotest.(check int) "transient events" 2
+    (Metrics.event_count m Bus.transient_event)
+
+let test_exact_from_every_live_node_under_mass_failure () =
+  (* 20% unrepaired failures on a 200-peer tree: exact must still
+     terminate (no exception) from every live origin for every
+     surviving key probed. *)
+  let net, keys = build_with_keys ~seed:27 ~n:200 ~keys:400 in
+  let rng = Rng.create 13 in
+  let victims =
+    List.filter
+      (fun (n : Node.t) -> (not (Node.is_root n)) && Rng.int rng 100 < 20)
+      (Net.peers net)
+  in
+  Alcotest.(check bool) "enough victims" true (List.length victims >= 20);
+  List.iter (fun v -> Baton.Failure.crash net v) victims;
+  let dead_ranges = List.map (fun (v : Node.t) -> v.Node.range) victims in
+  let surviving =
+    Array.to_list keys
+    |> List.filter (fun k ->
+           not (List.exists (fun r -> Baton.Range.contains r k) dead_ranges))
+  in
+  let sample = Array.of_list surviving in
+  let origins =
+    List.filter
+      (fun (n : Node.t) -> not (Bus.is_failed (Net.bus net) n.Node.id))
+      (Net.peers net)
+  in
+  List.iteri
+    (fun i (origin : Node.t) ->
+      for j = 0 to 2 do
+        let k = sample.(((3 * i) + j) mod Array.length sample) in
+        let found, _ = Search.lookup net ~from:origin k in
+        Alcotest.(check bool) "surviving key found" true found
+      done)
+    origins
+
+let test_range_returns_partial_answer () =
+  let net, _ = build_with_keys ~seed:29 ~n:60 ~keys:300 in
+  let lo = 200_000_000 and hi = 800_000_000 in
+  let clean = Search.range net ~from:(Net.random_peer net) ~lo ~hi in
+  Alcotest.(check bool) "clean query complete" true clean.Search.complete;
+  (* Kill the owner of the interval's midpoint: the adjacent-link scan
+     must bridge the gap and flag the answer partial. *)
+  let mid = Search.exact net ~from:(Net.random_peer net) ((lo + hi) / 2) in
+  Baton.Failure.crash net mid.Search.node;
+  let faulty = Search.range net ~from:(Net.random_peer net) ~lo ~hi in
+  Alcotest.(check bool) "partial flagged" false faulty.Search.complete;
+  let expected =
+    List.filter
+      (fun k -> not (Baton.Range.contains mid.Search.node.Node.range k))
+      clean.Search.keys
+  in
+  Alcotest.(check (list int)) "partial keys = survivors" expected
+    faulty.Search.keys
+
+let test_suspicion_triggers_repair () =
+  let net, _ = build_with_keys ~seed:31 ~n:100 ~keys:100 in
+  Net.set_suspicion_repair net true;
+  let victim =
+    List.find (fun (n : Node.t) -> not (Node.is_root n)) (Net.peers net)
+  in
+  let vid = victim.Node.id in
+  Baton.Failure.crash net victim;
+  let observer =
+    List.find
+      (fun (n : Node.t) -> n.Node.id <> vid && not (Bus.is_failed (Net.bus net) n.Node.id))
+      (Net.peers net)
+  in
+  (* An unreachable address convicts immediately. *)
+  Failure.observe_unreachable net ~observer vid;
+  Alcotest.(check bool) "victim repaired" false (Bus.is_failed (Net.bus net) vid);
+  Alcotest.(check bool) "repair event" true
+    (Metrics.event_count (Net.metrics net) Msg.ev_repair_triggered >= 1);
+  Check.all net
+
+let test_timeout_suspicion_probes_before_repair () =
+  let net, _ = build_with_keys ~seed:33 ~n:60 ~keys:100 in
+  Net.set_suspicion_repair net true;
+  let peers = Net.peers net in
+  let target = List.find (fun (n : Node.t) -> not (Node.is_root n)) peers in
+  let observer = List.find (fun (n : Node.t) -> n.Node.id <> target.Node.id) peers in
+  (* A live peer accumulating timeout suspicion is probed and
+     acquitted: nothing is repaired, nothing moves. *)
+  let pos_before = target.Node.pos in
+  for _ = 1 to Failure.suspicion_threshold do
+    Failure.observe_timeout net ~observer target.Node.id
+  done;
+  Alcotest.(check bool) "live peer untouched" true
+    (Position.equal pos_before target.Node.pos
+    && Option.is_some (Net.peer_opt net target.Node.id));
+  Alcotest.(check int) "no repair" 0
+    (Metrics.event_count (Net.metrics net) Msg.ev_repair_triggered);
+  (* The same observations against a genuinely dead peer convict it. *)
+  Baton.Failure.crash net target;
+  for _ = 1 to Failure.suspicion_threshold do
+    Failure.observe_timeout net ~observer target.Node.id
+  done;
+  Alcotest.(check bool) "dead peer repaired" false
+    (Bus.is_failed (Net.bus net) target.Node.id);
+  Check.all net
+
+let test_snapshot_roundtrips_fault_state () =
+  let tmp = Filename.concat (Filename.get_temp_dir_name ()) "baton_fault.snap" in
+  let net, keys = build_with_keys ~seed:35 ~n:60 ~keys:200 in
+  Bus.set_faults (Net.bus net) ~seed:99 ~drop_rate:0.2 ~transient_rate:0.05 ();
+  Net.save net tmp;
+  let twin = Net.load tmp in
+  Sys.remove tmp;
+  Alcotest.(check bool) "fault model restored" true
+    (Bus.faults_enabled (Net.bus twin));
+  (match Bus.fault_config (Net.bus twin) with
+  | Some c ->
+    Alcotest.(check (float 1e-9)) "drop rate" 0.2 c.Bus.drop_rate;
+    Alcotest.(check (float 1e-9)) "transient rate" 0.05 c.Bus.transient_rate
+  | None -> Alcotest.fail "missing fault config");
+  (* Same seed, same ops: the original and the restored network must
+     replay the injected faults identically — identical message counts
+     and identical event counters. *)
+  let a = drive net keys ~seed:41 ~ops:200 in
+  let b = drive twin keys ~seed:41 ~ops:200 in
+  Alcotest.(check (pair int int)) "identical outcomes" a b;
+  Alcotest.(check int) "identical message counts"
+    (Metrics.total (Net.metrics net))
+    (Metrics.total (Net.metrics twin));
+  Alcotest.(check bool) "identical event counters" true
+    (Metrics.events (Net.metrics net) = Metrics.events (Net.metrics twin))
+
+let test_notify_loss_is_counted () =
+  let net = N.build ~seed:37 30 in
+  let m = Net.metrics net in
+  let victim = List.find (fun (n : Node.t) -> not (Node.is_root n)) (Net.peers net) in
+  Baton.Failure.crash net victim;
+  let src =
+    (List.find (fun (n : Node.t) -> n.Node.id <> victim.Node.id) (Net.peers net)).Node.id
+  in
+  Net.notify net ~src ~dst:victim.Node.id ~kind:Msg.join_update (fun _ ->
+      Alcotest.fail "delivered to a failed peer");
+  Alcotest.(check bool) "dropped notify counted" true
+    (Metrics.event_count m Msg.ev_notify_dropped >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "fault model deterministic per seed" `Quick
+      test_fault_model_deterministic;
+    Alcotest.test_case "retries bounded at 100% loss" `Quick
+      test_retries_bounded_at_total_loss;
+    Alcotest.test_case "retries ride out transients" `Quick
+      test_retries_ride_out_transient;
+    Alcotest.test_case "exact everywhere under 20% failures" `Quick
+      test_exact_from_every_live_node_under_mass_failure;
+    Alcotest.test_case "range returns partial answer" `Quick
+      test_range_returns_partial_answer;
+    Alcotest.test_case "suspicion triggers repair" `Quick
+      test_suspicion_triggers_repair;
+    Alcotest.test_case "timeout suspicion probes first" `Quick
+      test_timeout_suspicion_probes_before_repair;
+    Alcotest.test_case "snapshot round-trips fault state" `Quick
+      test_snapshot_roundtrips_fault_state;
+    Alcotest.test_case "lost notifications are counted" `Quick
+      test_notify_loss_is_counted;
+  ]

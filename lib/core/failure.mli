@@ -23,3 +23,24 @@ val repair : Net.t -> reporter:Node.t -> int -> unit
 val crash_and_repair : Net.t -> Node.t -> unit
 (** Convenience for tests and experiments: crash the node, then have a
     random live peer discover and repair it. *)
+
+val suspicion_threshold : int
+(** Timeout observations needed before a peer is probed and, if its
+    address turns out unreachable, repaired. *)
+
+val observe_unreachable : Net.t -> observer:Node.t -> int -> unit
+(** A routing peer discovered an unreachable address. When
+    suspicion-driven repair is enabled ({!Net.set_suspicion_repair}),
+    the observer initiates the repair protocol immediately — this is
+    the paper's lazy discovery path, replacing the test harness's god
+    view. The repair attempt tolerates the observer or any helper
+    dying (or timing out) mid-repair: it is abandoned and retried on a
+    later observation. A no-op when the detector is disabled. *)
+
+val observe_timeout : Net.t -> observer:Node.t -> int -> unit
+(** A routing peer saw a send time out. Timeouts on a lossy network do
+    not convict: the observation is counted, and once
+    {!suspicion_threshold} observations accumulate the observer probes
+    the suspect (one counted message) — only an unreachable answer
+    triggers repair; a live answer clears the suspicion. A no-op when
+    the detector is disabled. *)

@@ -24,6 +24,13 @@ val find_replacement : Net.t -> Node.t -> Node.t * int
     @raise Invalid_argument if called on a node that can depart
     directly. *)
 
+val resolve_replacement : Net.t -> Node.t -> Node.t * int
+(** [find_replacement] repeated until the candidate is a structural
+    leaf (re-fetching child links that were dropped while routing
+    around failures). Departing a node that merely *looks* like a leaf
+    through stale links would orphan its real subtree and break the
+    range tiling. Returns the leaver itself when the walk comes home. *)
+
 val direct_departure : Net.t -> Node.t -> kind:string -> unit
 (** Remove a directly-departing leaf: merge content and range into the
     parent, splice adjacent links, retract the leaver from its
