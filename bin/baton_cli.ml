@@ -190,24 +190,94 @@ let inspect nodes seed show_tree snapshot =
   Baton.Check.all net;
   Printf.printf "All structural invariants hold.\n"
 
-let trace nodes seed key =
+let trace nodes seed key json =
   let net = N.build ~seed nodes in
-  let hops = ref [] in
-  Baton_sim.Bus.set_trace (Net.bus net)
-    (Some (fun ~src ~dst ~kind -> hops := (src, dst, kind) :: !hops));
-  let origin = Net.random_peer net in
-  let outcome = Baton.Search.exact net ~from:origin key in
-  Baton_sim.Bus.set_trace (Net.bus net) None;
-  Printf.printf "exact search for key %d from peer %d:\n" key origin.Node.id;
-  Printf.printf "  start  %s\n" (Baton.Viz.node_line origin);
-  List.iter
-    (fun (src, dst, kind) ->
-      let node = Net.peer net dst in
-      Printf.printf "  %d->%d  %s  (%s)\n" src dst (Baton.Viz.node_line node) kind)
-    (List.rev !hops);
-  Printf.printf "answered at %s in %d hops\n"
-    (Baton.Viz.node_line outcome.Baton.Search.node)
-    outcome.Baton.Search.hops
+  if json then begin
+    (* Machine-readable span trace: the recorder is attached after the
+       build, so exactly the query's events are exported. Everything
+       downstream of the seed is deterministic, so two same-seed runs
+       emit byte-identical JSONL. *)
+    let recorder = Baton_obs.Recorder.create () in
+    Net.set_recorder net (Some recorder);
+    let origin = Net.random_peer net in
+    ignore (Baton.Search.exact net ~from:origin key);
+    Net.set_recorder net None;
+    print_string (Baton_obs.Export.events_jsonl recorder)
+  end
+  else begin
+    let hops = ref [] in
+    let sub =
+      Baton_sim.Bus.subscribe (Net.bus net) (fun ~src ~dst ~kind ->
+          hops := (src, dst, kind) :: !hops)
+    in
+    let origin = Net.random_peer net in
+    let outcome = Baton.Search.exact net ~from:origin key in
+    Baton_sim.Bus.unsubscribe (Net.bus net) sub;
+    Printf.printf "exact search for key %d from peer %d:\n" key origin.Node.id;
+    Printf.printf "  start  %s\n" (Baton.Viz.node_line origin);
+    List.iter
+      (fun (src, dst, kind) ->
+        let node = Net.peer net dst in
+        Printf.printf "  %d->%d  %s  (%s)\n" src dst (Baton.Viz.node_line node) kind)
+      (List.rev !hops);
+    Printf.printf "answered at %s in %d hops\n"
+      (Baton.Viz.node_line outcome.Baton.Search.node)
+      outcome.Baton.Search.hops
+  end
+
+(* Run a deterministic mixed workload under the telemetry recorder and
+   report per-operation-kind percentile digests plus per-node load
+   gauges — the tail-visibility companion to [simulate]'s means. *)
+let stats nodes seed keys_per_node queries churn_rounds =
+  let net = N.build ~seed nodes in
+  let recorder = Baton_obs.Recorder.create () in
+  Net.set_recorder net (Some recorder);
+  let gauge = Baton_obs.Gauge.create () in
+  let metrics = Net.metrics net in
+  let ops_done = ref 0 in
+  let sample_every = max 1 ((queries + (2 * churn_rounds)) / 8) in
+  let tick () =
+    incr ops_done;
+    if !ops_done mod sample_every = 0 then begin
+      let loads =
+        Metrics.per_node metrics |> List.map snd |> Array.of_list
+      in
+      Baton_obs.Gauge.sample gauge ~time:(float_of_int !ops_done) loads
+    end
+  in
+  let gen = Datagen.uniform (Rng.create (seed + 1)) in
+  let keys = Array.init (keys_per_node * nodes) (fun _ -> Datagen.next gen) in
+  Array.iter
+    (fun k -> ignore (Baton.Update.insert net ~from:(Net.random_peer net) k))
+    keys;
+  let crng = Rng.create (seed + 3) in
+  for _ = 1 to churn_rounds do
+    ignore (N.join net);
+    tick ();
+    if Net.size net > 2 then begin
+      let ids = Net.live_ids net in
+      N.leave net (Rng.pick crng ids)
+    end;
+    tick ()
+  done;
+  let qrng = Rng.create (seed + 2) in
+  let span = (Datagen.domain_hi - Datagen.domain_lo) / max 1 nodes * 5 in
+  for i = 1 to queries do
+    (if i mod 4 = 0 then
+       let lo =
+         Rng.int_in_range qrng ~lo:Datagen.domain_lo
+           ~hi:(Datagen.domain_hi - span)
+       in
+       ignore (Baton.Search.range net ~from:(Net.random_peer net) ~lo ~hi:(lo + span))
+     else
+       let k = Rng.pick qrng keys in
+       ignore (Baton.Search.lookup net ~from:(Net.random_peer net) k));
+    tick ()
+  done;
+  Net.set_recorder net None;
+  print_endline
+    (Baton_obs.Json.to_pretty_string
+       (Baton_obs.Export.stats_json ~load:gauge recorder))
 
 let compare_overlays nodes seed ops =
   let rng = Rng.create (seed + 9) in
@@ -255,9 +325,32 @@ let key_arg =
     value & opt int 123_456_789
     & info [ "key" ] ~docv:"KEY" ~doc:"Key to trace a query for.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the trace as JSONL span events instead of prose.")
+
 let trace_cmd =
   let doc = "Trace an exact-match query hop by hop." in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ nodes_arg $ seed_arg $ key_arg)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace $ nodes_arg $ seed_arg $ key_arg $ json_arg)
+
+let churn_rounds_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "churn" ] ~docv:"R" ~doc:"Join/leave rounds to include in the workload.")
+
+let stats_cmd =
+  let doc =
+    "Run a mixed workload under the telemetry recorder and report \
+     p50/p95/p99/max hop counts and message costs per operation kind, \
+     plus per-node load gauges."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const stats $ nodes_arg $ seed_arg $ keys_arg $ queries_arg
+      $ churn_rounds_arg)
 
 let simulate_cmd =
   let doc = "Build a network, load data, answer queries, report message costs." in
@@ -297,6 +390,6 @@ let inspect_cmd =
 let main =
   let doc = "BATON: balanced tree overlay simulator (VLDB 2005 reproduction)" in
   Cmd.group (Cmd.info "baton" ~doc)
-    [ simulate_cmd; churn_cmd; inspect_cmd; trace_cmd; compare_cmd ]
+    [ simulate_cmd; churn_cmd; inspect_cmd; trace_cmd; stats_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval main)

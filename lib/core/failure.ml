@@ -63,7 +63,7 @@ let regenerate net (guardian_node : Node.t) (dead : Node.t) =
       done)
     [ `Left; `Right ]
 
-let rec repair net ~reporter dead_id =
+let rec repair_run net ~reporter dead_id =
   match Net.peer_opt net dead_id with
   | None -> () (* already repaired *)
   | Some dead ->
@@ -82,7 +82,7 @@ let rec repair net ~reporter dead_id =
       List.iter
         (fun side ->
           match failed_child side with
-          | Some cid -> repair net ~reporter cid
+          | Some cid -> repair_run net ~reporter cid
           | None -> ())
         [ `Left; `Right ];
       match guardian net dead with
@@ -167,6 +167,12 @@ let rec repair net ~reporter dead_id =
         end
     end
 
+(* The public entry: one discovery-to-recovery episode is one span,
+   nested under whatever operation tripped over the failure. *)
+let repair net ~reporter dead_id =
+  Net.with_op net ~kind:Baton_obs.Span.repair (fun () ->
+      repair_run net ~reporter dead_id)
+
 let crash_and_repair net (x : Node.t) =
   crash net x;
   let reporter =
@@ -192,20 +198,20 @@ let suspicion_threshold = 3
    links, and the departure phase mutates shared state only after its
    messages went through. *)
 let trigger net ~observer suspect_id =
-  Baton_sim.Metrics.event (Net.metrics net) Msg.ev_repair_triggered;
+  Net.event net ~peer:suspect_id Msg.ev_repair_triggered;
   Net.clear_suspicion net suspect_id;
   try repair net ~reporter:observer suspect_id
   with Bus.Unreachable _ | Bus.Timeout _ | Not_found | Failure _ -> ()
 
 let observe_unreachable net ~observer dead_id =
   if Net.suspicion_repair net then begin
-    Baton_sim.Metrics.event (Net.metrics net) Msg.ev_suspect;
+    Net.event net ~peer:dead_id Msg.ev_suspect;
     trigger net ~observer dead_id
   end
 
 let observe_timeout net ~observer suspect_id =
   if Net.suspicion_repair net then begin
-    Baton_sim.Metrics.event (Net.metrics net) Msg.ev_suspect;
+    Net.event net ~peer:suspect_id Msg.ev_suspect;
     if Net.suspect net suspect_id >= suspicion_threshold then begin
       (* Probe before acting: only an unreachable address convicts.
          The probe is an ordinary counted message (with retries). *)

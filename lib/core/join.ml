@@ -196,14 +196,15 @@ let accept net ~acceptor:(x : Node.t) new_id =
   (y, Metrics.since (Net.metrics net) mcp)
 
 let join net ~via =
-  let acceptor, search_msgs = find_join_node net ~via in
-  let new_id = Net.fresh_id net in
-  let y, update_msgs = accept net ~acceptor new_id in
-  {
-    acceptor = acceptor.Node.id;
-    new_peer = y.Node.id;
-    search_msgs;
-    update_msgs;
-  }
+  Net.with_op net ~kind:Baton_obs.Span.join (fun () ->
+      let acceptor, search_msgs = find_join_node net ~via in
+      let new_id = Net.fresh_id net in
+      let y, update_msgs = accept net ~acceptor new_id in
+      {
+        acceptor = acceptor.Node.id;
+        new_peer = y.Node.id;
+        search_msgs;
+        update_msgs;
+      })
 
 let join_new_network net = Net.bootstrap net

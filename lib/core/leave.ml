@@ -179,7 +179,10 @@ let rec resolve_from net (x : Node.t) acc =
 
 let resolve_replacement net x = resolve_from net x 0
 
-let leave net (x : Node.t) =
+let rec leave net (x : Node.t) =
+  Net.with_op net ~kind:Baton_obs.Span.leave (fun () -> leave_run net x)
+
+and leave_run net (x : Node.t) =
   let metrics = Net.metrics net in
   let cp = Metrics.checkpoint metrics in
   ensure_fresh_children net x;

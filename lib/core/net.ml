@@ -1,5 +1,6 @@
 module Bus = Baton_sim.Bus
 module Metrics = Baton_sim.Metrics
+module Recorder = Baton_obs.Recorder
 module Rng = Baton_util.Rng
 module Histogram = Baton_util.Histogram
 
@@ -24,6 +25,11 @@ type t = {
   mutable retry_limit : int;
   suspicions : (int, int) Hashtbl.t;
   mutable suspicion_repair : bool;
+  (* Optional telemetry recorder. Purely an observer: it subscribes to
+     the bus for hops and is told about operation boundaries and
+     retry/timeout events, but never sends a message itself, so
+     enabling it cannot change [Metrics.total]. *)
+  mutable recorder : Recorder.t option;
 }
 
 let default_retry_limit = 3
@@ -44,6 +50,7 @@ let create ?(seed = 42) ~domain () =
     retry_limit = default_retry_limit;
     suspicions = Hashtbl.create 64;
     suspicion_repair = false;
+    recorder = None;
   }
 
 let bus t = t.bus
@@ -132,6 +139,27 @@ let random_peer t =
   in
   draw ()
 
+(* --- Telemetry ---------------------------------------------------- *)
+
+let set_recorder t r =
+  (match t.recorder with Some old -> Recorder.detach old | None -> ());
+  (match r with Some r -> Recorder.attach r t.bus | None -> ());
+  t.recorder <- r
+
+let recorder t = t.recorder
+
+let with_op t ~kind f =
+  match t.recorder with None -> f () | Some r -> Recorder.with_op r ~kind f
+
+let obs_note ?peer t name =
+  match t.recorder with None -> () | Some r -> Recorder.note ?peer r name
+
+(* One simulator event, visible to both instruments: the aggregate
+   [Metrics] event counter and (when present) the span recorder. *)
+let event ?peer t name =
+  Metrics.event (Bus.metrics t.bus) name;
+  obs_note ?peer t name
+
 let set_retry_limit t n =
   if n < 0 then invalid_arg "Net.set_retry_limit: negative";
   t.retry_limit <- n
@@ -150,9 +178,11 @@ let send_raw t ~src ~dst ~kind =
     | () -> ()
     | exception Bus.Timeout _ when k < t.retry_limit ->
       Metrics.event ev Msg.ev_retry;
+      (match t.recorder with Some r -> Recorder.retry r ~peer:dst | None -> ());
       attempt (k + 1)
     | exception (Bus.Timeout _ as e) ->
       Metrics.event ev Msg.ev_give_up;
+      obs_note ~peer:dst t Msg.ev_give_up;
       raise e
   in
   attempt 0
@@ -172,7 +202,7 @@ let set_suspicion_repair t flag = t.suspicion_repair <- flag
 let suspicion_repair t = t.suspicion_repair
 
 let apply_notification t ~src ~dst ~kind ~expect_pos f =
-  let ev name = Metrics.event (Bus.metrics t.bus) name in
+  let ev name = event ~peer:dst t name in
   (* Notifications are one-way cache refreshes: fire-and-forget, no
      retransmission. A lost one just widens the staleness window that
      the dynamics experiment measures; it is counted as an event so the
@@ -225,7 +255,10 @@ let snapshot_magic = "BATON-NET-v2"
 let save t path =
   if not (Baton_util.Dyn_array.is_empty t.deferred) then
     invalid_arg "Net.save: deferred notifications pending";
-  Bus.set_trace t.bus None;
+  (* Observers hold closures, which cannot be marshalled: drop them.
+     A loaded network starts unobserved, like a fresh one. *)
+  set_recorder t None;
+  Bus.clear_subscribers t.bus;
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

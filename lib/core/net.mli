@@ -72,6 +72,32 @@ val send_raw : t -> src:int -> dst:int -> kind:string -> unit
     map mid-protocol.
     @raise Baton_sim.Bus.Unreachable / [Timeout] as {!send}. *)
 
+(** {1 Telemetry}
+
+    An optional {!Baton_obs.Recorder} observes the network: bus hops
+    arrive via a bus subscription, operation boundaries and
+    retry/timeout events via the hooks below. The recorder is purely
+    an observer — attaching one never sends a message, so
+    [Metrics.total] is unchanged whether it is on or off. *)
+
+val set_recorder : t -> Baton_obs.Recorder.t option -> unit
+(** Install (attaching it to the bus) or remove the recorder. *)
+
+val recorder : t -> Baton_obs.Recorder.t option
+
+val with_op : t -> kind:string -> (unit -> 'a) -> 'a
+(** Run [f] inside a recorded operation span of the given kind; a
+    no-op wrapper when no recorder is installed. Protocol entry points
+    (search, join, leave, repair...) wrap themselves with this. *)
+
+val event : ?peer:int -> t -> string -> unit
+(** Count one named simulator event in {!metrics} {e and} note it on
+    the recorder's current span (when one is installed). *)
+
+val obs_note : ?peer:int -> t -> string -> unit
+(** Note an event on the recorder only (no metrics counter) — for
+    observations that are already counted elsewhere. *)
+
 val set_retry_limit : t -> int -> unit
 (** Retransmissions allowed per logical send (default 3). [0] disables
     retries. @raise Invalid_argument on negative values. *)

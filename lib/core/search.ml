@@ -1,4 +1,5 @@
 module Bus = Baton_sim.Bus
+module Span = Baton_obs.Span
 module Sorted_store = Baton_util.Sorted_store
 
 type outcome = { node : Node.t; hops : int }
@@ -35,7 +36,7 @@ let candidates (node : Node.t) v =
   in
   sideways @ structural
 
-let exact ?(kind = Msg.search_exact) net ~from v =
+let exact_walk net ~kind ~from v =
   let budget = hop_budget net in
   (* [tried] are the peers that timed out from the current node on this
      visit; it resets whenever a hop succeeds. A dead (unreachable)
@@ -73,6 +74,7 @@ let exact ?(kind = Msg.search_exact) net ~from v =
           (* Fault tolerance (Section III-D): drop the dead link,
              reconstitute the missing links through the surviving
              neighbourhood, and route on; the detour costs messages. *)
+          Net.obs_note net ~peer:dead Span.n_unreachable;
           Failure.observe_unreachable net ~observer:node dead;
           Node.drop_links_for_peer node dead;
           Wiring.rebuild_links ~skip_failed:true net node ~kind;
@@ -80,6 +82,7 @@ let exact ?(kind = Msg.search_exact) net ~from v =
         | exception Bus.Timeout silent ->
           (* The peer may be alive behind a lossy link: keep the link,
              file a suspicion, and try the next-best candidate. *)
+          Net.obs_note net ~peer:silent Span.n_timeout;
           Failure.observe_timeout net ~observer:node silent;
           loop node (hops + 1) ~tried:(silent :: tried)
         | exception Not_found ->
@@ -89,6 +92,14 @@ let exact ?(kind = Msg.search_exact) net ~from v =
           loop node (hops + 1) ~tried:[]))
   in
   loop from 0 ~tried:[]
+
+(* A standalone exact-match query is its own span; walks on behalf of a
+   larger operation (range locate, insert, delete) are recorded under
+   that operation's span instead. *)
+let exact ?(kind = Msg.search_exact) net ~from v =
+  if String.equal kind Msg.search_exact then
+    Net.with_op net ~kind:Span.exact (fun () -> exact_walk net ~kind ~from v)
+  else exact_walk net ~kind ~from v
 
 let lookup net ~from v =
   let { node; hops } = exact net ~from v in
@@ -145,11 +156,13 @@ let sweep net (node : Node.t) side ~lo ~hi =
           go next_node 0
         | exception Bus.Unreachable dead ->
           (* The peer is gone and its data with it. *)
+          Net.obs_note net ~peer:dead Span.n_unreachable;
           Failure.observe_unreachable net ~observer:n dead;
           bridge ~data_lost:true
         | exception Bus.Timeout silent ->
           (* Possibly alive behind a lossy link; its data may exist but
              cannot be fetched now, so the answer is partial. *)
+          Net.obs_note net ~peer:silent Span.n_timeout;
           Failure.observe_timeout net ~observer:n silent;
           bridge ~data_lost:true
         | exception Not_found ->
@@ -160,8 +173,7 @@ let sweep net (node : Node.t) side ~lo ~hi =
   go node 0;
   (!keys, !visited, !msgs, !complete)
 
-let range net ~from ~lo ~hi =
-  if lo > hi then invalid_arg "Search.range: lo > hi";
+let range_walk net ~from ~lo ~hi =
   (* Find any node intersecting the interval (the exact search for the
      left endpoint lands on the first intersection or just left of it),
      then per the paper "proceed left and/or right to cover the
@@ -183,3 +195,7 @@ let range net ~from ~lo ~hi =
     range_hops = hops + left_msgs + right_msgs;
     complete = left_complete && right_complete;
   }
+
+let range net ~from ~lo ~hi =
+  if lo > hi then invalid_arg "Search.range: lo > hi";
+  Net.with_op net ~kind:Span.range (fun () -> range_walk net ~from ~lo ~hi)

@@ -2,7 +2,10 @@ module Sorted_store = Baton_util.Sorted_store
 
 type insert_stats = { node : int; hops : int; expanded : bool }
 
-let insert net ~from key =
+let rec insert net ~from key =
+  Net.with_op net ~kind:Baton_obs.Span.insert (fun () -> insert_run net ~from key)
+
+and insert_run net ~from key =
   let { Search.node; hops } = Search.exact ~kind:Msg.insert net ~from key in
   let expanded =
     if Range.contains node.Node.range key then false
@@ -22,9 +25,10 @@ let insert net ~from key =
 type delete_stats = { node : int; hops : int; found : bool }
 
 let delete net ~from key =
-  let { Search.node; hops } = Search.exact ~kind:Msg.delete net ~from key in
-  let found = Sorted_store.remove node.Node.store key in
-  { node = node.Node.id; hops; found }
+  Net.with_op net ~kind:Baton_obs.Span.delete (fun () ->
+      let { Search.node; hops } = Search.exact ~kind:Msg.delete net ~from key in
+      let found = Sorted_store.remove node.Node.store key in
+      { node = node.Node.id; hops; found })
 
 type bulk_stats = { keys : int; nodes : int; msgs : int }
 

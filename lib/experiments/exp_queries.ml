@@ -7,10 +7,36 @@ type point = {
   delete : float;
   exact : float;
   range : float;
+  (* Tail percentiles of per-operation hop counts, filled only when
+     [Params.telemetry] attaches a recorder (BATON runs only); the
+     mean columns above are computed exactly as before either way. *)
+  exact_p95 : float;
+  exact_p99 : float;
+  range_p95 : float;
+  range_p99 : float;
 }
+
+let no_tail = { insert = 0.; delete = 0.; exact = 0.; range = 0.;
+                exact_p95 = 0.; exact_p99 = 0.; range_p95 = 0.; range_p99 = 0. }
+
+let tail_percentile recorder kind p =
+  match Baton_obs.Recorder.digest recorder kind with
+  | None -> 0.
+  | Some d ->
+    let h = Baton_obs.Recorder.digest_hops d in
+    if Baton_util.Histogram.total h = 0 then 0.
+    else float_of_int (Baton_util.Histogram.percentile h p)
 
 let baton_point ~seed ~n ~(p : Params.t) =
   let net, keys = Common.build_baton ~seed ~n ~keys_per_node:p.Params.keys_per_node () in
+  let recorder =
+    if p.Params.telemetry then begin
+      let r = Baton_obs.Recorder.create () in
+      Baton.Net.set_recorder net (Some r);
+      Some r
+    end
+    else None
+  in
   let rng = Rng.create (seed + 23) in
   let gen = Datagen.uniform (Rng.create (seed + 29)) in
   let q = p.Params.queries in
@@ -46,8 +72,16 @@ let baton_point ~seed ~n ~(p : Params.t) =
       spans
   in
   let module S = Baton_util.Stats in
+  let tail kind p =
+    match recorder with None -> 0. | Some r -> tail_percentile r kind p
+  in
+  Baton.Net.set_recorder net None;
   { insert = S.mean inserts; delete = S.mean deletes; exact = S.mean exacts;
-    range = S.mean ranges }
+    range = S.mean ranges;
+    exact_p95 = tail Baton_obs.Span.exact 95.;
+    exact_p99 = tail Baton_obs.Span.exact 99.;
+    range_p95 = tail Baton_obs.Span.range 95.;
+    range_p99 = tail Baton_obs.Span.range 99. }
 
 let chord_point ~seed ~n ~(p : Params.t) =
   let t, keys = Common.build_chord ~seed ~n ~keys_per_node:p.Params.keys_per_node in
@@ -64,7 +98,8 @@ let chord_point ~seed ~n ~(p : Params.t) =
       (Querygen.exact_targets rng ~keys q)
   in
   let module S = Baton_util.Stats in
-  { insert = S.mean inserts; delete = S.mean deletes; exact = S.mean exacts;
+  { no_tail with
+    insert = S.mean inserts; delete = S.mean deletes; exact = S.mean exacts;
     range = float_of_int (Chord.range_scan_cost t) }
 
 let multiway_point ~seed ~n ~(p : Params.t) =
@@ -93,7 +128,8 @@ let multiway_point ~seed ~n ~(p : Params.t) =
       spans
   in
   let module S = Baton_util.Stats in
-  { insert = S.mean inserts; delete = S.mean deletes; exact = S.mean exacts;
+  { no_tail with
+    insert = S.mean inserts; delete = S.mean deletes; exact = S.mean exacts;
     range = S.mean ranges }
 
 let run (p : Params.t) =
@@ -116,31 +152,45 @@ let run (p : Params.t) =
           (avg (fun (b, _, _) -> b.exact), avg (fun (_, c, _) -> c.exact),
            avg (fun (_, _, m) -> m.exact)),
           (avg (fun (b, _, _) -> b.range), avg (fun (_, c, _) -> c.range),
-           avg (fun (_, _, m) -> m.range)) ))
+           avg (fun (_, _, m) -> m.range)),
+          (avg (fun (b, _, _) -> b.exact_p95), avg (fun (b, _, _) -> b.exact_p99)),
+          (avg (fun (b, _, _) -> b.range_p95), avg (fun (b, _, _) -> b.range_p99)) ))
       p.Params.sizes
   in
   let f = Table.cell_float and i = Table.cell_int in
+  (* The telemetry columns ride alongside the paper's means; they exist
+     only when a recorder was attached, so the default tables are
+     byte-identical to the pre-telemetry ones. *)
+  let tail cols = if p.Params.telemetry then cols else [] in
   let fig8c =
     Table.make ~id:"fig8c" ~title:"Messages per insert and delete operation"
       ~header:
         [ "N"; "baton ins"; "chord ins"; "mtree ins"; "baton del"; "chord del";
           "mtree del" ]
       (List.map
-         (fun (n, (bi, ci, mi), (bd, cd, md), _, _) ->
+         (fun (n, (bi, ci, mi), (bd, cd, md), _, _, _, _) ->
            [ i n; f bi; f ci; f mi; f bd; f cd; f md ])
          points)
   in
   let fig8d =
     Table.make ~id:"fig8d" ~title:"Messages per exact-match query"
-      ~header:[ "N"; "baton"; "chord"; "mtree" ]
-      (List.map (fun (n, _, _, (b, c, m), _) -> [ i n; f b; f c; f m ]) points)
+      ~header:([ "N"; "baton"; "chord"; "mtree" ] @ tail [ "baton p95"; "baton p99" ])
+      (List.map
+         (fun (n, _, _, (b, c, m), _, (p95, p99), _) ->
+           [ i n; f b; f c; f m ] @ tail [ f p95; f p99 ])
+         points)
   in
   let fig8e =
     Table.make ~id:"fig8e" ~title:"Messages per range query"
-      ~header:[ "N"; "baton"; "mtree"; "chord (full scan)" ]
+      ~header:
+        ([ "N"; "baton"; "mtree"; "chord (full scan)" ]
+        @ tail [ "baton p95"; "baton p99" ])
       ~notes:
         [ "Chord hashes keys, so a range query must visit every peer; the \
            column reports that broadcast cost." ]
-      (List.map (fun (n, _, _, _, (b, c, m)) -> [ i n; f b; f m; f c ]) points)
+      (List.map
+         (fun (n, _, _, _, (b, c, m), _, (p95, p99)) ->
+           [ i n; f b; f m; f c ] @ tail [ f p95; f p99 ])
+         points)
   in
   (fig8c, fig8d, fig8e)

@@ -7,6 +7,7 @@ type t = {
   range_span : int;
   balance_capacity : int;
   seed : int;
+  telemetry : bool;
 }
 
 let quick =
@@ -19,6 +20,7 @@ let quick =
     range_span = 2_000_000;
     balance_capacity = 120;
     seed = 2005;
+    telemetry = false;
   }
 
 let full =
@@ -31,6 +33,7 @@ let full =
     range_span = 2_000_000;
     balance_capacity = 250;
     seed = 2005;
+    telemetry = false;
   }
 
 let tiny =
@@ -43,4 +46,5 @@ let tiny =
     range_span = 10_000_000;
     balance_capacity = 60;
     seed = 2005;
+    telemetry = false;
   }

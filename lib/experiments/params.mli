@@ -16,6 +16,12 @@ type t = {
   range_span : int;  (** width of range queries *)
   balance_capacity : int;  (** overload threshold for load balancing *)
   seed : int;
+  telemetry : bool;
+      (** attach a {!Baton_obs.Recorder} to BATON runs and append
+          p95/p99 percentile columns to the query tables. Off in every
+          preset: percentile digests never perturb the mean columns or
+          [Metrics.total], but the paper's tables stay byte-identical
+          unless explicitly asked for. *)
 }
 
 val quick : t

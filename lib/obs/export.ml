@@ -1,0 +1,156 @@
+(* Serialize recorder state: JSONL span traces (one event per line,
+   schema-stable field order, deterministic number formatting — two
+   same-seed runs emit byte-identical files), a JSON stats summary
+   with per-kind percentile digests, and a human-readable span tree. *)
+
+module Histogram = Baton_util.Histogram
+
+let event_json (e : Span.entry) =
+  let base = [ ("seq", Json.Int e.Span.seq); ("op", Json.Int e.Span.op) ] in
+  let time =
+    match e.Span.time with None -> [] | Some t -> [ ("t", Json.Float t) ]
+  in
+  let body =
+    match e.Span.ev with
+    | Span.Op_begin { kind; parent } ->
+      [
+        ("ev", Json.String "begin");
+        ("kind", Json.String kind);
+        ( "parent",
+          match parent with None -> Json.Null | Some p -> Json.Int p );
+      ]
+    | Span.Op_end { ok; hops; msgs } ->
+      [
+        ("ev", Json.String "end");
+        ("ok", Json.Bool ok);
+        ("hops", Json.Int hops);
+        ("msgs", Json.Int msgs);
+      ]
+    | Span.Hop { src; dst; msg } ->
+      [
+        ("ev", Json.String "hop");
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("msg", Json.String msg);
+      ]
+    | Span.Note { name; peer } ->
+      [
+        ("ev", Json.String "note");
+        ("name", Json.String name);
+        ("peer", match peer with None -> Json.Null | Some p -> Json.Int p);
+      ]
+  in
+  Json.Obj (base @ time @ body)
+
+let events_jsonl recorder =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_json e));
+      Buffer.add_char buf '\n')
+    (Recorder.events recorder);
+  Buffer.contents buf
+
+let hist_json h =
+  if Histogram.total h = 0 then Json.Null
+  else
+    Json.Obj
+      [
+        ("mean", Json.Float (Histogram.mean h));
+        ("p50", Json.Int (Histogram.percentile h 50.));
+        ("p95", Json.Int (Histogram.percentile h 95.));
+        ("p99", Json.Int (Histogram.percentile h 99.));
+        ("max", Json.Int (Option.value ~default:0 (Histogram.max_value h)));
+      ]
+
+let gauge_sample_json (s : Gauge.sample) =
+  Json.Obj
+    [
+      ("t", Json.Float s.Gauge.time);
+      ("nodes", Json.Int s.Gauge.nodes);
+      ("total", Json.Int s.Gauge.total);
+      ("mean", Json.Float s.Gauge.mean);
+      ("p50", Json.Int s.Gauge.p50);
+      ("p95", Json.Int s.Gauge.p95);
+      ("p99", Json.Int s.Gauge.p99);
+      ("max", Json.Int s.Gauge.max);
+    ]
+
+let stats_json ?load recorder =
+  let ops =
+    List.map
+      (fun kind ->
+        let d = Option.get (Recorder.digest recorder kind) in
+        Json.Obj
+          [
+            ("kind", Json.String kind);
+            ("count", Json.Int (Recorder.digest_ops d));
+            ("hops", hist_json (Recorder.digest_hops d));
+            ("msgs", hist_json (Recorder.digest_msgs d));
+          ])
+      (Recorder.kinds recorder)
+  in
+  let base =
+    [
+      ("ops", Json.List ops);
+      ( "events",
+        Json.Obj
+          [
+            ("recorded", Json.Int (Recorder.recorded recorder));
+            ("dropped", Json.Int (Recorder.dropped recorder));
+          ] );
+    ]
+  in
+  let load_field =
+    match load with
+    | None -> []
+    | Some gauge ->
+      [ ("load", Json.List (List.map gauge_sample_json (Gauge.samples gauge))) ]
+  in
+  Json.Obj (base @ load_field)
+
+(* Human-readable span tree: operations indent under their parent,
+   with their hop/note events listed in order. *)
+let span_tree recorder =
+  let buf = Buffer.create 1024 in
+  let depth = Hashtbl.create 16 in
+  let indent op =
+    (* An event outside any op (op = -1) prints flush left. *)
+    String.make (2 * (match Hashtbl.find_opt depth op with Some d -> d | None -> 0)) ' '
+  in
+  let stamp (e : Span.entry) =
+    match e.Span.time with
+    | Some t -> Printf.sprintf "t=%-8.2f" t
+    | None -> Printf.sprintf "#%-6d" e.Span.seq
+  in
+  List.iter
+    (fun (e : Span.entry) ->
+      match e.Span.ev with
+      | Span.Op_begin { kind; parent } ->
+        let d =
+          match parent with
+          | Some p -> 1 + Option.value ~default:0 (Hashtbl.find_opt depth p)
+          | None -> 0
+        in
+        Hashtbl.replace depth e.Span.op d;
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s op#%d %s\n" (String.make (2 * d) ' ') (stamp e)
+             e.Span.op kind)
+      | Span.Op_end { ok; hops; msgs } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s op#%d %s (hops=%d msgs=%d)\n" (indent e.Span.op)
+             (stamp e) e.Span.op
+             (if ok then "done" else "FAILED")
+             hops msgs)
+      | Span.Hop { src; dst; msg } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s  %s %d -> %d  %s\n" (indent e.Span.op) (stamp e)
+             src dst msg)
+      | Span.Note { name; peer } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s  %s ! %s%s\n" (indent e.Span.op) (stamp e) name
+             (match peer with
+             | Some p -> Printf.sprintf " (peer %d)" p
+             | None -> "")))
+    (Recorder.events recorder);
+  Buffer.contents buf

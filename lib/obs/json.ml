@@ -1,0 +1,108 @@
+(* Minimal JSON writer for telemetry export.
+
+   The repository deliberately avoids external dependencies; this
+   module covers exactly what the exporters need: deterministic,
+   schema-stable output (object fields are emitted in the order given,
+   floats through one fixed format), so that two same-seed runs produce
+   byte-identical files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.12g" v
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float v -> Buffer.add_string buf (float_repr v)
+  | String s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\":";
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* Two-space indented rendering for human-facing summaries. *)
+let rec write_pretty buf indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v -> write buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | List l ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        Buffer.add_string buf "  ";
+        write_pretty buf (indent + 2) v)
+      l;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf pad;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        Buffer.add_string buf "  \"";
+        escape buf k;
+        Buffer.add_string buf "\": ";
+        write_pretty buf (indent + 2) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf pad;
+    Buffer.add_char buf '}'
+
+let to_pretty_string v =
+  let buf = Buffer.create 512 in
+  write_pretty buf 0 v;
+  Buffer.contents buf

@@ -1,0 +1,163 @@
+(* The telemetry recorder: collects span events into a bounded ring
+   buffer and streams per-operation-kind digests.
+
+   Purely an observer. It never sends a message, so attaching a
+   recorder cannot change [Metrics.total] — the paper's metric — by a
+   single count. Million-message runs stay O(capacity) in memory: old
+   events are overwritten (and tallied in [dropped]), while the digests
+   are streaming histograms whose size is bounded by the number of
+   distinct per-operation costs. *)
+
+module Bus = Baton_sim.Bus
+module Engine = Baton_sim.Engine
+module Histogram = Baton_util.Histogram
+
+type op_state = {
+  id : int;
+  op_kind : Span.kind;
+  mutable msgs : int;
+  mutable retries : int;
+}
+
+(* Streaming per-kind digest: how many operations completed, and the
+   distributions of their hop counts (first transmissions) and message
+   costs (every transmission, retries included). *)
+type digest = {
+  mutable ops : int;
+  hops : Histogram.t;
+  msgs : Histogram.t;
+}
+
+type t = {
+  capacity : int;
+  ring : Span.entry option array;
+  mutable total : int;
+  mutable next_op : int;
+  (* Innermost operation first. *)
+  mutable stack : op_state list;
+  digests : (string, digest) Hashtbl.t;
+  mutable clock : (unit -> float) option;
+  mutable attached : (Bus.t * Bus.subscription) option;
+}
+
+let default_capacity = 65_536
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity < 1";
+  {
+    capacity;
+    ring = Array.make capacity None;
+    total = 0;
+    next_op = 0;
+    stack = [];
+    digests = Hashtbl.create 16;
+    clock = None;
+    attached = None;
+  }
+
+let set_clock t clock = t.clock <- clock
+let use_engine t engine = t.clock <- Some (fun () -> Engine.now engine)
+
+let record t ~op ev =
+  let entry =
+    {
+      Span.seq = t.total;
+      op;
+      time = (match t.clock with None -> None | Some now -> Some (now ()));
+      ev;
+    }
+  in
+  t.ring.(t.total mod t.capacity) <- Some entry;
+  t.total <- t.total + 1
+
+let current_op t =
+  match t.stack with [] -> -1 | op :: _ -> op.id
+
+let on_hop t ~src ~dst ~kind =
+  List.iter (fun (op : op_state) -> op.msgs <- op.msgs + 1) t.stack;
+  record t ~op:(current_op t) (Span.Hop { src; dst; msg = kind })
+
+let note ?peer t name =
+  record t ~op:(current_op t) (Span.Note { name; peer })
+
+(* A retransmission: already counted as a hop (the retry passes over
+   the bus again), so we additionally mark it as a retry to keep hop
+   counts (distinct forward progress) separate from message costs. *)
+let retry t ~peer =
+  List.iter (fun (op : op_state) -> op.retries <- op.retries + 1) t.stack;
+  note ~peer t Span.n_retry
+
+let digest_for t kind =
+  match Hashtbl.find_opt t.digests kind with
+  | Some d -> d
+  | None ->
+    let d = { ops = 0; hops = Histogram.create (); msgs = Histogram.create () } in
+    Hashtbl.add t.digests kind d;
+    d
+
+let begin_op t ~kind =
+  let parent = match t.stack with [] -> None | op :: _ -> Some op.id in
+  let op = { id = t.next_op; op_kind = kind; msgs = 0; retries = 0 } in
+  t.next_op <- op.id + 1;
+  t.stack <- op :: t.stack;
+  record t ~op:op.id (Span.Op_begin { kind; parent });
+  op.id
+
+let end_op t ~ok =
+  match t.stack with
+  | [] -> invalid_arg "Recorder.end_op: no open operation"
+  | op :: rest ->
+    t.stack <- rest;
+    let hops = op.msgs - op.retries in
+    record t ~op:op.id (Span.Op_end { ok; hops; msgs = op.msgs });
+    let d = digest_for t op.op_kind in
+    d.ops <- d.ops + 1;
+    Histogram.add d.hops hops;
+    Histogram.add d.msgs op.msgs
+
+let with_op t ~kind f =
+  ignore (begin_op t ~kind : int);
+  match f () with
+  | result ->
+    end_op t ~ok:true;
+    result
+  | exception e ->
+    end_op t ~ok:false;
+    raise e
+
+let attach t bus =
+  match t.attached with
+  | Some _ -> invalid_arg "Recorder.attach: already attached"
+  | None ->
+    let sub = Bus.subscribe bus (fun ~src ~dst ~kind -> on_hop t ~src ~dst ~kind) in
+    t.attached <- Some (bus, sub)
+
+let detach t =
+  match t.attached with
+  | None -> ()
+  | Some (bus, sub) ->
+    Bus.unsubscribe bus sub;
+    t.attached <- None
+
+(* --- Read side ---------------------------------------------------- *)
+
+let recorded t = t.total
+let dropped t = max 0 (t.total - t.capacity)
+let open_ops t = List.length t.stack
+
+(* Surviving events, oldest first. *)
+let events t =
+  let n = min t.total t.capacity in
+  let first = t.total - n in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let kinds t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.digests [] |> List.sort compare
+
+let digest t kind = Hashtbl.find_opt t.digests kind
+let digest_ops d = d.ops
+let digest_hops d = d.hops
+let digest_msgs d = d.msgs

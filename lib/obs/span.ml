@@ -1,0 +1,44 @@
+(* Span model: one *operation* (a join, a range query, a repair...) is
+   a span; everything observed while it runs — bus hops, retries,
+   timeouts, repair steps — is a timestamped event tagged with the
+   operation's id. Operations nest (a search can trigger a repair),
+   so an event belongs to the innermost open operation.
+
+   Time is virtual: [Engine.now] when the recorder is given a clock,
+   otherwise the event's global sequence number doubles as a hop
+   index — either way a pure function of the run's seed, never the
+   wall clock, so traces are byte-reproducible. *)
+
+(* Operation kinds. Plain strings so extensions (replication,
+   balancing...) can add kinds without touching this module; the
+   constants below are the taxonomy the core protocols emit. *)
+type kind = string
+
+let join = "join"
+let leave = "leave"
+let exact = "exact"
+let range = "range"
+let insert = "insert"
+let delete = "delete"
+let restructure = "restructure"
+let repair = "repair"
+
+(* Event names carried by [Note]. *)
+let n_retry = "send.retry"
+let n_give_up = "send.give_up"
+let n_timeout = "net.timeout"
+let n_unreachable = "net.unreachable"
+let n_repair_triggered = "repair.triggered"
+
+type event =
+  | Op_begin of { kind : kind; parent : int option }
+  | Op_end of { ok : bool; hops : int; msgs : int }
+  | Hop of { src : int; dst : int; msg : string }
+  | Note of { name : string; peer : int option }
+
+type entry = {
+  seq : int;  (** global event index; the hop index when there is no clock *)
+  op : int;  (** owning operation id, -1 when outside any operation *)
+  time : float option;  (** virtual time, when the recorder has a clock *)
+  ev : event;
+}

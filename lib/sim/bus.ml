@@ -13,11 +13,17 @@ type fault_state = {
   stunned : (int, int) Hashtbl.t;
 }
 
+type hop_hook = src:int -> dst:int -> kind:string -> unit
+
 type t = {
   metrics : Metrics.t;
   failed : (int, unit) Hashtbl.t;
   mutable faults : fault_state option;
-  mutable trace : (src:int -> dst:int -> kind:string -> unit) option;
+  (* Hop subscribers, in subscription order. Kept as an immutable list
+     so [send] can iterate without caring about concurrent
+     (un)subscription from inside a hook. *)
+  mutable subscribers : (int * hop_hook) list;
+  mutable next_subscriber : int;
 }
 
 exception Unreachable of int
@@ -31,8 +37,33 @@ let create () =
     metrics = Metrics.create ();
     failed = Hashtbl.create 64;
     faults = None;
-    trace = None;
+    subscribers = [];
+    next_subscriber = 0;
   }
+
+(* --- Hop-trace subscriptions --------------------------------------
+
+   Multiple observers (latency measurement, CLI tracing, the telemetry
+   recorder) can watch the bus at once; each holds a token and removes
+   only its own hook, so they compose instead of clobbering each
+   other. *)
+
+type subscription = int
+
+let subscribe t hook =
+  let id = t.next_subscriber in
+  t.next_subscriber <- id + 1;
+  t.subscribers <- t.subscribers @ [ (id, hook) ];
+  id
+
+let unsubscribe t id =
+  t.subscribers <- List.filter (fun (i, _) -> i <> id) t.subscribers
+
+let subscriber_count t = List.length t.subscribers
+
+(* Drop every hook, e.g. before marshalling the bus (closures cannot be
+   serialized). *)
+let clear_subscribers t = t.subscribers <- []
 
 let metrics t = t.metrics
 
@@ -92,7 +123,7 @@ let send t ~src ~dst ~kind =
        not the destination is alive or the network loses it; a missing
        answer is how the sender discovers the problem (Section III-C). *)
     Metrics.record t.metrics ~dst ~kind;
-    (match t.trace with None -> () | Some hook -> hook ~src ~dst ~kind);
+    List.iter (fun (_, hook) -> hook ~src ~dst ~kind) t.subscribers;
     if is_failed t dst then raise (Unreachable dst);
     match fault_verdict t dst with
     | `Deliver -> ()
@@ -107,4 +138,3 @@ let send t ~src ~dst ~kind =
 let fail t id = if not (is_failed t id) then Hashtbl.add t.failed id ()
 let revive t id = Hashtbl.remove t.failed id
 let failed_count t = Hashtbl.length t.failed
-let set_trace t hook = t.trace <- hook

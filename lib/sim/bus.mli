@@ -93,6 +93,28 @@ val is_failed : t -> int -> bool
 
 val failed_count : t -> int
 
-val set_trace : t -> (src:int -> dst:int -> kind:string -> unit) option -> unit
-(** Install (or remove) a hook observing every accounted message, e.g.
-    to record hop traces in examples. *)
+(** {1 Hop-trace subscriptions}
+
+    Any number of observers (latency measurement, CLI tracing, the
+    {!Baton_obs} telemetry recorder) can watch the bus at once. Each
+    {!subscribe} returns a token; {!unsubscribe} removes only that
+    hook, so independent observers compose instead of clobbering each
+    other. Hooks run in subscription order, after the message is
+    counted and before any failure outcome is decided, so every
+    observer sees every transmitted message. *)
+
+type hop_hook = src:int -> dst:int -> kind:string -> unit
+
+type subscription
+
+val subscribe : t -> hop_hook -> subscription
+(** Install a hook observing every accounted message. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Remove one previously installed hook; unknown tokens are ignored. *)
+
+val subscriber_count : t -> int
+
+val clear_subscribers : t -> unit
+(** Remove every hook — required before marshalling the bus, since
+    closures cannot be serialized. *)

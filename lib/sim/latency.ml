@@ -26,13 +26,15 @@ let of_pair t ~src ~dst =
 
 let measure t bus f =
   let total = ref 0. in
-  let previous_restored = ref false in
-  Bus.set_trace bus
-    (Some (fun ~src ~dst ~kind:_ -> total := !total +. of_pair t ~src ~dst));
+  let unsubscribed = ref false in
+  let sub =
+    Bus.subscribe bus (fun ~src ~dst ~kind:_ ->
+        total := !total +. of_pair t ~src ~dst)
+  in
   let finish () =
-    if not !previous_restored then begin
-      Bus.set_trace bus None;
-      previous_restored := true
+    if not !unsubscribed then begin
+      Bus.unsubscribe bus sub;
+      unsubscribed := true
     end
   in
   match f () with

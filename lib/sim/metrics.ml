@@ -46,6 +46,10 @@ let events t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_event []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let per_node t =
+  Hashtbl.fold (fun n r acc -> (n, !r) :: acc) t.by_node []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let reset t =
   t.total <- 0;
   Hashtbl.reset t.by_kind;

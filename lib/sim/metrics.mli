@@ -30,6 +30,10 @@ val node_kind_count : t -> int -> string -> int
 val kinds : t -> (string * int) list
 (** All (kind, count) pairs, sorted by kind. *)
 
+val per_node : t -> (int * int) list
+(** All (node, messages processed) pairs, sorted by node id — the raw
+    material for access-load skew analysis (Figure 8(f)). *)
+
 val event : t -> string -> unit
 (** Count one named simulator event. Events are everything worth
     observing that is {e not} a passing message — lost or stale

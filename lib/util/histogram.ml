@@ -23,6 +23,18 @@ let max_value t =
   | [] -> None
   | l -> Some (fst (List.nth l (List.length l - 1)))
 
+(* Nearest-rank percentile over the binned values: the smallest value v
+   such that at least ceil(p/100 * total) observations are <= v. *)
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p outside [0, 100]";
+  let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.total))) in
+  let rec go remaining = function
+    | [] -> assert false
+    | (v, c) :: rest -> if remaining <= c then v else go (remaining - c) rest
+  in
+  go rank (bins t)
+
 let mean t =
   if t.total = 0 then 0.
   else

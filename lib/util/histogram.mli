@@ -28,5 +28,12 @@ val bins : t -> (int * int) list
 val mean : t -> float
 (** Mean of the observations; 0. when empty. *)
 
+val percentile : t -> float -> int
+(** [percentile t p] is the nearest-rank [p]-th percentile: the
+    smallest value with at least [ceil (p/100 * total)] observations
+    at or below it. [percentile t 100.] is the maximum.
+    @raise Invalid_argument on an empty histogram or [p] outside
+    [\[0, 100\]]. *)
+
 val pp : Format.formatter -> t -> unit
 (** One line per bin: [value: count]. *)

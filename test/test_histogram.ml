@@ -34,10 +34,41 @@ let test_max_value_mean () =
   Alcotest.(check (option int)) "max" (Some 8) (Histogram.max_value h);
   Alcotest.(check bool) "mean" true (Float.abs (Histogram.mean h -. 3.5) < 1e-9)
 
+let test_percentile () =
+  let h = Histogram.create () in
+  (* 1..100, once each: the nearest-rank percentile is the value itself. *)
+  for v = 1 to 100 do
+    Histogram.add h v
+  done;
+  Alcotest.(check int) "p50" 50 (Histogram.percentile h 50.);
+  Alcotest.(check int) "p95" 95 (Histogram.percentile h 95.);
+  Alcotest.(check int) "p99" 99 (Histogram.percentile h 99.);
+  Alcotest.(check int) "p100 = max" 100 (Histogram.percentile h 100.);
+  Alcotest.(check int) "p0 clamps to min" 1 (Histogram.percentile h 0.)
+
+let test_percentile_skewed () =
+  let h = Histogram.create () in
+  Histogram.add_many h 1 99;
+  Histogram.add h 1000;
+  Alcotest.(check int) "median of skew" 1 (Histogram.percentile h 50.);
+  Alcotest.(check int) "p99 stays low" 1 (Histogram.percentile h 99.);
+  Alcotest.(check int) "p100 catches outlier" 1000 (Histogram.percentile h 100.)
+
+let test_percentile_errors () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Histogram.percentile: empty histogram")
+    (fun () -> ignore (Histogram.percentile h 50.));
+  Histogram.add h 1;
+  Alcotest.check_raises "out of range" (Invalid_argument "Histogram.percentile: p outside [0, 100]")
+    (fun () -> ignore (Histogram.percentile h 101.))
+
 let suite =
   [
     Alcotest.test_case "add/count" `Quick test_add_count;
     Alcotest.test_case "add_many" `Quick test_add_many;
     Alcotest.test_case "bins sorted" `Quick test_bins_sorted;
     Alcotest.test_case "max/mean" `Quick test_max_value_mean;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile skewed" `Quick test_percentile_skewed;
+    Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
   ]

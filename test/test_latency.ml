@@ -50,10 +50,12 @@ let test_measure_restores_trace_and_raises () =
   (match Latency.measure l bus (fun () -> failwith "boom") with
   | exception Failure m -> Alcotest.(check string) "exception propagates" "boom" m
   | _ -> Alcotest.fail "expected exception");
-  (* The trace hook must have been removed. *)
+  (* The measurement subscription must have been removed. *)
+  Alcotest.(check int) "no leftover subscriber" 0 (Bus.subscriber_count bus);
   let hits = ref 0 in
-  Bus.set_trace bus (Some (fun ~src:_ ~dst:_ ~kind:_ -> incr hits));
+  let sub = Bus.subscribe bus (fun ~src:_ ~dst:_ ~kind:_ -> incr hits) in
   Bus.send bus ~src:1 ~dst:2 ~kind:"x";
+  Bus.unsubscribe bus sub;
   Alcotest.(check int) "fresh hook in place" 1 !hits
 
 let test_measure_zero_messages () =
@@ -61,6 +63,31 @@ let test_measure_zero_messages () =
   let bus = Bus.create () in
   let (), ms = Latency.measure l bus (fun () -> ()) in
   Alcotest.(check bool) "zero" true (ms = 0.)
+
+(* Regression: installing another observer (as `baton_cli trace` does)
+   while a measurement is running must not drop either subscriber —
+   the single-slot hook this replaces silently evicted one of them. *)
+let test_measure_composes_with_other_subscribers () =
+  let l = Latency.create ~seed:9 () in
+  let bus = Bus.create () in
+  let cli_hops = ref 0 in
+  let cli = Bus.subscribe bus (fun ~src:_ ~dst:_ ~kind:_ -> incr cli_hops) in
+  let (), ms =
+    Latency.measure l bus (fun () ->
+        Bus.send bus ~src:1 ~dst:2 ~kind:"x";
+        (* A second observer installed mid-measurement also sticks. *)
+        let mid_hops = ref 0 in
+        let mid = Bus.subscribe bus (fun ~src:_ ~dst:_ ~kind:_ -> incr mid_hops) in
+        Bus.send bus ~src:2 ~dst:3 ~kind:"x";
+        Bus.unsubscribe bus mid;
+        Alcotest.(check int) "mid-flight subscriber saw the hop" 1 !mid_hops)
+  in
+  let expect = Latency.of_pair l ~src:1 ~dst:2 +. Latency.of_pair l ~src:2 ~dst:3 in
+  Alcotest.(check bool) "measurement saw both hops" true
+    (Float.abs (ms -. expect) < 1e-9);
+  Alcotest.(check int) "cli trace saw both hops" 2 !cli_hops;
+  Bus.unsubscribe bus cli;
+  Alcotest.(check int) "only cli left to remove" 0 (Bus.subscriber_count bus)
 
 let suite =
   [
@@ -70,4 +97,6 @@ let suite =
     Alcotest.test_case "measure sums hops" `Quick test_measure_sums_hops;
     Alcotest.test_case "measure restores/raises" `Quick test_measure_restores_trace_and_raises;
     Alcotest.test_case "measure zero" `Quick test_measure_zero_messages;
+    Alcotest.test_case "measure composes with subscribers" `Quick
+      test_measure_composes_with_other_subscribers;
   ]

@@ -12,6 +12,7 @@ let () =
       ("util.histogram", Test_histogram.suite);
       ("sim", Test_sim.suite);
       ("sim.latency", Test_latency.suite);
+      ("obs", Test_obs.suite);
       ("baton.position", Test_position.suite);
       ("baton.range", Test_range.suite);
       ("baton.routing_table", Test_routing_table.suite);

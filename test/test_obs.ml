@@ -1,0 +1,255 @@
+(* Tracing / telemetry layer: recorder semantics, export formats, and
+   the invariant that observing a run never changes what it measures. *)
+
+module Bus = Baton_sim.Bus
+module Metrics = Baton_sim.Metrics
+module Histogram = Baton_util.Histogram
+module Rng = Baton_util.Rng
+module Span = Baton_obs.Span
+module Recorder = Baton_obs.Recorder
+module Gauge = Baton_obs.Gauge
+module Json = Baton_obs.Json
+module Export = Baton_obs.Export
+module N = Baton.Network
+module Net = Baton.Net
+module Search = Baton.Search
+
+let test_ring_bounds_and_drops () =
+  let r = Recorder.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Recorder.note r (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "recorded counts everything" 10 (Recorder.recorded r);
+  Alcotest.(check int) "dropped = overflow" 6 (Recorder.dropped r);
+  let events = Recorder.events r in
+  Alcotest.(check int) "ring keeps capacity" 4 (List.length events);
+  Alcotest.(check (list int)) "oldest first, newest kept" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : Span.entry) -> e.Span.seq) events)
+
+let test_with_op_digest () =
+  let bus = Bus.create () in
+  let r = Recorder.create () in
+  Recorder.attach r bus;
+  Recorder.with_op r ~kind:Span.exact (fun () ->
+      for i = 1 to 3 do
+        Bus.send bus ~src:i ~dst:(i + 1) ~kind:"m"
+      done);
+  Recorder.detach r;
+  let d = Option.get (Recorder.digest r Span.exact) in
+  Alcotest.(check int) "one op" 1 (Recorder.digest_ops d);
+  Alcotest.(check int) "hops p50" 3 (Histogram.percentile (Recorder.digest_hops d) 50.);
+  Alcotest.(check int) "msgs p50" 3 (Histogram.percentile (Recorder.digest_msgs d) 50.);
+  Alcotest.(check (list string)) "kinds" [ Span.exact ] (Recorder.kinds r);
+  Alcotest.(check int) "no op left open" 0 (Recorder.open_ops r)
+
+let test_nested_ops_share_hops () =
+  let bus = Bus.create () in
+  let r = Recorder.create () in
+  Recorder.attach r bus;
+  Recorder.with_op r ~kind:Span.range (fun () ->
+      Bus.send bus ~src:1 ~dst:2 ~kind:"m";
+      Recorder.with_op r ~kind:Span.repair (fun () ->
+          Bus.send bus ~src:2 ~dst:3 ~kind:"m";
+          Bus.send bus ~src:3 ~dst:4 ~kind:"m"));
+  Recorder.detach r;
+  let hops kind =
+    Histogram.percentile
+      (Recorder.digest_hops (Option.get (Recorder.digest r kind)))
+      50.
+  in
+  (* The parent's cost includes the nested repair. *)
+  Alcotest.(check int) "parent includes child" 3 (hops Span.range);
+  Alcotest.(check int) "child counts its own" 2 (hops Span.repair);
+  (* The nested op's begin event records its parent. *)
+  let parent_of_repair =
+    List.find_map
+      (fun (e : Span.entry) ->
+        match e.Span.ev with
+        | Span.Op_begin { kind; parent } when String.equal kind Span.repair ->
+          Some parent
+        | _ -> None)
+      (Recorder.events r)
+  in
+  Alcotest.(check (option (option int))) "parent link" (Some (Some 0)) parent_of_repair;
+  (* Hops inside the nested op are attributed to it, not the parent. *)
+  let hop_ops =
+    List.filter_map
+      (fun (e : Span.entry) ->
+        match e.Span.ev with Span.Hop _ -> Some e.Span.op | _ -> None)
+      (Recorder.events r)
+  in
+  Alcotest.(check (list int)) "innermost attribution" [ 0; 1; 1 ] hop_ops
+
+let test_retries_split_hops_from_msgs () =
+  let bus = Bus.create () in
+  let r = Recorder.create () in
+  Recorder.attach r bus;
+  Recorder.with_op r ~kind:Span.join (fun () ->
+      Bus.send bus ~src:1 ~dst:2 ~kind:"m";
+      (* A retransmission passes over the bus again... *)
+      Bus.send bus ~src:1 ~dst:2 ~kind:"m";
+      (* ...and is flagged so it doesn't count as forward progress. *)
+      Recorder.retry r ~peer:2);
+  Recorder.detach r;
+  let d = Option.get (Recorder.digest r Span.join) in
+  Alcotest.(check int) "msgs include the retry" 2
+    (Histogram.percentile (Recorder.digest_msgs d) 50.);
+  Alcotest.(check int) "hops exclude the retry" 1
+    (Histogram.percentile (Recorder.digest_hops d) 50.)
+
+let test_failed_op_recorded () =
+  let r = Recorder.create () in
+  (match Recorder.with_op r ~kind:Span.leave (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "re-raised" "boom" m);
+  let ok =
+    List.find_map
+      (fun (e : Span.entry) ->
+        match e.Span.ev with Span.Op_end { ok; _ } -> Some ok | _ -> None)
+      (Recorder.events r)
+  in
+  Alcotest.(check (option bool)) "marked failed" (Some false) ok;
+  Alcotest.(check int) "stack unwound" 0 (Recorder.open_ops r)
+
+let test_event_json_schema () =
+  let lines entries = String.concat "" (List.map (fun e -> Json.to_string (Export.event_json e) ^ "\n") entries) in
+  let entries =
+    [
+      { Span.seq = 0; op = 0; time = None; ev = Span.Op_begin { kind = Span.exact; parent = None } };
+      { Span.seq = 1; op = 0; time = None; ev = Span.Hop { src = 3; dst = 7; msg = "search.exact" } };
+      { Span.seq = 2; op = 0; time = Some 1.5; ev = Span.Note { name = "send.retry"; peer = Some 7 } };
+      { Span.seq = 3; op = 0; time = None; ev = Span.Op_end { ok = true; hops = 1; msgs = 2 } };
+    ]
+  in
+  Alcotest.(check string) "schema-stable lines"
+    ("{\"seq\":0,\"op\":0,\"ev\":\"begin\",\"kind\":\"exact\",\"parent\":null}\n"
+    ^ "{\"seq\":1,\"op\":0,\"ev\":\"hop\",\"src\":3,\"dst\":7,\"msg\":\"search.exact\"}\n"
+    ^ "{\"seq\":2,\"op\":0,\"t\":1.5,\"ev\":\"note\",\"name\":\"send.retry\",\"peer\":7}\n"
+    ^ "{\"seq\":3,\"op\":0,\"ev\":\"end\",\"ok\":true,\"hops\":1,\"msgs\":2}\n")
+    (lines entries)
+
+(* The acceptance property behind `baton_cli trace --json`: two
+   same-seed runs emit byte-identical JSONL. *)
+let traced_run ~seed =
+  let net = N.build ~seed 300 in
+  let rng = Rng.create (seed + 1) in
+  for _ = 1 to 200 do
+    N.insert net (Rng.int_in_range rng ~lo:1 ~hi:999_999_999)
+  done;
+  let r = Recorder.create () in
+  Net.set_recorder net (Some r);
+  ignore (Search.exact net ~from:(Net.random_peer net) 123_456);
+  ignore (Search.range net ~from:(Net.random_peer net) ~lo:1_000 ~hi:50_000_000);
+  Net.set_recorder net None;
+  (Export.events_jsonl r, Metrics.total (Net.metrics net))
+
+let test_jsonl_deterministic () =
+  let a, _ = traced_run ~seed:7 in
+  let b, _ = traced_run ~seed:7 in
+  Alcotest.(check bool) "trace is non-trivial" true (String.length a > 100);
+  Alcotest.(check string) "byte-identical across runs" b a
+
+(* Attaching a recorder must not perturb the paper's metric. *)
+let plain_run ~seed =
+  let net = N.build ~seed 300 in
+  let rng = Rng.create (seed + 1) in
+  for _ = 1 to 200 do
+    N.insert net (Rng.int_in_range rng ~lo:1 ~hi:999_999_999)
+  done;
+  ignore (Search.exact net ~from:(Net.random_peer net) 123_456);
+  ignore (Search.range net ~from:(Net.random_peer net) ~lo:1_000 ~hi:50_000_000);
+  Metrics.total (Net.metrics net)
+
+let test_recorder_does_not_perturb_metrics () =
+  let _, observed = traced_run ~seed:13 in
+  let plain = plain_run ~seed:13 in
+  Alcotest.(check int) "Metrics.total unchanged" plain observed
+
+let test_gauge_percentiles () =
+  let g = Gauge.create ~capacity:2 () in
+  Gauge.sample g ~time:1. (Array.init 100 (fun i -> i + 1));
+  Gauge.sample g ~time:2. [| 5; 5 |];
+  Gauge.sample g ~time:3. [| 7 |];
+  Alcotest.(check int) "samples seen" 3 (Gauge.count g);
+  Alcotest.(check int) "ring bounded" 2 (List.length (Gauge.samples g));
+  let s = Option.get (Gauge.latest g) in
+  Alcotest.(check int) "latest max" 7 s.Gauge.max;
+  Alcotest.(check bool) "latest time" true (s.Gauge.time = 3.);
+  match Gauge.samples g with
+  | [ s2; _ ] ->
+    Alcotest.(check int) "older sample total" 10 s2.Gauge.total;
+    Alcotest.(check int) "older sample p50" 5 s2.Gauge.p50
+  | _ -> Alcotest.fail "expected two samples"
+
+let test_stats_json_shape () =
+  let bus = Bus.create () in
+  let r = Recorder.create () in
+  Recorder.attach r bus;
+  Recorder.with_op r ~kind:Span.exact (fun () -> Bus.send bus ~src:1 ~dst:2 ~kind:"m");
+  Recorder.detach r;
+  Alcotest.(check string) "compact stats summary"
+    ("{\"ops\":[{\"kind\":\"exact\",\"count\":1,"
+    ^ "\"hops\":{\"mean\":1.0,\"p50\":1,\"p95\":1,\"p99\":1,\"max\":1},"
+    ^ "\"msgs\":{\"mean\":1.0,\"p50\":1,\"p95\":1,\"p99\":1,\"max\":1}}],"
+    ^ "\"events\":{\"recorded\":3,\"dropped\":0}}")
+    (Json.to_string (Export.stats_json r))
+
+let test_span_tree_renders () =
+  let bus = Bus.create () in
+  let r = Recorder.create () in
+  Recorder.attach r bus;
+  Recorder.with_op r ~kind:Span.range (fun () ->
+      Bus.send bus ~src:1 ~dst:2 ~kind:"m";
+      Recorder.with_op r ~kind:Span.repair (fun () ->
+          Bus.send bus ~src:2 ~dst:3 ~kind:"m"));
+  Recorder.detach r;
+  let tree = Export.span_tree r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "mentions %S" needle) true
+        (let re = Str.regexp_string needle in
+         try ignore (Str.search_forward re tree 0); true with Not_found -> false))
+    [ "op#0 range"; "op#1 repair"; "1 -> 2"; "2 -> 3"; "done" ];
+  (* The nested op indents deeper than its parent. *)
+  let line_with needle =
+    List.find
+      (fun l ->
+        try ignore (Str.search_forward (Str.regexp_string needle) l 0); true
+        with Not_found -> false)
+      (String.split_on_char '\n' tree)
+  in
+  let indent l = String.length l - String.length (String.trim l) in
+  Alcotest.(check bool) "child indented under parent" true
+    (indent (line_with "op#1 repair") > indent (line_with "op#0 range"))
+
+let test_save_detaches_recorder () =
+  let net = N.build ~seed:3 50 in
+  let r = Recorder.create () in
+  Net.set_recorder net (Some r);
+  let file = Filename.temp_file "baton_obs" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      (* Marshal cannot serialize the subscriber closures; save must
+         shed them rather than die. *)
+      Net.save net file;
+      let restored = Net.load file in
+      Alcotest.(check int) "roundtrip size" (Net.size net) (Net.size restored);
+      Alcotest.(check (option unit)) "recorder detached on save" None
+        (Option.map ignore (Net.recorder net)))
+
+let suite =
+  [
+    Alcotest.test_case "ring bounds/drops" `Quick test_ring_bounds_and_drops;
+    Alcotest.test_case "with_op digest" `Quick test_with_op_digest;
+    Alcotest.test_case "nested ops" `Quick test_nested_ops_share_hops;
+    Alcotest.test_case "retries vs hops" `Quick test_retries_split_hops_from_msgs;
+    Alcotest.test_case "failed op" `Quick test_failed_op_recorded;
+    Alcotest.test_case "event json schema" `Quick test_event_json_schema;
+    Alcotest.test_case "jsonl deterministic" `Quick test_jsonl_deterministic;
+    Alcotest.test_case "metrics unperturbed" `Quick test_recorder_does_not_perturb_metrics;
+    Alcotest.test_case "gauge percentiles" `Quick test_gauge_percentiles;
+    Alcotest.test_case "stats json shape" `Quick test_stats_json_shape;
+    Alcotest.test_case "span tree" `Quick test_span_tree_renders;
+    Alcotest.test_case "save detaches recorder" `Quick test_save_detaches_recorder;
+  ]

@@ -110,8 +110,34 @@ let test_metrics_checkpoint () =
   Alcotest.(check int) "since total" 2 (Metrics.since m cp);
   Alcotest.(check int) "since kind a" 1 (Metrics.kind_since m cp "a");
   Alcotest.(check int) "since kind b" 1 (Metrics.kind_since m cp "b");
+  Alcotest.(check int) "since absent kind" 0 (Metrics.kind_since m cp "zzz");
   Metrics.reset m;
   Alcotest.(check int) "reset" 0 (Metrics.total m)
+
+let test_metrics_event_since_and_reset () =
+  let m = Metrics.create () in
+  Metrics.event m "lost";
+  let cp = Metrics.checkpoint m in
+  Metrics.event m "lost";
+  Metrics.event m "lost";
+  Metrics.event m "stale";
+  Metrics.record m ~dst:7 ~kind:"a";
+  (* Events never perturb the message counters. *)
+  Alcotest.(check int) "events outside total" 1 (Metrics.since m cp);
+  Alcotest.(check int) "event_since" 2 (Metrics.event_since m cp "lost");
+  Alcotest.(check int) "event_since other" 1 (Metrics.event_since m cp "stale");
+  Alcotest.(check int) "event_since absent" 0 (Metrics.event_since m cp "none");
+  Alcotest.(check (list (pair string int))) "events sorted"
+    [ ("lost", 3); ("stale", 1) ] (Metrics.events m);
+  Alcotest.(check (list (pair int int))) "per_node" [ (7, 1) ] (Metrics.per_node m);
+  Metrics.reset m;
+  Alcotest.(check int) "reset total" 0 (Metrics.total m);
+  Alcotest.(check int) "reset events" 0 (Metrics.event_count m "lost");
+  Alcotest.(check (list (pair string int))) "reset kinds" [] (Metrics.kinds m);
+  Alcotest.(check (list (pair int int))) "reset per_node" [] (Metrics.per_node m);
+  (* A pre-reset checkpoint is measured against the zeroed counters. *)
+  Metrics.event m "lost";
+  Alcotest.(check int) "post-reset event count" 1 (Metrics.event_count m "lost")
 
 let test_bus_send_and_failures () =
   let bus = Bus.create () in
@@ -135,11 +161,27 @@ let test_bus_send_and_failures () =
 let test_bus_trace () =
   let bus = Bus.create () in
   let seen = ref [] in
-  Bus.set_trace bus (Some (fun ~src ~dst ~kind -> seen := (src, dst, kind) :: !seen));
+  let sub =
+    Bus.subscribe bus (fun ~src ~dst ~kind -> seen := (src, dst, kind) :: !seen)
+  in
   Bus.send bus ~src:1 ~dst:2 ~kind:"t";
-  Bus.set_trace bus None;
+  Bus.unsubscribe bus sub;
   Bus.send bus ~src:2 ~dst:1 ~kind:"t";
   Alcotest.(check int) "hook saw one" 1 (List.length !seen)
+
+let test_bus_multi_subscribers () =
+  let bus = Bus.create () in
+  let a = ref 0 and b = ref 0 in
+  let sa = Bus.subscribe bus (fun ~src:_ ~dst:_ ~kind:_ -> incr a) in
+  let sb = Bus.subscribe bus (fun ~src:_ ~dst:_ ~kind:_ -> incr b) in
+  Alcotest.(check int) "two subscribers" 2 (Bus.subscriber_count bus);
+  Bus.send bus ~src:1 ~dst:2 ~kind:"t";
+  Bus.unsubscribe bus sa;
+  Bus.send bus ~src:2 ~dst:1 ~kind:"t";
+  Bus.unsubscribe bus sb;
+  Alcotest.(check int) "first saw one" 1 !a;
+  Alcotest.(check int) "second saw both" 2 !b;
+  Alcotest.(check int) "all gone" 0 (Bus.subscriber_count bus)
 
 let suite =
   [
@@ -153,6 +195,8 @@ let suite =
     Alcotest.test_case "engine validation" `Quick test_engine_validation;
     Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
     Alcotest.test_case "metrics checkpoint" `Quick test_metrics_checkpoint;
+    Alcotest.test_case "metrics events/reset" `Quick test_metrics_event_since_and_reset;
     Alcotest.test_case "bus send/failures" `Quick test_bus_send_and_failures;
     Alcotest.test_case "bus trace" `Quick test_bus_trace;
+    Alcotest.test_case "bus multi subscribers" `Quick test_bus_multi_subscribers;
   ]
