@@ -13,6 +13,7 @@ module Rng = Baton_util.Rng
 module Stats = Baton_util.Stats
 module Datagen = Baton_workload.Datagen
 module Churn = Baton_workload.Churn
+module Driver = Baton_runtime.Driver
 
 open Cmdliner
 
@@ -312,6 +313,55 @@ let compare_overlays nodes seed ops =
     P2p_overlay.Overlay.all;
   print_endline "\nall overlays pass their structural checks"
 
+(* Concurrent workload driver: execute a seeded operation mix as
+   interleaved fibers on the discrete-event runtime and emit the
+   BENCH_runtime.json document. *)
+let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_ms
+    out =
+  let mixes =
+    match mix_names with
+    | [] -> Driver.mixes
+    | names ->
+      List.map
+        (fun name ->
+          match Driver.mix_named name with
+          | Some m -> m
+          | None ->
+            Printf.eprintf "unknown mix %S (known: %s)\n" name
+              (String.concat ", "
+                 (List.map (fun m -> m.Driver.mix_name) Driver.mixes));
+            exit 2)
+        names
+  in
+  let arrival =
+    match arrival with
+    | "closed" -> Driver.Closed { think_ms }
+    | "open" -> Driver.Open { rate_per_s = rate }
+    | other ->
+      Printf.eprintf "unknown arrival model %S (closed|open)\n" other;
+      exit 2
+  in
+  let reports =
+    List.map
+      (fun mix ->
+        let cfg =
+          Driver.config ~seed ~keys_per_node ~clients ~ops ~arrival ~n:nodes
+            ~mix ()
+        in
+        Printf.eprintf "running %s (n=%d, %d ops)...\n%!" mix.Driver.mix_name
+          nodes ops;
+        let r = Driver.run cfg in
+        print_endline (Driver.summary r);
+        r)
+      mixes
+  in
+  let doc = Baton_obs.Json.to_pretty_string (Driver.bench_json reports) ^ "\n" in
+  match out with
+  | None -> print_string doc
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc doc);
+    Printf.eprintf "wrote %s\n" path
+
 let ops_arg =
   Arg.(value & opt int 500 & info [ "ops" ] ~docv:"K" ~doc:"Operations per phase.")
 
@@ -382,6 +432,60 @@ let snapshot_arg =
     & info [ "snapshot" ] ~docv:"FILE"
         ~doc:"Load the network from FILE if it exists, else build and save it there.")
 
+let bench_ops_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per mix.")
+
+let clients_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "clients" ] ~docv:"C" ~doc:"Closed-loop client fibers.")
+
+let mix_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "mix" ] ~docv:"MIX"
+        ~doc:
+          "Mix to run (read-heavy, range-heavy, churn-heavy); repeatable. \
+           Default: all three.")
+
+let arrival_arg =
+  Arg.(
+    value & opt string "closed"
+    & info [ "arrival" ] ~docv:"MODEL"
+        ~doc:"Arrival model: closed (clients loop) or open (Poisson).")
+
+let rate_arg =
+  Arg.(
+    value & opt float 200.
+    & info [ "rate" ] ~docv:"OPS/S"
+        ~doc:"Aggregate arrival rate for the open-loop model.")
+
+let think_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "think-ms" ] ~docv:"MS"
+        ~doc:"Closed-loop think time between a client's operations.")
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the JSON document to FILE instead of stdout.")
+
+let bench_run_cmd =
+  let doc =
+    "Run the concurrent workload driver: seeded operation mixes execute as \
+     interleaved fibers on the discrete-event runtime; reports virtual-time \
+     throughput, per-kind latency percentiles and queue depths as JSON. \
+     Deterministic: same seed, byte-identical output."
+  in
+  Cmd.v (Cmd.info "bench-run" ~doc)
+    Term.(
+      const bench_run $ nodes_arg $ seed_arg $ keys_arg $ bench_ops_arg
+      $ clients_arg $ mix_arg $ arrival_arg $ rate_arg $ think_arg $ out_arg)
+
 let inspect_cmd =
   let doc = "Print the structure of a network (freshly built or from a snapshot)." in
   Cmd.v (Cmd.info "inspect" ~doc)
@@ -390,6 +494,9 @@ let inspect_cmd =
 let main =
   let doc = "BATON: balanced tree overlay simulator (VLDB 2005 reproduction)" in
   Cmd.group (Cmd.info "baton" ~doc)
-    [ simulate_cmd; churn_cmd; inspect_cmd; trace_cmd; stats_cmd; compare_cmd ]
+    [
+      simulate_cmd; churn_cmd; inspect_cmd; trace_cmd; stats_cmd; compare_cmd;
+      bench_run_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -30,7 +30,17 @@ type t = {
      retry/timeout events, but never sends a message itself, so
      enabling it cannot change [Metrics.total]. *)
   mutable recorder : Recorder.t option;
+  (* Hop-suspension hook for the concurrent runtime: called after every
+     transmitted protocol message so the runtime can suspend the
+     running operation until the simulated delivery (or timeout)
+     instant. [None] — the default — keeps every operation synchronous,
+     exactly the pre-runtime behaviour. *)
+  mutable hop_wait : hop_wait option;
 }
+
+and hop_outcome = Delivered | Timed_out
+
+and hop_wait = src:int -> dst:int -> kind:string -> outcome:hop_outcome -> unit
 
 let default_retry_limit = 3
 
@@ -51,6 +61,7 @@ let create ?(seed = 42) ~domain () =
     suspicions = Hashtbl.create 64;
     suspicion_repair = false;
     recorder = None;
+    hop_wait = None;
   }
 
 let bus t = t.bus
@@ -166,23 +177,43 @@ let set_retry_limit t n =
 
 let retry_limit t = t.retry_limit
 
+let set_hop_wait t w = t.hop_wait <- w
+let hop_wait t = t.hop_wait
+
+(* Tell the runtime (when one drives this network) that a message was
+   transmitted, so it can charge delivery latency — or a timeout
+   interval — to the running operation's critical path. A no-op in
+   synchronous runs. *)
+let wait_hop t ~src ~dst ~kind outcome =
+  match t.hop_wait with
+  | None -> ()
+  | Some w -> w ~src ~dst ~kind ~outcome
+
 (* Retransmit on Timeout, up to [retry_limit] extra attempts. Every
    attempt passes over the bus and is counted — the paper's message
    metric stays honest under retries. Unreachable (permanent crash)
    propagates immediately: retrying a dead address cannot help and the
-   protocols have dedicated detour logic for it. *)
+   protocols have dedicated detour logic for it — though discovering
+   the silence still costs the sender a timeout interval under the
+   runtime's clock, so the hop hook fires before the exception
+   escapes. *)
 let send_raw t ~src ~dst ~kind =
   let ev = Bus.metrics t.bus in
   let rec attempt k =
     match Bus.send t.bus ~src ~dst ~kind with
-    | () -> ()
+    | () -> wait_hop t ~src ~dst ~kind Delivered
     | exception Bus.Timeout _ when k < t.retry_limit ->
       Metrics.event ev Msg.ev_retry;
       (match t.recorder with Some r -> Recorder.retry r ~peer:dst | None -> ());
+      wait_hop t ~src ~dst ~kind Timed_out;
       attempt (k + 1)
     | exception (Bus.Timeout _ as e) ->
       Metrics.event ev Msg.ev_give_up;
       obs_note ~peer:dst t Msg.ev_give_up;
+      wait_hop t ~src ~dst ~kind Timed_out;
+      raise e
+    | exception (Bus.Unreachable _ as e) ->
+      wait_hop t ~src ~dst ~kind Timed_out;
       raise e
   in
   attempt 0
@@ -256,8 +287,10 @@ let save t path =
   if not (Baton_util.Dyn_array.is_empty t.deferred) then
     invalid_arg "Net.save: deferred notifications pending";
   (* Observers hold closures, which cannot be marshalled: drop them.
-     A loaded network starts unobserved, like a fresh one. *)
+     A loaded network starts unobserved (and synchronous), like a fresh
+     one. *)
   set_recorder t None;
+  set_hop_wait t None;
   Bus.clear_subscribers t.bus;
   let oc = open_out_bin path in
   Fun.protect

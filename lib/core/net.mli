@@ -98,6 +98,35 @@ val obs_note : ?peer:int -> t -> string -> unit
 (** Note an event on the recorder only (no metrics counter) — for
     observations that are already counted elsewhere. *)
 
+(** {1 Hop suspension}
+
+    The concurrent runtime ({!Baton_runtime}) installs a hook that is
+    called after {e every} transmitted protocol message — each delivery
+    and each timed-out attempt — so it can suspend the running
+    operation until the engine's clock reaches the simulated delivery
+    (or timeout-detection) instant. With no hook installed (the
+    default, and the state restored by {!load}) operations run to
+    completion synchronously, exactly as before the runtime existed.
+    The hook observes and delays; it never sends, so installing it
+    cannot change [Metrics.total]. *)
+
+type hop_outcome =
+  | Delivered  (** the destination received the message *)
+  | Timed_out
+      (** no answer will come — the message was lost, the destination
+          is transiently silent, or it is permanently unreachable; the
+          sender only learns this by waiting out its timeout *)
+
+type hop_wait = src:int -> dst:int -> kind:string -> outcome:hop_outcome -> unit
+
+val set_hop_wait : t -> hop_wait option -> unit
+(** Install or remove the hop-suspension hook. The hook applies to
+    request/response protocol hops ({!send} / {!send_raw});
+    fire-and-forget {!notify} messages never block the sender and are
+    not suspended on. *)
+
+val hop_wait : t -> hop_wait option
+
 val set_retry_limit : t -> int -> unit
 (** Retransmissions allowed per logical send (default 3). [0] disables
     retries. @raise Invalid_argument on negative values. *)

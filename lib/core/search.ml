@@ -112,6 +112,12 @@ type range_outcome = {
   complete : bool;
 }
 
+(* What one directional adjacent-link sweep produces; opaque to
+   callers, who only thread it through a [par] runner. *)
+type sweep_outcome = int list list * int * int * bool
+
+type par = (unit -> sweep_outcome) -> (unit -> sweep_outcome) -> sweep_outcome * sweep_outcome
+
 (* Collect matching keys from one direction of adjacent links, starting
    at (and excluding) [node]. Returns (keys in visit order, peers
    visited, messages paid, interval fully covered?). A dead or silent
@@ -152,6 +158,18 @@ let sweep net (node : Node.t) side ~lo ~hi =
         | next_node ->
           incr msgs;
           incr visited;
+          (* Live ranges tile the domain; a hole between consecutive
+             ranges is a crashed peer whose links an earlier detour
+             already spliced around. Its keys died with it, so a hole
+             intersecting the query makes the answer partial even
+             though no send failed here. *)
+          let gap_lo, gap_hi =
+            match side with
+            | `Right -> (n.Node.range.Range.hi, next_node.Node.range.Range.lo)
+            | `Left -> (next_node.Node.range.Range.hi, n.Node.range.Range.lo)
+          in
+          if gap_lo < gap_hi && gap_lo <= hi && gap_hi > lo then
+            complete := false;
           keys := Sorted_store.keys_in next_node.Node.store ~lo ~hi :: !keys;
           go next_node 0
         | exception Bus.Unreachable dead ->
@@ -173,21 +191,47 @@ let sweep net (node : Node.t) side ~lo ~hi =
   go node 0;
   (!keys, !visited, !msgs, !complete)
 
-let range_walk net ~from ~lo ~hi =
-  (* Find any node intersecting the interval (the exact search for the
-     left endpoint lands on the first intersection or just left of it),
-     then per the paper "proceed left and/or right to cover the
-     remainder of the searched range" along adjacent links. *)
-  let { node; hops } = exact ~kind:Msg.search_range net ~from lo in
+let range_walk ?par net ~from ~lo ~hi =
+  (* Find any node intersecting the interval, then per the paper
+     "proceed left and/or right to cover the remainder of the searched
+     range" along adjacent links. We aim the locate step at the
+     interval midpoint so the two directional sweeps are balanced:
+     they are independent of each other, and under a [par] runner (the
+     concurrent runtime's fork-join) they cover their subranges in
+     parallel — the paper's [O(log N + X)] is a critical-path bound —
+     while sending exactly the messages the sequential order sends. *)
+  let mid = lo + ((hi - lo) / 2) in
+  let locate aim = exact ~kind:Msg.search_range net ~from aim in
+  let { node; hops } =
+    (* A dead owner of the aim point makes the locate walk ping-pong
+       between its surviving neighbours until the budget runs out; the
+       messages are spent (and counted) — fall back to aiming at the
+       interval's ends, whose owners the sweeps can bridge from. *)
+    match locate mid with
+    | outcome -> outcome
+    | exception Routing_stuck h1 -> (
+      match locate lo with
+      | outcome -> { outcome with hops = outcome.hops + h1 }
+      | exception Routing_stuck h2 ->
+        let outcome = locate hi in
+        { outcome with hops = outcome.hops + h1 + h2 })
+  in
   let here = Sorted_store.keys_in node.Node.store ~lo ~hi in
-  let left_keys, left_visited, left_msgs, left_complete =
-    sweep net node `Left ~lo ~hi
+  let sweep_left () = sweep net node `Left ~lo ~hi in
+  let sweep_right () = sweep net node `Right ~lo ~hi in
+  let ( (left_keys, left_visited, left_msgs, left_complete),
+        (right_keys, right_visited, right_msgs, right_complete) ) =
+    match par with
+    | None ->
+      let l = sweep_left () in
+      (l, sweep_right ())
+    | Some p -> p sweep_left sweep_right
   in
-  let right_keys, right_visited, right_msgs, right_complete =
-    sweep net node `Right ~lo ~hi
-  in
+  (* Each sweep prepends per-node blocks as it walks outwards, so the
+     left sweep's list is already ascending (farthest-left block ends
+     up first) while the right sweep's needs reversing. *)
   let keys =
-    List.concat (List.rev left_keys) @ here @ List.concat (List.rev right_keys)
+    List.concat left_keys @ here @ List.concat (List.rev right_keys)
   in
   {
     keys;
@@ -196,6 +240,6 @@ let range_walk net ~from ~lo ~hi =
     complete = left_complete && right_complete;
   }
 
-let range net ~from ~lo ~hi =
+let range ?par net ~from ~lo ~hi =
   if lo > hi then invalid_arg "Search.range: lo > hi";
-  Net.with_op net ~kind:Span.range (fun () -> range_walk net ~from ~lo ~hi)
+  Net.with_op net ~kind:Span.range (fun () -> range_walk ?par net ~from ~lo ~hi)

@@ -50,11 +50,28 @@ type range_outcome = {
           partial answer collected from the surviving chain. *)
 }
 
-val range : Net.t -> from:Node.t -> lo:int -> hi:int -> range_outcome
+type sweep_outcome
+(** Result of one directional adjacent-link sweep. Opaque: callers of
+    {!range} only thread it through a {!par} runner. *)
+
+type par = (unit -> sweep_outcome) -> (unit -> sweep_outcome) -> sweep_outcome * sweep_outcome
+(** How to run the two independent directional sweeps of a range query.
+    The default runs them sequentially (left, then right); the
+    concurrent runtime passes its fork-join so both directions cover
+    their subranges in parallel — same messages, shorter critical
+    path. *)
+
+val range : ?par:par -> Net.t -> from:Node.t -> lo:int -> hi:int -> range_outcome
 (** [range net ~from ~lo ~hi] answers the closed range query
     [\[lo, hi\]]: exact-search the first intersecting node, then follow
     adjacent links, one message per additional node (paper:
     [O(log N + X)]). A mid-scan dead or timed-out adjacent peer no
     longer aborts the query: the scan bridges the gap through the
     surviving neighbourhood and returns what it collected, flagging
-    [complete = false] if skipped data intersected the interval. *)
+    [complete = false] if skipped data intersected the interval.
+
+    [par] (default: sequential) runs the left and right sweeps; both
+    orders transmit the identical message multiset, so [Metrics.total]
+    does not depend on it. The paper's [O(log N + X)] range bound is a
+    critical-path bound, reached only when the sweeps overlap in
+    time. *)

@@ -1,0 +1,8 @@
+(** Concurrency experiment (extension beyond the paper's figures).
+
+    Two tables: range-query serial hop-sum vs critical-path latency
+    under the concurrent runtime (identical message counts, smaller
+    clock), and workload-driver throughput for the three canonical
+    mixes. *)
+
+val run : Params.t -> Table.t list

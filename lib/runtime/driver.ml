@@ -1,0 +1,283 @@
+(* Workload driver: open- and closed-loop load generation on the
+   concurrent runtime.
+
+   Composes the [lib/workload] generators (Zipf key skew, churn, range
+   shapes) into operation plans, executes them as interleaved fibers,
+   and reports throughput, per-kind latency digests and queue-depth
+   statistics. The whole pipeline is a pure function of the config:
+   the operation plan is pre-generated from the seed, execution
+   interleaves through the deterministic engine, and the report
+   serializes with stable field order — so two same-seed runs are
+   byte-identical. *)
+
+module Rng = Baton_util.Rng
+module Zipf = Baton_util.Zipf
+module Timing = Baton_obs.Timing
+module Json = Baton_obs.Json
+module Metrics = Baton_sim.Metrics
+module Datagen = Baton_workload.Datagen
+module Net = Baton.Net
+
+type arrival =
+  | Closed of { think_ms : float }
+  | Open of { rate_per_s : float }
+
+type mix = {
+  mix_name : string;
+  exact_w : int;
+  range_w : int;
+  insert_w : int;
+  churn_w : int;
+}
+
+(* The three canonical mixes reported in BENCH_runtime.json. *)
+let read_heavy =
+  { mix_name = "read-heavy"; exact_w = 8; range_w = 1; insert_w = 1; churn_w = 0 }
+
+let range_heavy =
+  { mix_name = "range-heavy"; exact_w = 2; range_w = 7; insert_w = 1; churn_w = 0 }
+
+let churn_heavy =
+  { mix_name = "churn-heavy"; exact_w = 4; range_w = 2; insert_w = 2; churn_w = 2 }
+
+let mixes = [ read_heavy; range_heavy; churn_heavy ]
+
+let mix_named name =
+  List.find_opt (fun m -> String.equal m.mix_name name) mixes
+
+type config = {
+  n : int;
+  seed : int;
+  keys_per_node : int;
+  clients : int;
+  ops : int;
+  arrival : arrival;
+  range_span : int;
+  theta : float;
+  mix : mix;
+  timeout_ms : float;
+}
+
+let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
+    ?(arrival = Closed { think_ms = 0. }) ?(range_span = 2_000_000)
+    ?(theta = 1.0) ?(timeout_ms = Runtime.default_timeout_ms) ~n ~mix () =
+  if n < 2 then invalid_arg "Driver.config: n < 2";
+  if clients < 1 then invalid_arg "Driver.config: clients < 1";
+  if ops < 1 then invalid_arg "Driver.config: ops < 1";
+  { n; seed; keys_per_node; clients; ops; arrival; range_span; theta; mix; timeout_ms }
+
+(* One planned operation. Join/Leave carry no payload: the peer they
+   act on is chosen at execution time from the then-live membership. *)
+type op =
+  | Exact of int
+  | Range of int * int
+  | Insert of int
+  | Join
+  | Leave
+
+let op_kind = function
+  | Exact _ -> "exact"
+  | Range _ -> "range"
+  | Insert _ -> "insert"
+  | Join -> "join"
+  | Leave -> "leave"
+
+let kind_order = [ "exact"; "range"; "insert"; "join"; "leave" ]
+
+(* Pre-generate the operation plan from the seed: kinds by mix weight,
+   exact keys Zipf-skewed over the loaded key set, ranges uniform with
+   a fixed span, churn alternating join/leave so the size stays near
+   [n]. *)
+let plan_ops cfg ~keys =
+  let m = cfg.mix in
+  let total_w = m.exact_w + m.range_w + m.insert_w + m.churn_w in
+  if total_w <= 0 then invalid_arg "Driver.plan_ops: empty mix";
+  let rng = Rng.create ((cfg.seed * 131) + 9) in
+  let zipf = Zipf.create ~n:(Array.length keys) ~theta:cfg.theta in
+  let churn_flip = ref false in
+  Array.init cfg.ops (fun _ ->
+      let r = Rng.int rng total_w in
+      if r < m.exact_w then Exact keys.(Zipf.sample zipf rng - 1)
+      else if r < m.exact_w + m.range_w then begin
+        let lo =
+          Rng.int_in_range rng ~lo:Datagen.domain_lo
+            ~hi:(max Datagen.domain_lo (Datagen.domain_hi - cfg.range_span))
+        in
+        Range (lo, lo + cfg.range_span)
+      end
+      else if r < m.exact_w + m.range_w + m.insert_w then
+        Insert (Rng.int_in_range rng ~lo:Datagen.domain_lo ~hi:(Datagen.domain_hi - 1))
+      else begin
+        churn_flip := not !churn_flip;
+        if !churn_flip then Join else Leave
+      end)
+
+type report = {
+  cfg : config;
+  ops_issued : int;
+  completed : int;
+  failed : int;
+  retries : int;
+  messages : int;
+  duration_ms : float;
+  throughput_ops_s : float;
+  latencies : (string * Timing.t) list;  (** in {!kind_order} *)
+  depth_max : int;
+  depth_mean : float;
+}
+
+let run cfg =
+  (* Phase 1 — synchronous setup (excluded from all measurements):
+     build the tree, load the data. *)
+  let net = Baton.Network.build ~seed:cfg.seed cfg.n in
+  let gen = Datagen.uniform (Rng.create ((cfg.seed * 31) + 7)) in
+  let keys = Datagen.take gen (cfg.keys_per_node * cfg.n) in
+  Array.iter
+    (fun k -> ignore (Baton.Update.insert net ~from:(Net.random_peer net) k))
+    keys;
+  (* Phase 2 — concurrent measured run. *)
+  let rt = Runtime.create ~timeout_ms:cfg.timeout_ms net in
+  let plan = plan_ops cfg ~keys in
+  let membership = Runtime.Lock.create () in
+  let crng = Rng.create ((cfg.seed * 17) + 23) in
+  let completed = ref 0 and failed = ref 0 in
+  let latencies = List.map (fun k -> (k, Timing.create ())) kind_order in
+  let par l r = Runtime.both l r in
+  let execute op =
+    match op with
+    | Exact k -> ignore (Baton.Search.lookup net ~from:(Net.random_peer net) k)
+    | Range (lo, hi) ->
+      ignore (Baton.Search.range ~par net ~from:(Net.random_peer net) ~lo ~hi)
+    | Insert k -> ignore (Baton.Update.insert net ~from:(Net.random_peer net) k)
+    | Join ->
+      Runtime.Lock.with_lock membership (fun () ->
+          ignore (Baton.Network.join net))
+    | Leave ->
+      Runtime.Lock.with_lock membership (fun () ->
+          if Net.size net > 2 then
+            Baton.Network.leave net (Rng.pick crng (Net.live_ids net)))
+  in
+  let run_op i =
+    let op = plan.(i) in
+    let digest = List.assoc (op_kind op) latencies in
+    let started = Runtime.now rt in
+    match execute op with
+    | () ->
+      incr completed;
+      Timing.add digest (Runtime.now rt -. started)
+    | exception _ ->
+      (* Operations racing churn can find their origin gone or their
+         walk stuck; on a real deployment the client would retry. The
+         driver counts the casualty and moves on — determinism is
+         unaffected, the failure is part of the seeded schedule. *)
+      incr failed
+  in
+  (match cfg.arrival with
+  | Closed { think_ms } ->
+    if think_ms < 0. then invalid_arg "Driver.run: negative think_ms";
+    (* Closed loop: [clients] fibers, each picking the next unissued
+       operation as soon as its previous one completes. *)
+    let next = ref 0 in
+    let rec client () =
+      let i = !next in
+      if i < Array.length plan then begin
+        incr next;
+        run_op i;
+        if think_ms > 0. then Runtime.sleep think_ms;
+        client ()
+      end
+    in
+    for _ = 1 to min cfg.clients cfg.ops do
+      Runtime.spawn rt client ~on_done:(fun _ -> ())
+    done
+  | Open { rate_per_s } ->
+    if rate_per_s <= 0. then invalid_arg "Driver.run: rate_per_s <= 0";
+    (* Open loop: operations arrive on a seeded exponential process at
+       the aggregate rate, regardless of completions. *)
+    let arng = Rng.create ((cfg.seed * 41) + 3) in
+    let mean_gap_ms = 1000. /. rate_per_s in
+    let at = ref 0. in
+    Array.iteri
+      (fun i _ ->
+        Runtime.spawn ~at:!at rt (fun () -> run_op i) ~on_done:(fun _ -> ());
+        let u = Rng.float arng 1.0 in
+        at := !at +. (-.mean_gap_ms *. log (1. -. (u *. 0.999))))
+      plan);
+  let metrics = Net.metrics net in
+  let cp = Metrics.checkpoint metrics in
+  Runtime.run rt;
+  let duration_ms = Runtime.now rt in
+  {
+    cfg;
+    ops_issued = Array.length plan;
+    completed = !completed;
+    failed = !failed;
+    retries = Metrics.event_since metrics cp Baton.Msg.ev_retry;
+    messages = Metrics.since metrics cp;
+    duration_ms;
+    throughput_ops_s =
+      (if duration_ms > 0. then float_of_int !completed /. duration_ms *. 1000.
+       else 0.);
+    latencies;
+    depth_max = Runtime.queue_depth_max rt;
+    depth_mean = Runtime.queue_depth_mean rt;
+  }
+
+(* --- Serialization -------------------------------------------------- *)
+
+let arrival_json = function
+  | Closed { think_ms } ->
+    Json.Obj [ ("model", Json.String "closed"); ("think_ms", Json.Float think_ms) ]
+  | Open { rate_per_s } ->
+    Json.Obj [ ("model", Json.String "open"); ("rate_per_s", Json.Float rate_per_s) ]
+
+let report_json r =
+  Json.Obj
+    [
+      ("mix", Json.String r.cfg.mix.mix_name);
+      ("n", Json.Int r.cfg.n);
+      ("seed", Json.Int r.cfg.seed);
+      ("clients", Json.Int r.cfg.clients);
+      ("arrival", arrival_json r.cfg.arrival);
+      ("ops_issued", Json.Int r.ops_issued);
+      ("completed", Json.Int r.completed);
+      ("failed", Json.Int r.failed);
+      ("retries", Json.Int r.retries);
+      ("messages", Json.Int r.messages);
+      ("duration_ms", Json.Float r.duration_ms);
+      ("throughput_ops_per_s", Json.Float r.throughput_ops_s);
+      ( "latency_ms",
+        Json.Obj
+          (List.filter_map
+             (fun (kind, d) ->
+               if Timing.count d = 0 then None else Some (kind, Timing.json d))
+             r.latencies) );
+      ( "queue_depth",
+        Json.Obj
+          [
+            ("max", Json.Int r.depth_max); ("mean", Json.Float r.depth_mean);
+          ] );
+    ]
+
+let schema_version = "baton-bench-runtime-v1"
+
+let bench_json reports =
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("runs", Json.List (List.map report_json reports));
+    ]
+
+let summary r =
+  let digest kind =
+    let d = List.assoc kind r.latencies in
+    if Timing.count d = 0 then "-"
+    else
+      Printf.sprintf "p50 %.0f / p95 %.0f / p99 %.0f ms"
+        (Timing.percentile d 50.) (Timing.percentile d 95.)
+        (Timing.percentile d 99.)
+  in
+  Printf.sprintf
+    "%-12s %5d ops  %5d ok  %3d failed  %8.1f ops/s  exact %s  range %s"
+    r.cfg.mix.mix_name r.ops_issued r.completed r.failed r.throughput_ops_s
+    (digest "exact") (digest "range")

@@ -1,0 +1,101 @@
+(** Workload driver on the concurrent runtime.
+
+    Pre-generates a deterministic operation plan from a seed (mix
+    weights, Zipf-skewed exact keys, fixed-span ranges, alternating
+    join/leave churn), executes it as interleaved fibers — open- or
+    closed-loop — and reports throughput, per-kind latency percentiles
+    and queue-depth statistics. Two runs of the same config serialize
+    to byte-identical JSON. *)
+
+type arrival =
+  | Closed of { think_ms : float }
+      (** [clients] fibers, each issuing its next operation as soon as
+          the previous completes, plus an optional think time. *)
+  | Open of { rate_per_s : float }
+      (** Operations arrive on a seeded exponential process at the
+          given aggregate rate, regardless of completions. *)
+
+type mix = {
+  mix_name : string;
+  exact_w : int;  (** weight of exact-match lookups *)
+  range_w : int;  (** weight of range queries (parallel fan-out) *)
+  insert_w : int;  (** weight of insertions *)
+  churn_w : int;  (** weight of membership changes (join/leave alternating) *)
+}
+
+val read_heavy : mix
+val range_heavy : mix
+val churn_heavy : mix
+
+val mixes : mix list
+(** The three canonical mixes, in report order. *)
+
+val mix_named : string -> mix option
+
+type config = {
+  n : int;
+  seed : int;
+  keys_per_node : int;
+  clients : int;
+  ops : int;
+  arrival : arrival;
+  range_span : int;
+  theta : float;  (** Zipf exponent for exact-query key skew *)
+  mix : mix;
+  timeout_ms : float;
+}
+
+val config :
+  ?seed:int ->
+  ?keys_per_node:int ->
+  ?clients:int ->
+  ?ops:int ->
+  ?arrival:arrival ->
+  ?range_span:int ->
+  ?theta:float ->
+  ?timeout_ms:float ->
+  n:int ->
+  mix:mix ->
+  unit ->
+  config
+(** Defaults: seed 2005, 5 keys/node, 32 clients, 2000 ops, closed
+    loop with zero think time, span 2·10⁶, theta 1.0 (the paper's Zipf
+    parameter), timeout {!Runtime.default_timeout_ms}.
+    @raise Invalid_argument on non-positive sizes. *)
+
+val kind_order : string list
+(** Operation kinds in report order:
+    ["exact"; "range"; "insert"; "join"; "leave"]. *)
+
+type report = {
+  cfg : config;
+  ops_issued : int;
+  completed : int;
+  failed : int;
+      (** operations that raised (e.g. their origin departed
+          mid-flight); part of the seeded schedule, not noise *)
+  retries : int;  (** retransmissions during the measured phase *)
+  messages : int;  (** bus messages during the measured phase *)
+  duration_ms : float;  (** virtual time to drain the workload *)
+  throughput_ops_s : float;
+  latencies : (string * Baton_obs.Timing.t) list;
+      (** completed-operation latency digests, in {!kind_order} *)
+  depth_max : int;
+  depth_mean : float;
+}
+
+val run : config -> report
+(** Build the network and load data synchronously (unmeasured), then
+    execute the plan concurrently and report. *)
+
+val report_json : report -> Baton_obs.Json.t
+
+val schema_version : string
+(** Value of the ["schema"] field of {!bench_json}:
+    ["baton-bench-runtime-v1"]. *)
+
+val bench_json : report list -> Baton_obs.Json.t
+(** The BENCH_runtime.json document: [{schema; runs: [...]}]. *)
+
+val summary : report -> string
+(** One human-readable line per run. *)

@@ -19,10 +19,14 @@ type t = {
   metrics : Metrics.t;
   failed : (int, unit) Hashtbl.t;
   mutable faults : fault_state option;
-  (* Hop subscribers, in subscription order. Kept as an immutable list
-     so [send] can iterate without caring about concurrent
-     (un)subscription from inside a hook. *)
-  mutable subscribers : (int * hop_hook) list;
+  (* Hop subscribers. [subs_rev] holds them newest-first so subscribing
+     is O(1); [subs_fwd] caches the subscription-order view that [send]
+     iterates, rebuilt lazily after a (un)subscription. Both are
+     immutable lists, so a hook that (un)subscribes mid-[send] cannot
+     disturb the iteration in flight. *)
+  mutable subs_rev : (int * hop_hook) list;
+  mutable subs_fwd : (int * hop_hook) list;
+  mutable subs_dirty : bool;
   mutable next_subscriber : int;
 }
 
@@ -37,7 +41,9 @@ let create () =
     metrics = Metrics.create ();
     failed = Hashtbl.create 64;
     faults = None;
-    subscribers = [];
+    subs_rev = [];
+    subs_fwd = [];
+    subs_dirty = false;
     next_subscriber = 0;
   }
 
@@ -53,17 +59,33 @@ type subscription = int
 let subscribe t hook =
   let id = t.next_subscriber in
   t.next_subscriber <- id + 1;
-  t.subscribers <- t.subscribers @ [ (id, hook) ];
+  (* O(1): prepend to the reversed list and invalidate the forward
+     cache. The old [subscribers @ [x]] made n subscriptions O(n²). *)
+  t.subs_rev <- (id, hook) :: t.subs_rev;
+  t.subs_dirty <- true;
   id
 
 let unsubscribe t id =
-  t.subscribers <- List.filter (fun (i, _) -> i <> id) t.subscribers
+  t.subs_rev <- List.filter (fun (i, _) -> i <> id) t.subs_rev;
+  t.subs_dirty <- true
 
-let subscriber_count t = List.length t.subscribers
+let subscriber_count t = List.length t.subs_rev
 
 (* Drop every hook, e.g. before marshalling the bus (closures cannot be
    serialized). *)
-let clear_subscribers t = t.subscribers <- []
+let clear_subscribers t =
+  t.subs_rev <- [];
+  t.subs_fwd <- [];
+  t.subs_dirty <- false
+
+(* Subscription-order view, rebuilt at most once per burst of
+   (un)subscriptions. *)
+let subscribers t =
+  if t.subs_dirty then begin
+    t.subs_fwd <- List.rev t.subs_rev;
+    t.subs_dirty <- false
+  end;
+  t.subs_fwd
 
 let metrics t = t.metrics
 
@@ -123,7 +145,7 @@ let send t ~src ~dst ~kind =
        not the destination is alive or the network loses it; a missing
        answer is how the sender discovers the problem (Section III-C). *)
     Metrics.record t.metrics ~dst ~kind;
-    List.iter (fun (_, hook) -> hook ~src ~dst ~kind) t.subscribers;
+    List.iter (fun (_, hook) -> hook ~src ~dst ~kind) (subscribers t);
     if is_failed t dst then raise (Unreachable dst);
     match fault_verdict t dst with
     | `Deliver -> ()

@@ -21,6 +21,18 @@ val of_pair : t -> src:int -> dst:int -> float
 val measure : t -> Bus.t -> (unit -> 'a) -> 'a * float
 (** [measure t bus f] runs [f], capturing every message it sends on
     [bus] via the trace hook, and returns its result with the summed
-    latency of the hop chain (our protocol operations are sequential
-    RPC chains, so end-to-end latency is the sum). Restores any
-    previous trace hook afterwards. *)
+    latency of the hop chain. Restores any previous trace hook
+    afterwards.
+
+    This is the {e serial hop sum}: it charges every transmitted
+    message as if the operation were one sequential RPC chain. That is
+    exact for exact-match search, insert, delete, join and leave,
+    which really are sequential chains — but an upper bound for
+    operations with independent branches, such as a range query's two
+    directional sweeps, whose true end-to-end latency is the {e
+    critical path} (longest dependency chain), not the sum. To measure
+    critical paths, run the operation on the concurrent runtime
+    ([Baton_runtime.Runtime], which suspends at each hop and overlaps
+    independent work on the virtual clock, using this same model for
+    per-hop delays); the message counts are identical either way —
+    see DESIGN.md §3.7. *)

@@ -37,6 +37,7 @@ let () =
       ("multiway", Test_multiway.suite);
       ("overlay", Test_overlay.suite);
       ("workload", Test_workload.suite);
+      ("runtime", Test_runtime.suite);
       ("experiments", Test_experiments.suite);
       ("edge_cases", Test_edge_cases.suite);
       ("properties", Test_props.suite);

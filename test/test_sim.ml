@@ -51,6 +51,62 @@ let queue_model_prop =
       in
       popped = expected)
 
+(* Model check with pops interleaved between pushes: the heap must
+   behave like a stable-sorted list at every intermediate point, not
+   just after a push-only phase. Times are drawn from a tiny domain so
+   ties (the FIFO case) dominate. *)
+let queue_interleaved_prop =
+  let open QCheck2 in
+  Test.make ~name:"event queue: interleaved push/pop matches stable model"
+    ~count:300
+    Gen.(list (pair bool (int_bound 5)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let model = ref [] in
+      let next = ref 0 in
+      let ins time id =
+        let rec go = function
+          | [] -> [ (time, id) ]
+          | (t', v') :: tl when t' <= time -> (t', v') :: go tl
+          | rest -> (time, id) :: rest
+        in
+        model := go !model
+      in
+      let step_ok (is_pop, t) =
+        if is_pop then (
+          let expected =
+            match !model with
+            | [] -> None
+            | x :: tl ->
+              model := tl;
+              Some x
+          in
+          Event_queue.pop q = expected)
+        else begin
+          let id = !next in
+          incr next;
+          Event_queue.push q ~time:(float_of_int t) id;
+          ins (float_of_int t) id;
+          true
+        end
+      in
+      List.for_all step_ok ops
+      && Event_queue.length q = List.length !model)
+
+let queue_tie_fifo_prop =
+  let open QCheck2 in
+  Test.make ~name:"event queue: equal-time events pop in insertion order"
+    ~count:200
+    Gen.(int_range 1 100)
+    (fun n ->
+      let q = Event_queue.create () in
+      for i = 0 to n - 1 do
+        Event_queue.push q ~time:7. i
+      done;
+      List.init n (fun _ ->
+          match Event_queue.pop q with Some (_, v) -> v | None -> -1)
+      = List.init n Fun.id)
+
 let test_engine_order_and_clock () =
   let e = Engine.create () in
   let log = ref [] in
@@ -183,12 +239,35 @@ let test_bus_multi_subscribers () =
   Alcotest.(check int) "second saw both" 2 !b;
   Alcotest.(check int) "all gone" 0 (Bus.subscriber_count bus)
 
+(* Regression for the O(n²) subscribe (list-append per subscription):
+   thousands of subscribers must register quickly and still be invoked
+   in subscription order, including after selective unsubscription. *)
+let test_bus_subscriber_horde () =
+  let bus = Bus.create () in
+  let order = ref [] in
+  let n = 2000 in
+  let subs =
+    Array.init n (fun i ->
+        Bus.subscribe bus (fun ~src:_ ~dst:_ ~kind:_ -> order := i :: !order))
+  in
+  Bus.send bus ~src:1 ~dst:2 ~kind:"t";
+  Alcotest.(check bool) "invoked in subscription order" true
+    (List.rev !order = List.init n Fun.id);
+  Array.iteri (fun i s -> if i mod 2 = 1 then Bus.unsubscribe bus s) subs;
+  order := [];
+  Bus.send bus ~src:1 ~dst:2 ~kind:"t";
+  Alcotest.(check bool) "order survives unsubscription" true
+    (List.rev !order = List.init (n / 2) (fun i -> 2 * i));
+  Alcotest.(check int) "count" (n / 2) (Bus.subscriber_count bus)
+
 let suite =
   [
     Alcotest.test_case "queue orders by time" `Quick test_queue_orders_by_time;
     Alcotest.test_case "queue FIFO ties" `Quick test_queue_fifo_ties;
     Alcotest.test_case "queue peek" `Quick test_queue_peek;
     QCheck_alcotest.to_alcotest queue_model_prop;
+    QCheck_alcotest.to_alcotest queue_interleaved_prop;
+    QCheck_alcotest.to_alcotest queue_tie_fifo_prop;
     Alcotest.test_case "engine order/clock" `Quick test_engine_order_and_clock;
     Alcotest.test_case "engine cascading" `Quick test_engine_cascading;
     Alcotest.test_case "engine run_until" `Quick test_engine_run_until;
@@ -199,4 +278,5 @@ let suite =
     Alcotest.test_case "bus send/failures" `Quick test_bus_send_and_failures;
     Alcotest.test_case "bus trace" `Quick test_bus_trace;
     Alcotest.test_case "bus multi subscribers" `Quick test_bus_multi_subscribers;
+    Alcotest.test_case "bus subscriber horde" `Quick test_bus_subscriber_horde;
   ]
