@@ -87,9 +87,9 @@ let simulate nodes seed keys_per_node queries zipf capacity =
   let exact_hops =
     Array.init queries (fun _ ->
         let k = Rng.pick qrng keys in
-        let found, hops = Baton.Search.lookup net ~from:(Net.random_peer net) k in
-        assert found;
-        float_of_int hops)
+        let r = Baton.Search.lookup net ~from:(Net.random_peer net) k in
+        assert r.Baton.Search.found;
+        float_of_int r.Baton.Search.hops)
   in
   Printf.printf "Exact queries:  %s\n" (Stats.summary exact_hops);
   let span = (Datagen.domain_hi - Datagen.domain_lo) / max 1 nodes * 5 in
@@ -97,7 +97,7 @@ let simulate nodes seed keys_per_node queries zipf capacity =
     Array.init queries (fun _ ->
         let lo = Rng.int_in_range qrng ~lo:Datagen.domain_lo ~hi:(Datagen.domain_hi - span) in
         let r = Baton.Search.range net ~from:(Net.random_peer net) ~lo ~hi:(lo + span) in
-        float_of_int r.Baton.Search.range_hops)
+        float_of_int r.Baton.Search.hops)
   in
   Printf.printf "Range queries:  %s\n" (Stats.summary range_hops);
   print_kind_breakdown metrics;
@@ -283,15 +283,17 @@ let stats nodes seed keys_per_node queries churn_rounds =
 let compare_overlays nodes seed ops =
   let rng = Rng.create (seed + 9) in
   let keys = Array.init ops (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
-  Printf.printf "%-10s %10s %12s %12s %12s %14s\n" "overlay" "build" "msgs/insert"
-    "msgs/lookup" "msgs/churn" "range query";
+  Printf.printf "%-10s %10s %12s %12s %12s %12s %14s\n" "overlay" "build"
+    "msgs/bulk" "msgs/lookup" "msgs/churn" "cache msgs" "range query";
   List.iter
     (fun (module O : P2p_overlay.Overlay.S) ->
       let t = O.create ~seed ~n:nodes in
       let build = O.messages t in
       let before = O.messages t in
-      Array.iter (O.insert t) keys;
-      let insert_cost = float_of_int (O.messages t - before) /. float_of_int ops in
+      (* The batched path: one bulk load instead of [ops] routed
+         inserts; per-key cost shows the amortization. *)
+      O.bulk_load t (Array.to_list keys);
+      let load_cost = float_of_int (O.messages t - before) /. float_of_int ops in
       let before = O.messages t in
       Array.iter (fun k -> assert (O.lookup t k)) keys;
       let lookup_cost = float_of_int (O.messages t - before) /. float_of_int ops in
@@ -303,13 +305,15 @@ let compare_overlays nodes seed ops =
       done;
       let churn_cost = float_of_int (O.messages t - before) /. 40. in
       let range =
-        match O.range_query t ~lo:1 ~hi:50_000_000 with
-        | Some answer -> Printf.sprintf "%d keys" (List.length answer)
-        | None -> "unsupported"
+        if O.supports_range then
+          let answer = O.range_query t ~lo:1 ~hi:50_000_000 in
+          Printf.sprintf "%d keys" (List.length answer)
+        else "unsupported"
       in
       O.check t;
-      Printf.printf "%-10s %10d %12.2f %12.2f %12.2f %14s\n" O.name build
-        insert_cost lookup_cost churn_cost range)
+      let stats = O.stats t in
+      Printf.printf "%-10s %10d %12.2f %12.2f %12.2f %12d %14s\n" O.name build
+        load_cost lookup_cost churn_cost stats.P2p_overlay.Overlay.cache range)
     P2p_overlay.Overlay.all;
   print_endline "\nall overlays pass their structural checks"
 
@@ -317,7 +321,7 @@ let compare_overlays nodes seed ops =
    interleaved fibers on the discrete-event runtime and emit the
    BENCH_runtime.json document. *)
 let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_ms
-    out =
+    route_cache out =
   let mixes =
     match mix_names with
     | [] -> Driver.mixes
@@ -345,8 +349,8 @@ let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_
     List.map
       (fun mix ->
         let cfg =
-          Driver.config ~seed ~keys_per_node ~clients ~ops ~arrival ~n:nodes
-            ~mix ()
+          Driver.config ~seed ~keys_per_node ~clients ~ops ~arrival
+            ~route_cache ~n:nodes ~mix ()
         in
         Printf.eprintf "running %s (n=%d, %d ops)...\n%!" mix.Driver.mix_name
           nodes ops;
@@ -356,6 +360,36 @@ let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_
       mixes
   in
   let doc = Baton_obs.Json.to_pretty_string (Driver.bench_json reports) ^ "\n" in
+  match out with
+  | None -> print_string doc
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc doc);
+    Printf.eprintf "wrote %s\n" path
+
+(* Route-cache benchmark: sweep Zipf skew and churn, replaying each
+   cell's schedule with the cache off then on, and emit the
+   BENCH_cache.json document. *)
+let bench_cache nodes seed keys_per_node ops span out =
+  let module E = Baton_experiments.Exp_cache in
+  Printf.eprintf "route-cache sweep: n=%d, %d ops/cell, %d cells...\n%!" nodes
+    ops
+    (List.length E.thetas + List.length E.churn_rates);
+  let cells =
+    E.cells ~seed ~n:nodes ~keys_per_node ~ops ~range_span:span ()
+  in
+  List.iter
+    (fun (c : E.cell) ->
+      Printf.eprintf
+        "  theta %.1f churn %2d%%: hit rate %.2f, reduction %.1f%%, %d \
+         stale, %d wrong, %d partial\n%!"
+        c.E.theta c.E.churn_pct c.E.hit_rate c.E.reduction_pct c.E.stale
+        c.E.wrong_answers c.E.partial)
+    cells;
+  let doc =
+    Baton_obs.Json.to_pretty_string
+      (E.bench_json ~seed ~n:nodes ~keys_per_node ~ops ~range_span:span cells)
+    ^ "\n"
+  in
   match out with
   | None -> print_string doc
   | Some path ->
@@ -468,6 +502,14 @@ let think_arg =
     & info [ "think-ms" ] ~docv:"MS"
         ~doc:"Closed-loop think time between a client's operations.")
 
+let route_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "route-cache" ]
+        ~doc:
+          "Enable the adaptive route cache before the measured phase. Cache \
+           probe traffic is reported apart from protocol messages.")
+
 let out_arg =
   Arg.(
     value & opt (some string) None
@@ -484,7 +526,39 @@ let bench_run_cmd =
   Cmd.v (Cmd.info "bench-run" ~doc)
     Term.(
       const bench_run $ nodes_arg $ seed_arg $ keys_arg $ bench_ops_arg
-      $ clients_arg $ mix_arg $ arrival_arg $ rate_arg $ think_arg $ out_arg)
+      $ clients_arg $ mix_arg $ arrival_arg $ rate_arg $ think_arg
+      $ route_cache_arg $ out_arg)
+
+let cache_nodes_arg =
+  Arg.(
+    value & opt int 300 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Network size.")
+
+let cache_ops_arg =
+  Arg.(
+    value & opt int 2400
+    & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per sweep cell.")
+
+let cache_keys_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "keys-per-node" ] ~docv:"K" ~doc:"Data volume per peer.")
+
+let span_arg =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "range-span" ] ~docv:"SPAN" ~doc:"Width of range queries.")
+
+let bench_cache_cmd =
+  let doc =
+    "Measure the adaptive route cache: replay one seeded workload per cell \
+     with the cache disabled then enabled, sweeping Zipf skew at zero churn \
+     and churn at theta 0.9; every answer is oracle-checked and the JSON \
+     document is byte-identical for the same seed."
+  in
+  Cmd.v (Cmd.info "bench-cache" ~doc)
+    Term.(
+      const bench_cache $ cache_nodes_arg $ seed_arg $ cache_keys_arg
+      $ cache_ops_arg $ span_arg $ out_arg)
 
 let inspect_cmd =
   let doc = "Print the structure of a network (freshly built or from a snapshot)." in
@@ -496,7 +570,7 @@ let main =
   Cmd.group (Cmd.info "baton" ~doc)
     [
       simulate_cmd; churn_cmd; inspect_cmd; trace_cmd; stats_cmd; compare_cmd;
-      bench_run_cmd;
+      bench_run_cmd; bench_cache_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -42,8 +42,8 @@ let () =
       let k = Rng.pick rng keys in
       incr asked;
       match Baton.Search.lookup net ~from:(Net.random_peer net) k with
-      | true, _ -> incr answered
-      | false, _ -> ()
+      | { Baton.Search.found = true; _ } -> incr answered
+      | { Baton.Search.found = false; _ } -> ()
       | exception _ -> ()
     done;
     let during = Metrics.since m cp in

@@ -35,7 +35,7 @@ let () =
   Printf.printf "range [1e8, 3.5e8] from node %d: %d keys, %d hops\n\n"
     from.Baton.Node.id
     (List.length result.Baton.Search.keys)
-    result.Baton.Search.range_hops;
+    result.Baton.Search.hops;
 
   print_string "--- span tree ---------------------------------------\n";
   print_string (Export.span_tree recorder);

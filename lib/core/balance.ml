@@ -36,8 +36,8 @@ let balance_with_adjacent net (u : Node.t) side =
               else begin
                 ignore (Net.send net ~src:u.Node.id ~dst:v.Node.id ~kind:Msg.balance);
                 Sorted_store.absorb v.Node.store moved;
-                u.Node.range <- { u.Node.range with Range.hi = boundary };
-                v.Node.range <- { v.Node.range with Range.lo = boundary };
+                Node.set_range u { u.Node.range with Range.hi = boundary };
+                Node.set_range v { v.Node.range with Range.lo = boundary };
                 Wiring.announce net u ~kind:Msg.balance;
                 Wiring.announce net v ~kind:Msg.balance;
                 true
@@ -57,8 +57,8 @@ let balance_with_adjacent net (u : Node.t) side =
               else begin
                 ignore (Net.send net ~src:u.Node.id ~dst:v.Node.id ~kind:Msg.balance);
                 Sorted_store.absorb v.Node.store moved;
-                u.Node.range <- { u.Node.range with Range.lo = boundary };
-                v.Node.range <- { v.Node.range with Range.hi = boundary };
+                Node.set_range u { u.Node.range with Range.lo = boundary };
+                Node.set_range v { v.Node.range with Range.hi = boundary };
                 Wiring.announce net u ~kind:Msg.balance;
                 Wiring.announce net v ~kind:Msg.balance;
                 true
@@ -91,7 +91,7 @@ let recruit net (u : Node.t) (f : Node.t) =
         | exception Not_found -> false
         | g ->
           Sorted_store.absorb g.Node.store f.Node.store;
-          g.Node.range <- Range.merge g.Node.range f.Node.range;
+          Node.set_range g (Range.merge g.Node.range f.Node.range);
           Wiring.announce net g ~kind:Msg.balance;
           true)
     in

@@ -10,6 +10,7 @@ module Range = Range
 module Link = Link
 module Routing_table = Routing_table
 module Node = Node
+module Route_cache = Route_cache
 module Msg = Msg
 module Net = Net
 module Wiring = Wiring
@@ -64,10 +65,14 @@ module Network = struct
     (Update.delete net ~from:(Net.random_peer net) key).Update.found
 
   let lookup net key =
-    fst (Search.lookup net ~from:(Net.random_peer net) key)
+    (Search.lookup net ~from:(Net.random_peer net) key).Search.found
+
+  let bulk_insert net keys =
+    ignore (Update.bulk_insert net ~from:(Net.random_peer net) keys)
 
   let range_query net ~lo ~hi =
     (Search.range net ~from:(Net.random_peer net) ~lo ~hi).Search.keys
 
   let messages net = Baton_sim.Metrics.total (Net.metrics net)
+  let cache_messages net = Baton_sim.Metrics.aux_total (Net.metrics net)
 end

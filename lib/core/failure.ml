@@ -204,12 +204,17 @@ let trigger net ~observer suspect_id =
   with Bus.Unreachable _ | Bus.Timeout _ | Not_found | Failure _ -> ()
 
 let observe_unreachable net ~observer dead_id =
+  (* Whatever else happens, stop shortcutting through the dead peer:
+     suspicion invalidates the observer's cached route immediately
+     (local, no message; a no-op when the cache is off and empty). *)
+  Route_cache.evict_peer observer.Node.cache dead_id;
   if Net.suspicion_repair net then begin
     Net.event net ~peer:dead_id Msg.ev_suspect;
     trigger net ~observer dead_id
   end
 
 let observe_timeout net ~observer suspect_id =
+  Route_cache.evict_peer observer.Node.cache suspect_id;
   if Net.suspicion_repair net then begin
     Net.event net ~peer:suspect_id Msg.ev_suspect;
     if Net.suspect net suspect_id >= suspicion_threshold then begin

@@ -106,7 +106,7 @@ let accept net ~acceptor:(x : Node.t) new_id =
   let low, high = Range.split_at x.Node.range m in
   let yrange, xrange = match side with `Left -> (low, high) | `Right -> (high, low) in
   let y = Node.create ~id:new_id ~pos:ypos ~range:yrange in
-  x.Node.range <- xrange;
+  Node.set_range x xrange;
   (* Hand over the content on the new node's side of the split. *)
   let moved =
     match side with

@@ -47,7 +47,7 @@ let direct_departure net (x : Node.t) ~kind =
           detour ())
     in
     Sorted_store.absorb p.Node.store x.Node.store;
-    p.Node.range <- Range.merge p.Node.range x.Node.range;
+    Node.set_range p (Range.merge p.Node.range x.Node.range);
     let side = if Position.is_left_child x.Node.pos then `Left else `Right in
     Node.set_child p side None;
     (* Splice adjacency: the parent inherits x's outer adjacent. *)
@@ -143,7 +143,8 @@ let assume_position net ~leaver:(x : Node.t) ~replacement:(y : Node.t) ~kind =
   Sorted_store.absorb y.Node.store x.Node.store;
   Net.unregister net x;
   y.Node.pos <- x.Node.pos;
-  y.Node.range <- x.Node.range;
+  Node.bump_epoch y;
+  Node.set_range y x.Node.range;
   Net.register net y;
   (* Rebuild y's links at its new position (paying one message per
      contacted peer) and tell everyone who linked to x that y replaced

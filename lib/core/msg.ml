@@ -11,6 +11,13 @@ let balance = "balance"
 let restructure = "restructure"
 let repair = "repair"
 
+(* Route-cache traffic: counted on the bus like any other message, but
+   registered as auxiliary with [Metrics.mark_aux] so it accumulates in
+   [Metrics.aux_total] and never perturbs the paper's metric. *)
+let cache_probe = "cache.probe"
+let cache_invalid = "cache.invalid"
+let cache_kinds = [ cache_probe; cache_invalid ]
+
 (* Simulator event names (Metrics.event) — observations that are not
    themselves messages. *)
 let ev_retry = "send.retry"
@@ -19,6 +26,10 @@ let ev_notify_dropped = "notify.dropped"
 let ev_notify_stale = "notify.stale"
 let ev_suspect = "repair.suspect"
 let ev_repair_triggered = "repair.triggered"
+let ev_cache_hit = "cache.hit"
+let ev_cache_miss = "cache.miss"
+let ev_cache_stale = "cache.stale"
+let ev_cache_evict = "cache.evict"
 
 let all =
   [
@@ -34,4 +45,6 @@ let all =
     balance;
     restructure;
     repair;
+    cache_probe;
+    cache_invalid;
   ]

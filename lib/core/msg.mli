@@ -41,6 +41,20 @@ val restructure : string
 val repair : string
 (** Failure discovery, reporting and routing-table regeneration. *)
 
+val cache_probe : string
+(** A shortcut hop through the adaptive route cache: the query is sent
+    straight to the remembered peer, which validates it against its
+    current range. Auxiliary traffic — see {!cache_kinds}. *)
+
+val cache_invalid : string
+(** A probed peer telling the sender that the shortcut was stale (its
+    range moved). Auxiliary traffic — see {!cache_kinds}. *)
+
+val cache_kinds : string list
+(** The route-cache message kinds. Registered as auxiliary with
+    [Metrics.mark_aux] so cache traffic is counted honestly on the bus
+    yet reported apart from the paper's message-total metric. *)
+
 val all : string list
 
 (** {2 Event names}
@@ -71,3 +85,16 @@ val ev_suspect : string
 val ev_repair_triggered : string
 (** Accumulated suspicion crossed the threshold and the observer
     initiated the repair protocol. *)
+
+val ev_cache_hit : string
+(** A cached shortcut was probed and validated by the receiver. *)
+
+val ev_cache_miss : string
+(** The cache held no entry covering the key; tree routing used. *)
+
+val ev_cache_stale : string
+(** A cached shortcut turned out stale or dead; the entry was evicted
+    and the search fell back to tree routing. *)
+
+val ev_cache_evict : string
+(** A cache entry was displaced by the LRU capacity bound. *)

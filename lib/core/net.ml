@@ -36,6 +36,10 @@ type t = {
      instant. [None] — the default — keeps every operation synchronous,
      exactly the pre-runtime behaviour. *)
   mutable hop_wait : hop_wait option;
+  (* Adaptive route cache: [None] disables caching network-wide and the
+     per-node caches stay empty, making the disabled network
+     behaviourally identical to one built before the cache existed. *)
+  mutable cache_capacity : int option;
 }
 
 and hop_outcome = Delivered | Timed_out
@@ -43,10 +47,16 @@ and hop_outcome = Delivered | Timed_out
 and hop_wait = src:int -> dst:int -> kind:string -> outcome:hop_outcome -> unit
 
 let default_retry_limit = 3
+let default_cache_capacity = 128
 
 let create ?(seed = 42) ~domain () =
   {
-    bus = Bus.create ();
+    bus =
+      (let bus = Bus.create () in
+       (* Cache traffic pays its way on the bus but accumulates apart
+          from the paper's message total. *)
+       List.iter (Metrics.mark_aux (Bus.metrics bus)) Msg.cache_kinds;
+       bus);
     peers = Hashtbl.create 4096;
     positions = Hashtbl.create 4096;
     id_list = Dyn_array.create ();
@@ -62,6 +72,7 @@ let create ?(seed = 42) ~domain () =
     suspicion_repair = false;
     recorder = None;
     hop_wait = None;
+    cache_capacity = None;
   }
 
 let bus t = t.bus
@@ -112,6 +123,7 @@ let reposition t (node : Node.t) pos =
   if Hashtbl.mem t.positions (key pos) then
     invalid_arg "Net.reposition: position occupied";
   node.Node.pos <- pos;
+  Node.bump_epoch node;
   Hashtbl.add t.positions (key pos) node.Node.id
 
 let bootstrap t =
@@ -232,6 +244,21 @@ let clear_suspicion t id = Hashtbl.remove t.suspicions id
 let set_suspicion_repair t flag = t.suspicion_repair <- flag
 let suspicion_repair t = t.suspicion_repair
 
+(* --- Route cache --------------------------------------------------- *)
+
+let enable_route_cache ?(capacity = default_cache_capacity) t =
+  if capacity <= 0 then invalid_arg "Net.enable_route_cache: capacity <= 0";
+  t.cache_capacity <- Some capacity
+
+let disable_route_cache t =
+  t.cache_capacity <- None;
+  (* Flush every peer's cache so a disabled network is indistinguishable
+     from one where the cache never existed. *)
+  Hashtbl.iter (fun _ (n : Node.t) -> Route_cache.clear n.Node.cache) t.peers
+
+let route_cache_enabled t = Option.is_some t.cache_capacity
+let route_cache_capacity t = t.cache_capacity
+
 let apply_notification t ~src ~dst ~kind ~expect_pos f =
   let ev name = event ~peer:dst t name in
   (* Notifications are one-way cache refreshes: fire-and-forget, no
@@ -281,7 +308,7 @@ let shift_histogram t = t.shifts
 (* Snapshot format: a magic string (to fail fast on foreign files)
    followed by the marshalled record. The record holds no closures once
    the deferred queue is empty and the bus trace hook is cleared. *)
-let snapshot_magic = "BATON-NET-v2"
+let snapshot_magic = "BATON-NET-v3"
 
 let save t path =
   if not (Baton_util.Dyn_array.is_empty t.deferred) then

@@ -148,6 +148,26 @@ val set_suspicion_repair : t -> bool -> unit
 
 val suspicion_repair : t -> bool
 
+(** {1 Adaptive route cache}
+
+    Off by default. When enabled, {!Search.exact} and {!Search.range}
+    consult the querying peer's {!Route_cache} before tree routing and
+    remember successful multi-hop destinations afterwards. Probe and
+    invalidation traffic is counted on the bus under auxiliary kinds
+    ({!Msg.cache_kinds}), so [Metrics.total] — the paper's metric — is
+    byte-identical whether the cache is disabled or was never built. *)
+
+val enable_route_cache : ?capacity:int -> t -> unit
+(** Turn on route caching with the given per-peer LRU capacity
+    (default 128). @raise Invalid_argument if [capacity <= 0]. *)
+
+val disable_route_cache : t -> unit
+(** Turn off route caching and flush every peer's cache, restoring
+    behaviour identical to a network where the cache never existed. *)
+
+val route_cache_enabled : t -> bool
+val route_cache_capacity : t -> int option
+
 val notify :
   ?expect_pos:Position.t ->
   t -> src:int -> dst:int -> kind:string -> (Node.t -> unit) -> unit

@@ -13,6 +13,8 @@ type t = {
   mutable range : Range.t;
   store : Sorted_store.t;
   mutable balance_backoff : int;
+  mutable epoch : int;
+  cache : Route_cache.t;
 }
 
 let create ~id ~pos ~range =
@@ -29,7 +31,17 @@ let create ~id ~pos ~range =
     range;
     store = Sorted_store.create ();
     balance_backoff = 0;
+    epoch = 0;
+    cache = Route_cache.create ();
   }
+
+let bump_epoch t = t.epoch <- t.epoch + 1
+
+let set_range t range =
+  if not (Range.equal t.range range) then begin
+    t.range <- range;
+    bump_epoch t
+  end
 
 let info t =
   {

@@ -20,11 +20,28 @@ type t = {
   mutable balance_backoff : int;
       (** load level below which the node will not retry a failed
           balancing attempt (see {!Balance.maybe_balance}) *)
+  mutable epoch : int;
+      (** positional epoch: bumped whenever the node's position or
+          managed range changes, so role-validated deliveries (route
+          cache probes, notifications) can detect a stale addressee *)
+  cache : Route_cache.t;
+      (** this peer's adaptive route cache; empty and inert unless the
+          network enables caching (see {!Net.enable_route_cache}) *)
 }
 
 val create : id:int -> pos:Position.t -> range:Range.t -> t
 (** Fresh node with empty links, empty tables sized for [pos], empty
     store. *)
+
+val bump_epoch : t -> unit
+(** Advance the positional epoch. Called on every position or range
+    change; remote epoch snapshots older than the current value are
+    stale. *)
+
+val set_range : t -> Range.t -> unit
+(** Assign the managed range, bumping the epoch when it changes. All
+    protocol-level range mutations go through this so cached shortcuts
+    can be validated against an epoch. *)
 
 val info : t -> Link.info
 (** Accurate snapshot of this node, as sent inside protocol messages. *)

@@ -92,6 +92,7 @@ let execute_shift net ~(incoming : Node.t) ~chain ~slot =
   (match chain with
   | first :: _ ->
     incoming.Node.pos <- first;
+    Node.bump_epoch incoming;
     Net.register net incoming
   | [] -> invalid_arg "Restructure.execute_shift: empty chain");
   let moved = incoming :: movers in
@@ -112,8 +113,8 @@ let execute_shift net ~(incoming : Node.t) ~chain ~slot =
 let split_with (x : Node.t) (y : Node.t) =
   let m = Join.split_point x in
   let low, high = Range.split_at x.Node.range m in
-  y.Node.range <- low;
-  x.Node.range <- high;
+  Node.set_range y low;
+  Node.set_range x high;
   let moved = Sorted_store.split_below x.Node.store m in
   Sorted_store.absorb y.Node.store moved
 

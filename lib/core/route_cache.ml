@@ -1,0 +1,49 @@
+type entry = { peer : int; range : Range.t; epoch : int }
+
+(* MRU-first association list. Caches are small (bounded by the
+   capacity the caller passes to [remember], typically a few hundred)
+   and consulted on the hot path only via [find], which touches the
+   prefix up to the first covering entry. *)
+type t = { mutable items : entry list }
+
+let create () = { items = [] }
+
+let length t = List.length t.items
+
+let find t key =
+  let rec scan acc = function
+    | [] -> None
+    | e :: rest ->
+      if Range.contains e.range key then begin
+        t.items <- e :: List.rev_append acc rest;
+        Some e
+      end
+      else scan (e :: acc) rest
+  in
+  scan [] t.items
+
+let remember t ~capacity entry =
+  let without = List.filter (fun e -> e.peer <> entry.peer) t.items in
+  let items = entry :: without in
+  let rec take n = function
+    | [] -> ([], 0)
+    | _ :: _ as rest when n = 0 -> ([], List.length rest)
+    | e :: rest ->
+      let kept, dropped = take (n - 1) rest in
+      (e :: kept, dropped)
+  in
+  let kept, evicted = take (max capacity 0) items in
+  t.items <- kept;
+  evicted
+
+let refresh_peer t ~peer ~range ~epoch =
+  t.items <-
+    List.map
+      (fun e -> if e.peer = peer then { e with range; epoch } else e)
+      t.items
+
+let evict_peer t peer = t.items <- List.filter (fun e -> e.peer <> peer) t.items
+
+let clear t = t.items <- []
+
+let entries t = t.items

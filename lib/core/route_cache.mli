@@ -1,0 +1,56 @@
+(** Adaptive route cache.
+
+    A bounded LRU of [(range -> peer)] shortcuts a node learns from the
+    traffic it routes: after a successful multi-hop walk the origin
+    remembers the destination's id, range and positional epoch, and
+    later queries for keys inside a remembered range skip straight to
+    that peer with a single probe instead of the full [O(log N)] tree
+    descent.
+
+    The cache is purely advisory. A shortcut hop is validated at the
+    {e receiver} against its current range (ART-style shortcut routing
+    layered on BATON's exact links); the stored epoch lets the origin
+    notice role changes announced by restructuring without a message.
+    Entries are invalidated on suspicion, departure and restructuring
+    announcements, and a stale or dead shortcut always falls back to
+    tree routing — correctness never depends on cache contents.
+
+    This module is pure data structure: it sends no messages and counts
+    no metrics. Callers account probe traffic under [Msg.cache_probe]
+    (marked auxiliary, so it never perturbs the paper's message total)
+    and record hit/miss/stale/evict events. *)
+
+type entry = {
+  peer : int;  (** remembered destination peer id *)
+  range : Range.t;  (** the range it managed when learned *)
+  epoch : int;  (** its positional epoch when learned *)
+}
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val find : t -> int -> entry option
+(** [find t key] is the most-recently-used entry whose remembered range
+    contains [key], promoted to the front, or [None]. *)
+
+val remember : t -> capacity:int -> entry -> int
+(** Insert (or refresh) the entry for [entry.peer] at the front and
+    truncate to [capacity]. Returns how many entries the capacity bound
+    displaced, so the caller can count evictions. At most one entry per
+    peer is kept. *)
+
+val refresh_peer : t -> peer:int -> range:Range.t -> epoch:int -> unit
+(** Update the remembered range/epoch of [peer] in place, if present —
+    used when a restructuring announcement reaches the cache owner. *)
+
+val evict_peer : t -> int -> unit
+(** Drop the entry for a peer (no-op if absent) — used when the peer is
+    suspected dead, departs, or a probe found the entry stale. *)
+
+val clear : t -> unit
+
+val entries : t -> entry list
+(** MRU-first snapshot, for inspection and tests. *)

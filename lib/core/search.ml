@@ -1,8 +1,19 @@
 module Bus = Baton_sim.Bus
+module Metrics = Baton_sim.Metrics
 module Span = Baton_obs.Span
 module Sorted_store = Baton_util.Sorted_store
 
-type outcome = { node : Node.t; hops : int }
+type result = {
+  node : Node.t;
+  found : bool;
+  keys : int list;
+  hops : int;
+  msgs : int;
+  retries : int;
+  nodes_visited : int;
+  complete : bool;
+  cached : bool;
+}
 
 exception Routing_stuck of int
 
@@ -44,11 +55,11 @@ let exact_walk net ~kind ~from v =
      the missing links through the surviving neighbourhood, so the
      detour costs messages exactly as the paper predicts. *)
   let rec loop (node : Node.t) hops ~tried =
-    if Range.contains node.Node.range v then { node; hops }
+    if Range.contains node.Node.range v then (node, hops)
     else if hops > budget then raise (Routing_stuck hops)
     else
       match candidates node v with
-      | [] -> { node; hops }
+      | [] -> (node, hops)
       | primary -> (
         let fresh (i : Link.info) = not (List.mem i.Link.peer tried) in
         (* When every forward link has timed out, escape upwards via
@@ -93,24 +104,136 @@ let exact_walk net ~kind ~from v =
   in
   loop from 0 ~tried:[]
 
+(* --- Adaptive route cache ------------------------------------------ *)
+
+(* Consult the querying peer's route cache for a shortcut covering [v].
+   A remembered entry is only a hint: the probe is a real (auxiliary)
+   message, validated at the receiver against its *current* range — the
+   positional epoch stored in the entry tracks how fresh the hint was,
+   and announcements refresh it, but delivery-time validation is what
+   makes a shortcut safe. Any failure of the probe evicts the entry and
+   falls back to tree routing; the probe's cost stays paid. *)
+let cache_consult net ~(from : Node.t) v =
+  match Net.route_cache_capacity net with
+  | None -> None
+  | Some _ when Range.contains from.Node.range v -> None
+  | Some _ -> (
+    match Route_cache.find from.Node.cache v with
+    | None ->
+      Net.event net Msg.ev_cache_miss;
+      None
+    | Some entry -> (
+      let stale () =
+        Route_cache.evict_peer from.Node.cache entry.Route_cache.peer;
+        Net.event net ~peer:entry.Route_cache.peer Msg.ev_cache_stale;
+        None
+      in
+      match
+        Net.send net ~src:from.Node.id ~dst:entry.Route_cache.peer
+          ~kind:Msg.cache_probe
+      with
+      | node ->
+        if Range.contains node.Node.range v then begin
+          Net.event net ~peer:node.Node.id Msg.ev_cache_hit;
+          (* Validated delivery doubles as a refresh. *)
+          Route_cache.refresh_peer from.Node.cache ~peer:node.Node.id
+            ~range:node.Node.range ~epoch:node.Node.epoch;
+          Some node
+        end
+        else begin
+          (* The receiver's range moved: it answers with an explicit
+             invalidation so the origin drops the shortcut. *)
+          (try
+             Net.send_raw net ~src:node.Node.id ~dst:from.Node.id
+               ~kind:Msg.cache_invalid
+           with Bus.Unreachable _ | Bus.Timeout _ -> ());
+          stale ()
+        end
+      | exception Bus.Unreachable dead ->
+        Net.obs_note net ~peer:dead Span.n_unreachable;
+        Failure.observe_unreachable net ~observer:from dead;
+        stale ()
+      | exception Bus.Timeout silent ->
+        Net.obs_note net ~peer:silent Span.n_timeout;
+        Failure.observe_timeout net ~observer:from silent;
+        stale ()
+      | exception Not_found -> stale ()))
+
+(* After a successful multi-hop walk, remember the destination. A
+   single-hop walk is not worth caching (the shortcut could not beat
+   it), and the entry is only useful if the destination actually covers
+   the key. Local bookkeeping — no message. *)
+let cache_learn net ~(from : Node.t) (dest : Node.t) v ~hops =
+  match Net.route_cache_capacity net with
+  | None -> ()
+  | Some capacity ->
+    if hops >= 2 && dest.Node.id <> from.Node.id
+       && Range.contains dest.Node.range v
+    then begin
+      let evicted =
+        Route_cache.remember from.Node.cache ~capacity
+          {
+            Route_cache.peer = dest.Node.id;
+            range = dest.Node.range;
+            epoch = dest.Node.epoch;
+          }
+      in
+      for _ = 1 to evicted do
+        Net.event net Msg.ev_cache_evict
+      done
+    end
+
+(* Exact routing with the cache consulted first: a validated shortcut
+   answers in one (auxiliary) hop; otherwise the tree walk runs and its
+   destination is remembered. *)
+let exact_routed net ~kind ~from v =
+  match cache_consult net ~from v with
+  | Some node -> (node, 1, true)
+  | None ->
+    let node, hops = exact_walk net ~kind ~from v in
+    cache_learn net ~from node v ~hops;
+    (node, hops, false)
+
+(* Wrap an operation so the result reports its true bus cost: protocol
+   messages (the paper's metric) plus auxiliary cache traffic, and the
+   retransmissions hidden inside them. *)
+let measured net f =
+  let m = Net.metrics net in
+  let cp = Metrics.checkpoint m in
+  let r = f () in
+  {
+    r with
+    msgs = Metrics.since m cp + Metrics.aux_since m cp;
+    retries = Metrics.event_since m cp Msg.ev_retry;
+  }
+
 (* A standalone exact-match query is its own span; walks on behalf of a
    larger operation (range locate, insert, delete) are recorded under
    that operation's span instead. *)
 let exact ?(kind = Msg.search_exact) net ~from v =
+  let run () =
+    measured net (fun () ->
+        let node, hops, cached = exact_routed net ~kind ~from v in
+        {
+          node;
+          found = Range.contains node.Node.range v;
+          keys = [];
+          hops;
+          msgs = 0;
+          retries = 0;
+          nodes_visited = 1;
+          complete = true;
+          cached;
+        })
+  in
   if String.equal kind Msg.search_exact then
-    Net.with_op net ~kind:Span.exact (fun () -> exact_walk net ~kind ~from v)
-  else exact_walk net ~kind ~from v
+    Net.with_op net ~kind:Span.exact run
+  else run ()
 
 let lookup net ~from v =
-  let { node; hops } = exact net ~from v in
-  (Sorted_store.mem node.Node.store v, hops)
-
-type range_outcome = {
-  keys : int list;
-  nodes_visited : int;
-  range_hops : int;
-  complete : bool;
-}
+  let r = exact net ~from v in
+  let found = Sorted_store.mem r.node.Node.store v in
+  { r with found; keys = (if found then [ v ] else []) }
 
 (* What one directional adjacent-link sweep produces; opaque to
    callers, who only thread it through a [par] runner. *)
@@ -201,8 +324,8 @@ let range_walk ?par net ~from ~lo ~hi =
      parallel — the paper's [O(log N + X)] is a critical-path bound —
      while sending exactly the messages the sequential order sends. *)
   let mid = lo + ((hi - lo) / 2) in
-  let locate aim = exact ~kind:Msg.search_range net ~from aim in
-  let { node; hops } =
+  let locate aim = exact_routed net ~kind:Msg.search_range ~from aim in
+  let node, hops, cached =
     (* A dead owner of the aim point makes the locate walk ping-pong
        between its surviving neighbours until the budget runs out; the
        messages are spent (and counted) — fall back to aiming at the
@@ -211,10 +334,10 @@ let range_walk ?par net ~from ~lo ~hi =
     | outcome -> outcome
     | exception Routing_stuck h1 -> (
       match locate lo with
-      | outcome -> { outcome with hops = outcome.hops + h1 }
+      | node, hops, cached -> (node, hops + h1, cached)
       | exception Routing_stuck h2 ->
-        let outcome = locate hi in
-        { outcome with hops = outcome.hops + h1 + h2 })
+        let node, hops, cached = locate hi in
+        (node, hops + h1 + h2, cached))
   in
   let here = Sorted_store.keys_in node.Node.store ~lo ~hi in
   let sweep_left () = sweep net node `Left ~lo ~hi in
@@ -234,12 +357,18 @@ let range_walk ?par net ~from ~lo ~hi =
     List.concat left_keys @ here @ List.concat (List.rev right_keys)
   in
   {
+    node;
+    found = keys <> [];
     keys;
+    hops = hops + left_msgs + right_msgs;
+    msgs = 0;
+    retries = 0;
     nodes_visited = 1 + left_visited + right_visited;
-    range_hops = hops + left_msgs + right_msgs;
     complete = left_complete && right_complete;
+    cached;
   }
 
 let range ?par net ~from ~lo ~hi =
   if lo > hi then invalid_arg "Search.range: lo > hi";
-  Net.with_op net ~kind:Span.range (fun () -> range_walk ?par net ~from ~lo ~hi)
+  Net.with_op net ~kind:Span.range (fun () ->
+      measured net (fun () -> range_walk ?par net ~from ~lo ~hi))

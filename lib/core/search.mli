@@ -10,6 +10,14 @@
     unreachable peer), exactly the effect measured by the paper's
     network-dynamics experiment.
 
+    When the network's adaptive route cache is enabled
+    ({!Net.enable_route_cache}), both queries first consult the issuing
+    peer's {!Route_cache} for a learned shortcut: a single probe
+    message (auxiliary kind {!Msg.cache_probe}, counted apart from the
+    paper's metric) is validated at the receiver against its current
+    range. A stale or dead shortcut is evicted and the query falls back
+    to ordinary tree routing — the cache accelerates, never decides.
+
     Under an installed fault model (see {!Baton_sim.Bus.set_faults}) a
     hop can also time out after its retransmissions. The search then
     routes around the silent peer through alternative links — other
@@ -18,10 +26,32 @@
     a suspicion against the silent peer so repair can be triggered
     lazily ({!Failure.observe_timeout}). *)
 
-type outcome = {
-  node : Node.t;  (** the node responsible for the searched value *)
-  hops : int;  (** forwarding messages paid *)
+type result = {
+  node : Node.t;
+      (** the node that answered: the owner of the searched value, or
+          the first intersecting node of a range query *)
+  found : bool;
+      (** exact/lookup: is the answer positive (range owned / key
+          stored)? range: did any key match? *)
+  keys : int list;
+      (** matching keys, ascending ([[v]] or [[]] for lookup; always
+          [[]] for [exact], which locates an owner rather than data) *)
+  hops : int;  (** forwarding messages on the query's routing path *)
+  msgs : int;
+      (** every bus message the operation paid for: routing hops,
+          retransmissions, repair detours, and auxiliary cache probes *)
+  retries : int;  (** retransmissions hidden inside [msgs] *)
+  nodes_visited : int;  (** partial-answer nodes contacted *)
+  complete : bool;
+      (** [false] when a dead or silent peer whose cached range
+          intersected the query had to be skipped: [keys] is the
+          partial answer collected from the surviving chain. Always
+          [true] for exact/lookup, whose single answer is
+          authoritative. *)
+  cached : bool;
+      (** did a validated route-cache shortcut serve the routing step? *)
 }
+(** The one result shape shared by {!exact}, {!lookup} and {!range}. *)
 
 exception Routing_stuck of int
 (** Raised when a query exceeds the hop budget — only possible when
@@ -29,26 +59,17 @@ exception Routing_stuck of int
     protocol's tolerance; never in a quiescent network. Carries the
     hop count. *)
 
-val exact : ?kind:string -> Net.t -> from:Node.t -> int -> outcome
+val exact : ?kind:string -> Net.t -> from:Node.t -> int -> result
 (** [exact net ~from v] routes from [from] to the node whose range
     contains [v]. For values outside the current global range the
     leftmost/rightmost node is returned (it is the one that would
-    expand, per Section IV-C). [kind] defaults to
+    expand, per Section IV-C) with [found = false]. [kind] defaults to
     {!Msg.search_exact}. *)
 
-val lookup : Net.t -> from:Node.t -> int -> bool * int
-(** [lookup net ~from v] is [(found, hops)]: route to the responsible
-    node and test membership of [v] in its local store. *)
-
-type range_outcome = {
-  keys : int list;  (** matching keys, ascending *)
-  nodes_visited : int;  (** partial-answer nodes contacted *)
-  range_hops : int;  (** total messages: search + adjacent expansion *)
-  complete : bool;
-      (** [false] when a dead or silent peer whose cached range
-          intersected the query had to be skipped: [keys] is the
-          partial answer collected from the surviving chain. *)
-}
+val lookup : Net.t -> from:Node.t -> int -> result
+(** [lookup net ~from v] routes to the responsible node and tests
+    membership of [v] in its local store: [found] is the membership
+    answer and [keys] is [[v]] when stored. *)
 
 type sweep_outcome
 (** Result of one directional adjacent-link sweep. Opaque: callers of
@@ -61,7 +82,7 @@ type par = (unit -> sweep_outcome) -> (unit -> sweep_outcome) -> sweep_outcome *
     their subranges in parallel — same messages, shorter critical
     path. *)
 
-val range : ?par:par -> Net.t -> from:Node.t -> lo:int -> hi:int -> range_outcome
+val range : ?par:par -> Net.t -> from:Node.t -> lo:int -> hi:int -> result
 (** [range net ~from ~lo ~hi] answers the closed range query
     [\[lo, hi\]]: exact-search the first intersecting node, then follow
     adjacent links, one message per additional node (paper:

@@ -6,15 +6,15 @@ let rec insert net ~from key =
   Net.with_op net ~kind:Baton_obs.Span.insert (fun () -> insert_run net ~from key)
 
 and insert_run net ~from key =
-  let { Search.node; hops } = Search.exact ~kind:Msg.insert net ~from key in
+  let { Search.node; hops; _ } = Search.exact ~kind:Msg.insert net ~from key in
   let expanded =
     if Range.contains node.Node.range key then false
     else begin
       (* The leftmost (rightmost) node expands its range to cover the
          new key and must tell everyone who caches its range. *)
       let r = node.Node.range in
-      (if key < r.Range.lo then node.Node.range <- { r with Range.lo = key }
-       else node.Node.range <- { r with Range.hi = key + 1 });
+      (if key < r.Range.lo then Node.set_range node { r with Range.lo = key }
+       else Node.set_range node { r with Range.hi = key + 1 });
       Wiring.announce net node ~kind:Msg.expand;
       true
     end
@@ -26,7 +26,9 @@ type delete_stats = { node : int; hops : int; found : bool }
 
 let delete net ~from key =
   Net.with_op net ~kind:Baton_obs.Span.delete (fun () ->
-      let { Search.node; hops } = Search.exact ~kind:Msg.delete net ~from key in
+      let { Search.node; hops; _ } =
+        Search.exact ~kind:Msg.delete net ~from key
+      in
       let found = Sorted_store.remove node.Node.store key in
       { node = node.Node.id; hops; found })
 
@@ -38,13 +40,13 @@ let bulk_insert net ~from keys =
   | smallest :: _ as sorted ->
     let metrics = Net.metrics net in
     let cp = Baton_sim.Metrics.checkpoint metrics in
-    let { Search.node = first; hops = _ } =
+    let { Search.node = first; _ } =
       Search.exact ~kind:Msg.insert net ~from smallest
     in
     (* Keys below the key space land on the leftmost node, which
        expands once for the whole batch. *)
     (if smallest < first.Node.range.Range.lo then begin
-       first.Node.range <- { first.Node.range with Range.lo = smallest };
+       Node.set_range first { first.Node.range with Range.lo = smallest };
        Wiring.announce net first ~kind:Msg.expand
      end);
     let nodes = ref 0 in
@@ -84,7 +86,7 @@ let bulk_insert net ~from keys =
             (* Rightmost node: the remaining keys lie beyond the key
                space; expand once and store them here. *)
             let top = List.fold_left max (node.Node.range.Range.hi - 1) rest in
-            node.Node.range <- { node.Node.range with Range.hi = top + 1 };
+            Node.set_range node { node.Node.range with Range.hi = top + 1 };
             Wiring.announce net node ~kind:Msg.expand;
             count_once node;
             List.iter (Sorted_store.insert node.Node.store) rest))

@@ -150,7 +150,14 @@ let watcher_positions net pos =
 
 let announce net (node : Node.t) ~kind =
   let info = Node.info node in
+  let epoch = node.Node.epoch in
   let refresh (watcher : Node.t) =
+    (* The announcement rides along to the watcher's route cache: a
+       remembered shortcut to this peer is refreshed in place (range
+       and epoch), so restructuring and balancing keep caches warm
+       instead of letting them go stale. Local update — no message. *)
+    Route_cache.refresh_peer watcher.Node.cache ~peer:info.Link.peer
+      ~range:info.Link.range ~epoch;
     (* The watcher replaces whatever link it holds for this position. *)
     let pos = info.Link.pos in
     if (not (Position.is_root pos)) && Position.equal watcher.Node.pos (Position.parent pos)
@@ -188,6 +195,7 @@ let retract_position net ~pos ~peer ~kind =
       match occupant net wpos with
       | Some w when w.Node.id <> peer ->
         Net.notify net ~src:peer ~dst:w.Node.id ~kind (fun w ->
+            Route_cache.evict_peer w.Node.cache peer;
             Node.drop_links_for_peer w peer)
       | Some _ | None -> ())
     (watcher_positions net pos)

@@ -28,8 +28,8 @@ let run_rate ~seed ~n ~queries ~rate_percent =
     done;
     let k = Rng.pick rng keys in
     let cp = Metrics.checkpoint m in
-    let found, _ = Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k in
-    assert found;
+    let r = Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k in
+    assert r.Baton.Search.found;
     query_msgs := !query_msgs + Metrics.since m cp
   done;
   Baton.Check.all net;

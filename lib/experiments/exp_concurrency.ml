@@ -63,7 +63,7 @@ let fanout (p : Params.t) =
   let serial =
     Array.mapi
       (fun i { Querygen.lo; hi } ->
-        let (_ : Baton.Search.range_outcome), ms =
+        let (_ : Baton.Search.result), ms =
           Latency.measure lat (Baton.Net.bus net) (fun () ->
               Baton.Search.range net ~from:froms.(i) ~lo ~hi)
         in
@@ -85,7 +85,7 @@ let fanout (p : Params.t) =
         (fun () ->
           ignore
             (Baton.Search.range ~par net ~from:froms.(i) ~lo ~hi
-              : Baton.Search.range_outcome))
+              : Baton.Search.result))
         ~on_done:(fun _ -> critical.(i) <- Runtime.now rt -. started);
       Runtime.run rt)
     queries;

@@ -32,7 +32,7 @@ let run (p : Params.t) =
             let cp = Metrics.checkpoint m in
             let attempt () =
               match Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k with
-              | found, _ -> found
+              | r -> r.Baton.Search.found
               | exception _ -> false
             in
             if attempt () || attempt () then incr answered;

@@ -25,7 +25,7 @@ let run (p : Params.t) =
   let baton_samples =
     Array.map
       (fun k ->
-        let (_ : bool * int), ms =
+        let (_ : Baton.Search.result), ms =
           Latency.measure lat (Baton.Net.bus net) (fun () ->
               Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k)
         in
@@ -36,7 +36,7 @@ let run (p : Params.t) =
   let range_samples =
     Array.map
       (fun { Querygen.lo; hi } ->
-        let (_ : Baton.Search.range_outcome), ms =
+        let (_ : Baton.Search.result), ms =
           Latency.measure lat (Baton.Net.bus net) (fun () ->
               Baton.Search.range net ~from:(Baton.Net.random_peer net) ~lo ~hi)
         in

@@ -56,8 +56,8 @@ let baton_point ~seed ~n ~(p : Params.t) =
   let exacts =
     Array.map
       (fun k ->
-        let _, hops = Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k in
-        float_of_int hops)
+        let r = Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k in
+        float_of_int r.Baton.Search.hops)
       (Querygen.exact_targets rng ~keys q)
   in
   let spans =
@@ -68,7 +68,7 @@ let baton_point ~seed ~n ~(p : Params.t) =
     Array.map
       (fun { Querygen.lo; hi } ->
         let r = Baton.Search.range net ~from:(Baton.Net.random_peer net) ~lo ~hi in
-        float_of_int r.Baton.Search.range_hops)
+        float_of_int r.Baton.Search.hops)
       spans
   in
   let module S = Baton_util.Stats in

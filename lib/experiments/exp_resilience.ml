@@ -50,8 +50,8 @@ let run (p : Params.t) =
       if not (lost k) then begin
         incr asked;
         match Baton.Search.lookup net ~from:(Baton.Net.random_peer net) k with
-        | true, _ -> incr answered
-        | false, _ -> ()
+        | { Baton.Search.found = true; _ } -> incr answered
+        | { Baton.Search.found = false; _ } -> ()
         | exception Baton.Search.Routing_stuck _ -> incr stuck
         | exception Bus.Unreachable _ -> incr stuck
         | exception Bus.Timeout _ -> incr stuck

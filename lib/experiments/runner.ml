@@ -22,6 +22,7 @@ let experiments =
     ("moving-hotspot", fun p -> [ Exp_hotspot.run p ]);
     ("latency", fun p -> [ Exp_latency.run p ]);
     ("churn-sweep", fun p -> [ Exp_churn_sweep.run p ]);
+    ("route-cache", fun p -> [ Exp_cache.run p ]);
     ("concurrency", fun p -> Exp_concurrency.run p);
   ]
 

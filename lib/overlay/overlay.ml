@@ -1,3 +1,18 @@
+type stats = {
+  total : int;
+  cache : int;
+  by_kind : (string * int) list;
+}
+
+exception Unsupported of string
+
+let stats_of_metrics m =
+  {
+    total = Baton_sim.Metrics.total m;
+    cache = Baton_sim.Metrics.aux_total m;
+    by_kind = Baton_sim.Metrics.kinds m;
+  }
+
 module type S = sig
   type t
 
@@ -5,10 +20,13 @@ module type S = sig
   val create : seed:int -> n:int -> t
   val size : t -> int
   val messages : t -> int
+  val stats : t -> stats
+  val supports_range : bool
   val insert : t -> int -> unit
+  val bulk_load : t -> int list -> unit
   val delete : t -> int -> bool
   val lookup : t -> int -> bool
-  val range_query : t -> lo:int -> hi:int -> int list option
+  val range_query : t -> lo:int -> hi:int -> int list
   val join : t -> unit
   val leave_random : t -> Baton_util.Rng.t -> unit
   val check : t -> unit
@@ -21,10 +39,13 @@ module Baton_overlay : S = struct
   let create ~seed ~n = Baton.Network.build ~seed n
   let size = Baton.Network.size
   let messages = Baton.Network.messages
+  let stats t = stats_of_metrics (Baton.Net.metrics t)
+  let supports_range = true
   let insert = Baton.Network.insert
+  let bulk_load = Baton.Network.bulk_insert
   let delete = Baton.Network.delete
   let lookup = Baton.Network.lookup
-  let range_query t ~lo ~hi = Some (Baton.Network.range_query t ~lo ~hi)
+  let range_query t ~lo ~hi = Baton.Network.range_query t ~lo ~hi
   let join t = ignore (Baton.Network.join t)
 
   let leave_random t rng =
@@ -48,7 +69,14 @@ module Chord_overlay : S = struct
 
   let size = Chord.size
   let messages t = Baton_sim.Metrics.total (Chord.metrics t)
+  let stats t = stats_of_metrics (Chord.metrics t)
+  let supports_range = false
   let insert t k = ignore (Chord.insert t k)
+
+  (* Chord hashes keys to peers: there is no in-order chain to
+     distribute a sorted batch along, so a bulk load degenerates to
+     per-key routed inserts. *)
+  let bulk_load t keys = List.iter (insert t) keys
 
   let delete t k =
     let found = fst (Chord.lookup t k) in
@@ -56,7 +84,7 @@ module Chord_overlay : S = struct
     found
 
   let lookup t k = fst (Chord.lookup t k)
-  let range_query _ ~lo:_ ~hi:_ = None
+  let range_query _ ~lo:_ ~hi:_ = raise (Unsupported name)
   let join t = ignore (Chord.join t)
 
   let leave_random t rng =
@@ -83,10 +111,13 @@ module Multiway_overlay : S = struct
 
   let size = Multiway.size
   let messages t = Baton_sim.Metrics.total (Multiway.metrics t)
+  let stats t = stats_of_metrics (Multiway.metrics t)
+  let supports_range = true
   let insert t k = ignore (Multiway.insert t k)
+  let bulk_load t keys = List.iter (insert t) keys
   let delete t k = fst (Multiway.delete t k)
   let lookup t k = fst (Multiway.lookup t k)
-  let range_query t ~lo ~hi = Some (fst (Multiway.range_query t ~lo ~hi))
+  let range_query t ~lo ~hi = fst (Multiway.range_query t ~lo ~hi)
   let join t = ignore (Multiway.join t)
 
   let leave_random t rng =

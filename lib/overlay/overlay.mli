@@ -4,9 +4,25 @@
     this module erases the differences behind one signature so that
     drivers (the CLI's [compare] command, generic tests, ad-hoc
     scripts) can run the same workload against any of them and read the
-    same metrics. Range queries return [None] on overlays that cannot
-    answer them (Chord) — the impossibility is part of the interface,
-    exactly as it is part of the paper's comparison. *)
+    same metrics. Capabilities are discovered, not probed: an overlay
+    that cannot answer range queries says so via {!S.supports_range},
+    and calling {!S.range_query} on it raises {!Unsupported} — the
+    impossibility is part of the interface, exactly as it is part of
+    the paper's comparison. *)
+
+type stats = {
+  total : int;  (** protocol messages — the paper's metric *)
+  cache : int;
+      (** auxiliary route-cache traffic (probes, invalidations),
+          counted apart from [total]; 0 on overlays without a cache *)
+  by_kind : (string * int) list;  (** per-kind breakdown, sorted *)
+}
+(** Message accounting split by category, so cross-overlay comparisons
+    can quote the paper-parity total and the cache overhead apart. *)
+
+exception Unsupported of string
+(** Raised by an operation the overlay cannot perform; carries the
+    overlay name. *)
 
 module type S = sig
   type t
@@ -18,15 +34,30 @@ module type S = sig
 
   val size : t -> int
   val messages : t -> int
+  (** Protocol messages so far (equals [(stats t).total]). *)
+
+  val stats : t -> stats
+  (** Full message accounting, split by category. *)
+
+  val supports_range : bool
+  (** Can this overlay answer range queries at all? *)
 
   val insert : t -> int -> unit
+
+  val bulk_load : t -> int list -> unit
+  (** Place a batch of keys with amortized routing (one locate plus an
+      in-order distribution pass where the overlay supports it),
+      instead of one full routed insert per key. *)
+
   val delete : t -> int -> bool
   val lookup : t -> int -> bool
 
-  val range_query : t -> lo:int -> hi:int -> int list option
-  (** [None] when the overlay cannot answer range queries. *)
+  val range_query : t -> lo:int -> hi:int -> int list
+  (** Matching keys, ascending.
+      @raise Unsupported when [supports_range] is [false]. *)
 
   val join : t -> unit
+
   val leave_random : t -> Baton_util.Rng.t -> unit
   (** Gracefully remove one uniformly chosen peer (no-op on a 1-peer
       network). *)

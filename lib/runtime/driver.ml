@@ -56,15 +56,29 @@ type config = {
   theta : float;
   mix : mix;
   timeout_ms : float;
+  route_cache : bool;
 }
 
 let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
     ?(arrival = Closed { think_ms = 0. }) ?(range_span = 2_000_000)
-    ?(theta = 1.0) ?(timeout_ms = Runtime.default_timeout_ms) ~n ~mix () =
+    ?(theta = 1.0) ?(timeout_ms = Runtime.default_timeout_ms)
+    ?(route_cache = false) ~n ~mix () =
   if n < 2 then invalid_arg "Driver.config: n < 2";
   if clients < 1 then invalid_arg "Driver.config: clients < 1";
   if ops < 1 then invalid_arg "Driver.config: ops < 1";
-  { n; seed; keys_per_node; clients; ops; arrival; range_span; theta; mix; timeout_ms }
+  {
+    n;
+    seed;
+    keys_per_node;
+    clients;
+    ops;
+    arrival;
+    range_span;
+    theta;
+    mix;
+    timeout_ms;
+    route_cache;
+  }
 
 (* One planned operation. Join/Leave carry no payload: the peer they
    act on is chosen at execution time from the then-live membership. *)
@@ -119,6 +133,10 @@ type report = {
   failed : int;
   retries : int;
   messages : int;
+  cache_messages : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_stale : int;
   duration_ms : float;
   throughput_ops_s : float;
   latencies : (string * Timing.t) list;  (** in {!kind_order} *)
@@ -132,9 +150,12 @@ let run cfg =
   let net = Baton.Network.build ~seed:cfg.seed cfg.n in
   let gen = Datagen.uniform (Rng.create ((cfg.seed * 31) + 7)) in
   let keys = Datagen.take gen (cfg.keys_per_node * cfg.n) in
-  Array.iter
-    (fun k -> ignore (Baton.Update.insert net ~from:(Net.random_peer net) k))
-    keys;
+  (* Batched placement: one locate plus an in-order distribution pass,
+     instead of a routed insert per key. *)
+  ignore
+    (Baton.Update.bulk_insert net ~from:(Net.random_peer net)
+       (Array.to_list keys));
+  if cfg.route_cache then Net.enable_route_cache net;
   (* Phase 2 — concurrent measured run. *)
   let rt = Runtime.create ~timeout_ms:cfg.timeout_ms net in
   let plan = plan_ops cfg ~keys in
@@ -214,6 +235,10 @@ let run cfg =
     failed = !failed;
     retries = Metrics.event_since metrics cp Baton.Msg.ev_retry;
     messages = Metrics.since metrics cp;
+    cache_messages = Metrics.aux_since metrics cp;
+    cache_hits = Metrics.event_since metrics cp Baton.Msg.ev_cache_hit;
+    cache_misses = Metrics.event_since metrics cp Baton.Msg.ev_cache_miss;
+    cache_stale = Metrics.event_since metrics cp Baton.Msg.ev_cache_stale;
     duration_ms;
     throughput_ops_s =
       (if duration_ms > 0. then float_of_int !completed /. duration_ms *. 1000.
@@ -244,6 +269,15 @@ let report_json r =
       ("failed", Json.Int r.failed);
       ("retries", Json.Int r.retries);
       ("messages", Json.Int r.messages);
+      ("route_cache", Json.Bool r.cfg.route_cache);
+      ( "cache",
+        Json.Obj
+          [
+            ("messages", Json.Int r.cache_messages);
+            ("hits", Json.Int r.cache_hits);
+            ("misses", Json.Int r.cache_misses);
+            ("stale", Json.Int r.cache_stale);
+          ] );
       ("duration_ms", Json.Float r.duration_ms);
       ("throughput_ops_per_s", Json.Float r.throughput_ops_s);
       ( "latency_ms",
@@ -259,7 +293,7 @@ let report_json r =
           ] );
     ]
 
-let schema_version = "baton-bench-runtime-v1"
+let schema_version = "baton-bench-runtime-v2"
 
 let bench_json reports =
   Json.Obj

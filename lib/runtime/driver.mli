@@ -43,6 +43,8 @@ type config = {
   theta : float;  (** Zipf exponent for exact-query key skew *)
   mix : mix;
   timeout_ms : float;
+  route_cache : bool;  (** enable the adaptive route cache before the
+                           measured phase *)
 }
 
 val config :
@@ -54,6 +56,7 @@ val config :
   ?range_span:int ->
   ?theta:float ->
   ?timeout_ms:float ->
+  ?route_cache:bool ->
   n:int ->
   mix:mix ->
   unit ->
@@ -75,7 +78,13 @@ type report = {
       (** operations that raised (e.g. their origin departed
           mid-flight); part of the seeded schedule, not noise *)
   retries : int;  (** retransmissions during the measured phase *)
-  messages : int;  (** bus messages during the measured phase *)
+  messages : int;  (** protocol messages during the measured phase *)
+  cache_messages : int;
+      (** auxiliary route-cache messages (probes, invalidations) during
+          the measured phase — counted apart from [messages] *)
+  cache_hits : int;  (** validated shortcut deliveries *)
+  cache_misses : int;  (** cache consulted, no covering entry *)
+  cache_stale : int;  (** shortcut evicted after a failed validation *)
   duration_ms : float;  (** virtual time to drain the workload *)
   throughput_ops_s : float;
   latencies : (string * Baton_obs.Timing.t) list;
@@ -85,14 +94,15 @@ type report = {
 }
 
 val run : config -> report
-(** Build the network and load data synchronously (unmeasured), then
-    execute the plan concurrently and report. *)
+(** Build the network and bulk-load data synchronously (unmeasured),
+    enable the route cache when configured, then execute the plan
+    concurrently and report. *)
 
 val report_json : report -> Baton_obs.Json.t
 
 val schema_version : string
 (** Value of the ["schema"] field of {!bench_json}:
-    ["baton-bench-runtime-v1"]. *)
+    ["baton-bench-runtime-v2"]. *)
 
 val bench_json : report list -> Baton_obs.Json.t
 (** The BENCH_runtime.json document: [{schema; runs: [...]}]. *)

@@ -1,5 +1,7 @@
 type t = {
   mutable total : int;
+  mutable aux_total : int;
+  aux_kinds : (string, unit) Hashtbl.t;
   by_kind : (string, int ref) Hashtbl.t;
   by_node : (int, int ref) Hashtbl.t;
   by_node_kind : (int * string, int ref) Hashtbl.t;
@@ -9,6 +11,8 @@ type t = {
 let create () =
   {
     total = 0;
+    aux_total = 0;
+    aux_kinds = Hashtbl.create 8;
     by_kind = Hashtbl.create 32;
     by_node = Hashtbl.create 1024;
     by_node_kind = Hashtbl.create 1024;
@@ -20,13 +24,20 @@ let bump tbl key =
   | Some r -> incr r
   | None -> Hashtbl.add tbl key (ref 1)
 
+let mark_aux t kind =
+  if not (Hashtbl.mem t.aux_kinds kind) then Hashtbl.add t.aux_kinds kind ()
+
+let is_aux t kind = Hashtbl.mem t.aux_kinds kind
+
 let record t ~dst ~kind =
-  t.total <- t.total + 1;
+  if Hashtbl.mem t.aux_kinds kind then t.aux_total <- t.aux_total + 1
+  else t.total <- t.total + 1;
   bump t.by_kind kind;
   bump t.by_node dst;
   bump t.by_node_kind (dst, kind)
 
 let total t = t.total
+let aux_total t = t.aux_total
 
 let event t name = bump t.by_event name
 
@@ -52,6 +63,7 @@ let per_node t =
 
 let reset t =
   t.total <- 0;
+  t.aux_total <- 0;
   Hashtbl.reset t.by_kind;
   Hashtbl.reset t.by_node;
   Hashtbl.reset t.by_node_kind;
@@ -59,14 +71,21 @@ let reset t =
 
 type checkpoint = {
   at_total : int;
+  at_aux : int;
   kind_snapshot : (string * int) list;
   event_snapshot : (string * int) list;
 }
 
 let checkpoint t =
-  { at_total = t.total; kind_snapshot = kinds t; event_snapshot = events t }
+  {
+    at_total = t.total;
+    at_aux = t.aux_total;
+    kind_snapshot = kinds t;
+    event_snapshot = events t;
+  }
 
 let since t cp = t.total - cp.at_total
+let aux_since t cp = t.aux_total - cp.at_aux
 
 let kind_since t cp kind =
   let before =

@@ -15,8 +15,22 @@ val record : t -> dst:int -> kind:string -> unit
 (** Count one message of the given kind processed by node [dst]. *)
 
 val total : t -> int
-(** All messages recorded so far. Operation costs are measured as
-    deltas of this counter. *)
+(** All messages recorded so far, excluding kinds marked auxiliary with
+    {!mark_aux}. Operation costs are measured as deltas of this
+    counter. *)
+
+val mark_aux : t -> string -> unit
+(** Declare a message kind auxiliary: messages of that kind still pay
+    their way on the bus (per-kind and per-node breakdowns include
+    them) but accumulate in {!aux_total} instead of {!total}, so
+    overlay extensions such as the route cache never perturb the
+    paper's metric. *)
+
+val is_aux : t -> string -> bool
+(** Whether a kind was marked auxiliary. *)
+
+val aux_total : t -> int
+(** All auxiliary messages recorded so far. *)
 
 val kind_count : t -> string -> int
 (** Messages recorded under a kind (0 if none). *)
@@ -56,6 +70,9 @@ val checkpoint : t -> checkpoint
 
 val since : t -> checkpoint -> int
 (** Messages recorded since the checkpoint. *)
+
+val aux_since : t -> checkpoint -> int
+(** Auxiliary messages recorded since the checkpoint. *)
 
 val kind_since : t -> checkpoint -> string -> int
 (** Messages of one kind recorded since the checkpoint. *)

@@ -83,8 +83,8 @@ let test_routing_around_failure_before_repair () =
         incr total;
         let from = Net.random_peer net in
         match Search.lookup net ~from k with
-        | true, _ -> incr reachable
-        | false, _ -> ()
+        | { Search.found = true; _ } -> incr reachable
+        | { Search.found = false; _ } -> ()
         | exception Search.Routing_stuck _ -> ()
       end)
     keys;

@@ -30,8 +30,8 @@ let test_lookup_finds_inserted_keys () =
   let net, inserted = build_with_data ~seed:2 ~n:100 ~keys:500 in
   Array.iter
     (fun k ->
-      let found, _ = Search.lookup net ~from:(Net.random_peer net) k in
-      Alcotest.(check bool) "present" true found)
+      let r = Search.lookup net ~from:(Net.random_peer net) k in
+      Alcotest.(check bool) "present" true r.Search.found)
     inserted
 
 let test_lookup_misses_absent_keys () =
@@ -41,8 +41,8 @@ let test_lookup_misses_absent_keys () =
   for _ = 1 to 100 do
     let k = Rng.int_in_range rng ~lo:1 ~hi:999_999_999 in
     if not (present k) then begin
-      let found, _ = Search.lookup net ~from:(Net.random_peer net) k in
-      Alcotest.(check bool) "absent" false found
+      let r = Search.lookup net ~from:(Net.random_peer net) k in
+      Alcotest.(check bool) "absent" false r.Search.found
     end
   done
 
@@ -55,7 +55,7 @@ let test_hop_bound () =
   in
   Array.iter
     (fun k ->
-      let _, hops = Search.lookup net ~from:(Net.random_peer net) k in
+      let { Search.hops; _ } = Search.lookup net ~from:(Net.random_peer net) k in
       Alcotest.(check bool)
         (Printf.sprintf "%d hops <= %.0f" hops bound)
         true
@@ -67,7 +67,7 @@ let test_self_query_is_free () =
   List.iter
     (fun (node : Node.t) ->
       let v = node.Node.range.Range.lo in
-      let { Search.node = found; hops } = Search.exact net ~from:node v in
+      let { Search.node = found; hops; _ } = Search.exact net ~from:node v in
       Alcotest.(check int) "stays home" node.Node.id found.Node.id;
       Alcotest.(check int) "zero hops" 0 hops)
     (Net.peers net)
@@ -98,7 +98,7 @@ let test_range_cost_is_log_plus_extent () =
       +. 6.
       +. float_of_int r.Search.nodes_visited
     in
-    Alcotest.(check bool) "O(log N + X)" true (float_of_int r.Search.range_hops <= bound)
+    Alcotest.(check bool) "O(log N + X)" true (float_of_int r.Search.hops <= bound)
   done
 
 let test_range_validation () =

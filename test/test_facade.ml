@@ -91,8 +91,34 @@ let test_msg_all_lists_every_kind () =
       Baton.Msg.join_search; Baton.Msg.join_update; Baton.Msg.leave_search;
       Baton.Msg.leave_update; Baton.Msg.search_exact; Baton.Msg.search_range;
       Baton.Msg.insert; Baton.Msg.delete; Baton.Msg.expand; Baton.Msg.balance;
-      Baton.Msg.restructure; Baton.Msg.repair;
+      Baton.Msg.restructure; Baton.Msg.repair; Baton.Msg.cache_probe;
+      Baton.Msg.cache_invalid;
     ]
+
+let test_bulk_insert_places_all_keys () =
+  let net = N.build ~seed:9 25 in
+  let keys = List.init 120 (fun i -> 1 + (i * 7_654_321)) in
+  N.bulk_insert net keys;
+  List.iter
+    (fun k -> Alcotest.(check bool) "bulk key found" true (N.lookup net k))
+    keys;
+  Baton.Check.all net
+
+let test_cache_messages_accounting () =
+  (* Cache traffic surfaces through its own facade counter and never
+     leaks into the paper-parity [messages] total. *)
+  let net = N.build ~seed:10 40 in
+  N.insert net 123_456;
+  Alcotest.(check int) "no cache traffic when off" 0 (N.cache_messages net);
+  Net.enable_route_cache net;
+  let origin = Net.peer net (Net.live_ids net).(0) in
+  ignore (Baton.Search.exact net ~from:origin 987_654_321);
+  let total_before = N.messages net in
+  ignore (Baton.Search.exact net ~from:origin 987_654_321);
+  Alcotest.(check bool) "probe counted as cache traffic" true
+    (N.cache_messages net > 0);
+  Alcotest.(check int) "warm hit leaves the total alone" total_before
+    (N.messages net)
 
 let suite =
   [
@@ -105,4 +131,7 @@ let suite =
     Alcotest.test_case "kind accounting" `Quick test_message_kind_accounting;
     Alcotest.test_case "deterministic totals" `Quick test_deterministic_message_totals;
     Alcotest.test_case "Msg.all complete" `Quick test_msg_all_lists_every_kind;
+    Alcotest.test_case "bulk insert" `Quick test_bulk_insert_places_all_keys;
+    Alcotest.test_case "cache message accounting" `Quick
+      test_cache_messages_accounting;
   ]

@@ -27,7 +27,7 @@ let surviving_reachable net keys dead_ranges =
         incr total;
         let attempt () =
           match Search.lookup net ~from:(Net.random_peer net) k with
-          | found, _ -> found
+          | r -> r.Search.found
           | exception _ -> false
         in
         if attempt () || attempt () then incr ok

@@ -24,6 +24,7 @@ let () =
       ("baton.join", Test_baton_join.suite);
       ("baton.leave", Test_baton_leave.suite);
       ("baton.search", Test_baton_search.suite);
+      ("baton.route_cache", Test_route_cache.suite);
       ("baton.update", Test_baton_update.suite);
       ("baton.failure", Test_baton_failure.suite);
       ("baton.restructure", Test_baton_restructure.suite);

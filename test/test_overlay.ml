@@ -47,21 +47,24 @@ let test_messages_increase () =
       Alcotest.(check bool) (M.name ^ " counted") true (M.messages t >= a))
 
 let test_range_support_matrix () =
-  let support (module M : O.S) =
-    let t = M.create ~seed:5 ~n:10 in
-    M.insert t 100;
-    M.range_query t ~lo:1 ~hi:1_000 <> None
-  in
-  Alcotest.(check bool) "baton supports ranges" true (support O.baton);
-  Alcotest.(check bool) "multiway supports ranges" true (support O.multiway);
-  Alcotest.(check bool) "chord cannot" false (support O.chord)
+  let supports (module M : O.S) = M.supports_range in
+  Alcotest.(check bool) "baton supports ranges" true (supports O.baton);
+  Alcotest.(check bool) "multiway supports ranges" true (supports O.multiway);
+  Alcotest.(check bool) "chord cannot" false (supports O.chord);
+  (* The capability flag is honest: querying an unsupporting overlay
+     raises rather than silently answering. *)
+  let (module C : O.S) = O.chord in
+  let t = C.create ~seed:5 ~n:10 in
+  C.insert t 100;
+  Alcotest.check_raises "chord range raises" (O.Unsupported "chord") (fun () ->
+      ignore (C.range_query t ~lo:1 ~hi:1_000))
 
 let test_range_answers_agree () =
   (* The two range-capable overlays must give identical answers. *)
   let answer (module M : O.S) keys lo hi =
     let t = M.create ~seed:6 ~n:40 in
     List.iter (M.insert t) keys;
-    Option.get (M.range_query t ~lo ~hi)
+    M.range_query t ~lo ~hi
   in
   let rng = Rng.create 11 in
   let keys = List.init 300 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
@@ -69,6 +72,33 @@ let test_range_answers_agree () =
   let expect = List.filter (fun k -> k >= lo && k <= hi) keys |> List.sort compare in
   Alcotest.(check (list int)) "baton" expect (answer O.baton keys lo hi);
   Alcotest.(check (list int)) "multiway" expect (answer O.multiway keys lo hi)
+
+let test_bulk_load_places_all_keys () =
+  for_each_overlay (fun (module M : O.S) ->
+      let t = M.create ~seed:8 ~n:25 in
+      let rng = Rng.create 13 in
+      let keys =
+        List.init 150 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999)
+      in
+      M.bulk_load t keys;
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (M.name ^ " bulk key found") true (M.lookup t k))
+        keys;
+      M.check t)
+
+let test_stats_split () =
+  for_each_overlay (fun (module M : O.S) ->
+      let t = M.create ~seed:9 ~n:15 in
+      M.insert t 42;
+      let s = M.stats t in
+      Alcotest.(check int) (M.name ^ " stats total") (M.messages t)
+        s.O.total;
+      Alcotest.(check bool)
+        (M.name ^ " per-kind sums to total+cache")
+        true
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 s.O.by_kind
+        = s.O.total + s.O.cache))
 
 let test_by_name () =
   List.iter
@@ -86,5 +116,7 @@ let suite =
     Alcotest.test_case "messages counted" `Quick test_messages_increase;
     Alcotest.test_case "range support matrix" `Quick test_range_support_matrix;
     Alcotest.test_case "range answers agree" `Quick test_range_answers_agree;
+    Alcotest.test_case "bulk load" `Quick test_bulk_load_places_all_keys;
+    Alcotest.test_case "stats split" `Quick test_stats_split;
     Alcotest.test_case "by_name" `Quick test_by_name;
   ]

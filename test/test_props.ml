@@ -74,8 +74,9 @@ let run_script ~salt ops =
         | [] -> ()
         | keys ->
           let k = List.nth keys (Rng.int rng (List.length keys)) in
-          let found, _ = Search.lookup net ~from:(Net.random_peer net) k in
-          if not found then failwith ("lookup lost key " ^ string_of_int k)))
+          let r = Search.lookup net ~from:(Net.random_peer net) k in
+          if not r.Search.found then
+            failwith ("lookup lost key " ^ string_of_int k)))
     ops;
   Check.all net;
   true
@@ -185,8 +186,8 @@ let soak_test () =
       | [] -> ()
       | keys ->
         let k = List.nth keys (Rng.int rng (List.length keys)) in
-        let found, _ = Search.lookup net ~from:(Net.random_peer net) k in
-        if not found then Alcotest.failf "soak: lookup lost key %d" k));
+        let r = Search.lookup net ~from:(Net.random_peer net) k in
+        if not r.Search.found then Alcotest.failf "soak: lookup lost key %d" k));
     if step mod 250 = 0 then Check.all net
   done;
   Check.all net;

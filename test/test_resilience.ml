@@ -30,8 +30,8 @@ let drive net keys ~seed ~ops =
   for _ = 1 to ops do
     let k = Rng.pick rng keys in
     match Search.lookup net ~from:(Net.random_peer net) k with
-    | true, _ -> incr found
-    | false, _ -> ()
+    | { Search.found = true; _ } -> incr found
+    | { Search.found = false; _ } -> ()
     | exception (Search.Routing_stuck _ | Bus.Unreachable _ | Bus.Timeout _) ->
       incr raised
   done;
@@ -108,8 +108,8 @@ let test_exact_from_every_live_node_under_mass_failure () =
     (fun i (origin : Node.t) ->
       for j = 0 to 2 do
         let k = sample.(((3 * i) + j) mod Array.length sample) in
-        let found, _ = Search.lookup net ~from:origin k in
-        Alcotest.(check bool) "surviving key found" true found
+        let r = Search.lookup net ~from:origin k in
+        Alcotest.(check bool) "surviving key found" true r.Search.found
       done)
     origins
 

@@ -1,0 +1,226 @@
+(* The adaptive route cache: LRU mechanics of the pure data structure,
+   the cache-off parity guard (the paper's message totals must be
+   byte-identical whether the cache code exists or not), warm-hit
+   accounting, and a churn property showing shortcuts can go stale but
+   never change an answer. *)
+
+module N = Baton.Network
+module Net = Baton.Net
+module Node = Baton.Node
+module Search = Baton.Search
+module Range = Baton.Range
+module Msg = Baton.Msg
+module RC = Baton.Route_cache
+module Metrics = Baton_sim.Metrics
+module Rng = Baton_util.Rng
+
+let entry peer lo hi = { RC.peer; range = Range.make ~lo ~hi; epoch = 0 }
+
+(* --- LRU mechanics ------------------------------------------------- *)
+
+let test_find_promotes_mru () =
+  let c = RC.create () in
+  ignore (RC.remember c ~capacity:8 (entry 1 0 10));
+  ignore (RC.remember c ~capacity:8 (entry 2 10 20));
+  ignore (RC.remember c ~capacity:8 (entry 3 20 30));
+  (* 1 is coldest; touching it promotes it to the front. *)
+  (match RC.find c 5 with
+  | Some e -> Alcotest.(check int) "hit peer" 1 e.RC.peer
+  | None -> Alcotest.fail "expected a hit");
+  (match RC.entries c with
+  | e :: _ -> Alcotest.(check int) "promoted" 1 e.RC.peer
+  | [] -> Alcotest.fail "cache empty");
+  Alcotest.(check bool) "miss outside all ranges" true (RC.find c 99 = None)
+
+let test_capacity_evicts_lru () =
+  let c = RC.create () in
+  for i = 1 to 5 do
+    ignore (RC.remember c ~capacity:8 (entry i (10 * i) (10 * (i + 1))))
+  done;
+  (* Touch peer 1 so peer 2 becomes the LRU victim. *)
+  ignore (RC.find c 15);
+  let dropped = RC.remember c ~capacity:5 (entry 6 60 70) in
+  Alcotest.(check int) "one displaced" 1 dropped;
+  Alcotest.(check int) "bounded" 5 (RC.length c);
+  Alcotest.(check bool) "LRU victim gone" true (RC.find c 25 = None);
+  Alcotest.(check bool) "touched survivor kept" true (RC.find c 15 <> None)
+
+let test_one_entry_per_peer () =
+  let c = RC.create () in
+  ignore (RC.remember c ~capacity:8 (entry 7 0 10));
+  ignore (RC.remember c ~capacity:8 (entry 7 50 60));
+  Alcotest.(check int) "deduped" 1 (RC.length c);
+  Alcotest.(check bool) "old range gone" true (RC.find c 5 = None);
+  Alcotest.(check bool) "new range live" true (RC.find c 55 <> None)
+
+let test_evict_and_refresh () =
+  let c = RC.create () in
+  ignore (RC.remember c ~capacity:8 (entry 1 0 10));
+  ignore (RC.remember c ~capacity:8 (entry 2 10 20));
+  RC.evict_peer c 1;
+  Alcotest.(check bool) "evicted" true (RC.find c 5 = None);
+  RC.evict_peer c 99 (* absent: no-op *);
+  RC.refresh_peer c ~peer:2 ~range:(Range.make ~lo:30 ~hi:40) ~epoch:3;
+  (match RC.find c 35 with
+  | Some e ->
+    Alcotest.(check int) "refreshed peer" 2 e.RC.peer;
+    Alcotest.(check int) "refreshed epoch" 3 e.RC.epoch
+  | None -> Alcotest.fail "refresh lost the entry");
+  RC.clear c;
+  Alcotest.(check int) "cleared" 0 (RC.length c)
+
+(* --- Cache-off parity guard ---------------------------------------- *)
+
+(* The same seeded workload on two networks: one never touches the
+   cache API, one enables then disables it before the workload. The
+   paper-parity totals must be byte-identical — the fig8 experiments
+   cannot be perturbed by the feature existing. *)
+let workload net seed =
+  let rng = Rng.create (seed + 41) in
+  let keys = Array.init 300 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
+  Array.iter (N.insert net) keys;
+  for _ = 1 to 200 do
+    let k = Rng.pick rng keys in
+    ignore (Search.lookup net ~from:(Net.random_peer net) k)
+  done;
+  for _ = 1 to 20 do
+    let lo = Rng.int_in_range rng ~lo:1 ~hi:900_000_000 in
+    ignore (Search.range net ~from:(Net.random_peer net) ~lo ~hi:(lo + 20_000_000))
+  done;
+  ignore (N.join net);
+  N.leave net (Rng.pick rng (Net.live_ids net))
+
+let test_disabled_equals_absent () =
+  let run touch_cache =
+    let net = N.build ~seed:77 60 in
+    if touch_cache then begin
+      Net.enable_route_cache ~capacity:64 net;
+      Net.disable_route_cache net
+    end;
+    workload net 77;
+    let m = Net.metrics net in
+    (Metrics.total m, Metrics.aux_total m, Metrics.kinds m)
+  in
+  let t0, a0, k0 = run false in
+  let t1, a1, k1 = run true in
+  Alcotest.(check int) "totals byte-identical" t0 t1;
+  Alcotest.(check int) "no aux traffic absent" 0 a0;
+  Alcotest.(check int) "no aux traffic disabled" 0 a1;
+  Alcotest.(check (list (pair string int))) "per-kind identical" k0 k1
+
+(* --- Warm-hit accounting ------------------------------------------- *)
+
+(* A repeated query from the same origin: the first walk learns the
+   shortcut, the second is served by one auxiliary probe and zero
+   protocol messages — the saving the experiment measures, in
+   miniature. *)
+let test_warm_hit_costs_only_aux () =
+  let net = N.build ~seed:5 80 in
+  Net.enable_route_cache ~capacity:64 net;
+  let m = Net.metrics net in
+  (* Find an origin/key pair that needs a real walk. *)
+  let origin = Net.peer net (Net.live_ids net).(0) in
+  let key =
+    let rng = Rng.create 9 in
+    let rec hunt () =
+      let k = Rng.int_in_range rng ~lo:1 ~hi:999_999_999 in
+      if Range.contains origin.Node.range k then hunt () else k
+    in
+    hunt ()
+  in
+  let cold = Search.exact net ~from:origin key in
+  Alcotest.(check bool) "cold walk not cached" false cold.Search.cached;
+  let cp = Metrics.checkpoint m in
+  let warm = Search.exact net ~from:origin key in
+  Alcotest.(check bool) "warm hit flagged" true warm.Search.cached;
+  Alcotest.(check int) "same answer" cold.Search.node.Node.id warm.Search.node.Node.id;
+  Alcotest.(check int) "zero protocol messages" 0 (Metrics.since m cp);
+  Alcotest.(check int) "exactly one probe" 1 (Metrics.aux_since m cp);
+  Alcotest.(check int) "one hit event" 1 (Metrics.event_since m cp Msg.ev_cache_hit)
+
+let test_disable_clears_peer_caches () =
+  let net = N.build ~seed:6 40 in
+  Net.enable_route_cache ~capacity:64 net;
+  let origin = Net.peer net (Net.live_ids net).(0) in
+  ignore (Search.exact net ~from:origin 999_000_000);
+  ignore (Search.exact net ~from:origin 1);
+  Alcotest.(check bool) "learned something" true
+    (List.exists (fun n -> RC.length n.Node.cache > 0) (Net.peers net));
+  Net.disable_route_cache net;
+  Alcotest.(check bool) "all caches empty" true
+    (List.for_all (fun n -> RC.length n.Node.cache = 0) (Net.peers net));
+  Alcotest.(check bool) "flag off" false (Net.route_cache_enabled net)
+
+(* --- Churn property ------------------------------------------------ *)
+
+(* Under arbitrary join/leave interleavings with the cache on, stale
+   shortcuts may cost extra probes but answers stay oracle-correct:
+   every lookup agrees with multiset membership, every complete range
+   answer equals the oracle's, and nothing is silently partial. *)
+let churn_prop =
+  let open QCheck2 in
+  Test.make ~name:"stale shortcuts never change answers under churn" ~count:15
+    Gen.(pair (int_range 20 60) (int_range 0 1000))
+    (fun (n, salt) ->
+      let seed = 31_000 + salt in
+      let net = N.build ~seed n in
+      Net.enable_route_cache ~capacity:32 net;
+      let rng = Rng.create (seed + 1) in
+      let truth = Hashtbl.create 64 in
+      let keys =
+        Array.init (8 * n) (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999)
+      in
+      Array.iter
+        (fun k ->
+          N.insert net k;
+          Hashtbl.replace truth k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt truth k)))
+        keys;
+      let oracle_range lo hi =
+        Hashtbl.fold
+          (fun k c acc ->
+            if k >= lo && k <= hi then List.init c (fun _ -> k) @ acc else acc)
+          truth []
+        |> List.sort compare
+      in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        (* Churn first, so cached shortcuts go stale mid-stream. *)
+        (match Rng.int rng 3 with
+        | 0 -> ignore (N.join net)
+        | 1 ->
+          if Net.size net > 3 then
+            N.leave net (Rng.pick rng (Net.live_ids net))
+        | _ -> ());
+        if Rng.int rng 4 = 0 then begin
+          let lo = Rng.int_in_range rng ~lo:1 ~hi:900_000_000 in
+          let hi = lo + 30_000_000 in
+          let r = Search.range net ~from:(Net.random_peer net) ~lo ~hi in
+          if r.Search.complete then begin
+            if r.Search.keys <> oracle_range lo hi then ok := false
+          end
+          (* partial answers must say so; that is the only latitude *)
+        end
+        else begin
+          let k = Rng.pick rng keys in
+          let r = Search.lookup net ~from:(Net.random_peer net) k in
+          if r.Search.found <> Hashtbl.mem truth k then ok := false
+        end
+      done;
+      Baton.Check.all net;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "find promotes MRU" `Quick test_find_promotes_mru;
+    Alcotest.test_case "capacity evicts LRU" `Quick test_capacity_evicts_lru;
+    Alcotest.test_case "one entry per peer" `Quick test_one_entry_per_peer;
+    Alcotest.test_case "evict and refresh" `Quick test_evict_and_refresh;
+    Alcotest.test_case "disabled == absent (fig8 guard)" `Quick
+      test_disabled_equals_absent;
+    Alcotest.test_case "warm hit costs only aux" `Quick
+      test_warm_hit_costs_only_aux;
+    Alcotest.test_case "disable clears caches" `Quick
+      test_disable_clears_peer_caches;
+    QCheck_alcotest.to_alcotest churn_prop;
+  ]
