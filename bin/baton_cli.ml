@@ -191,7 +191,59 @@ let inspect nodes seed show_tree snapshot =
   Baton.Check.all net;
   Printf.printf "All structural invariants hold.\n"
 
-let trace nodes seed key json =
+(* Causal trace of one seeded range query under the concurrent
+   runtime: every message carries a trace context, the collector
+   reconstructs the hop DAG, and the report shows the critical path —
+   the chain the runtime actually charged as completion time — against
+   the total message count. Deterministic: two same-seed invocations
+   are byte-identical. *)
+let trace_causal nodes seed json =
+  let module Runtime = Baton_runtime.Runtime in
+  let module Trace = Baton_obs.Trace in
+  let net = N.build ~seed nodes in
+  (* Data load is setup, not the traced operation. *)
+  let gen = Datagen.uniform (Rng.create (seed + 1)) in
+  let keys = Array.init (5 * nodes) (fun _ -> Datagen.next gen) in
+  ignore
+    (Baton.Update.bulk_insert net ~from:(Net.random_peer net)
+       (Array.to_list keys));
+  let rt = Runtime.create net in
+  let tracer = Trace.create () in
+  Trace.use_engine tracer (Runtime.engine rt);
+  Net.set_tracer net (Some tracer);
+  let span = (Datagen.domain_hi - Datagen.domain_lo) / max 1 nodes * 5 in
+  let lo =
+    Rng.int_in_range
+      (Rng.create (seed + 2))
+      ~lo:Datagen.domain_lo
+      ~hi:(Datagen.domain_hi - span)
+  in
+  let hi = lo + span in
+  let origin = Net.random_peer net in
+  let par l r = Runtime.both l r in
+  let finished = ref 0. in
+  Runtime.spawn rt
+    (fun () -> ignore (Baton.Search.range ~par net ~from:origin ~lo ~hi))
+    ~on_done:(fun _ -> finished := Runtime.now rt);
+  Runtime.run rt;
+  Net.set_tracer net None;
+  match Trace.latest tracer with
+  | None -> prerr_endline "baton trace: no episode was traced"; exit 1
+  | Some ep ->
+    if json then print_string (Trace.episode_jsonl ep)
+    else begin
+      Printf.printf "range query [%d, %d] from peer %d under the runtime:\n"
+        lo hi origin.Node.id;
+      print_string (Trace.render ep);
+      let a = Trace.analyze ep in
+      Printf.printf
+        "runtime completion %.1f ms; critical path %d of %d msgs, %.1f ms\n"
+        !finished a.Trace.crit_hops a.Trace.msgs a.Trace.crit_ms
+    end
+
+let trace nodes seed key json causal =
+  if causal then trace_causal nodes seed json
+  else
   let net = N.build ~seed nodes in
   if json then begin
     (* Machine-readable span trace: the recorder is attached after the
@@ -229,8 +281,29 @@ let trace nodes seed key json =
 (* Run a deterministic mixed workload under the telemetry recorder and
    report per-operation-kind percentile digests plus per-node load
    gauges — the tail-visibility companion to [simulate]'s means. *)
-let stats nodes seed keys_per_node queries churn_rounds =
-  let net = N.build ~seed nodes in
+let stats nodes seed keys_per_node queries churn_rounds snapshot =
+  let net =
+    match snapshot with
+    | None -> N.build ~seed nodes
+    | Some path -> (
+      match Net.load path with
+      | net ->
+        Printf.eprintf "(loaded snapshot %s: %d peers)\n%!" path (Net.size net);
+        net
+      | exception Net.Incompatible_snapshot { found; expected } ->
+        Printf.eprintf
+          "baton stats: %s holds snapshot version %S, but this build reads \
+           %S.\nRegenerate it with the current binary (e.g. `baton inspect \
+           --snapshot %s`).\n"
+          path found expected path;
+        exit 1
+      | exception Failure msg ->
+        Printf.eprintf "baton stats: %s: %s\n" path msg;
+        exit 1
+      | exception Sys_error msg ->
+        Printf.eprintf "baton stats: %s\n" msg;
+        exit 1)
+  in
   let recorder = Baton_obs.Recorder.create () in
   Net.set_recorder net (Some recorder);
   let gauge = Baton_obs.Gauge.create () in
@@ -321,7 +394,7 @@ let compare_overlays nodes seed ops =
    interleaved fibers on the discrete-event runtime and emit the
    BENCH_runtime.json document. *)
 let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_ms
-    route_cache out =
+    route_cache monitor_every out =
   let mixes =
     match mix_names with
     | [] -> Driver.mixes
@@ -350,7 +423,7 @@ let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_
       (fun mix ->
         let cfg =
           Driver.config ~seed ~keys_per_node ~clients ~ops ~arrival
-            ~route_cache ~n:nodes ~mix ()
+            ~route_cache ~monitor_every_ms:monitor_every ~n:nodes ~mix ()
         in
         Printf.eprintf "running %s (n=%d, %d ops)...\n%!" mix.Driver.mix_name
           nodes ops;
@@ -415,15 +488,38 @@ let json_arg =
     & info [ "json" ]
         ~doc:"Emit the trace as JSONL span events instead of prose.")
 
+let causal_arg =
+  Arg.(
+    value & flag
+    & info [ "causal" ]
+        ~doc:
+          "Trace a seeded range query under the concurrent runtime as a \
+           causal tree: per-hop trace contexts, link-kind and per-level \
+           breakdowns, and the critical path vs. the total message count. \
+           With $(b,--json), emits deterministic JSONL (one hop per line \
+           plus a closing analysis line).")
+
 let trace_cmd =
-  let doc = "Trace an exact-match query hop by hop." in
+  let doc =
+    "Trace a query hop by hop — or, with $(b,--causal), as a causal tree \
+     with critical-path extraction."
+  in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const trace $ nodes_arg $ seed_arg $ key_arg $ json_arg)
+    Term.(const trace $ nodes_arg $ seed_arg $ key_arg $ json_arg $ causal_arg)
 
 let churn_rounds_arg =
   Arg.(
     value & opt int 50
     & info [ "churn" ] ~docv:"R" ~doc:"Join/leave rounds to include in the workload.")
+
+let stats_snapshot_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:
+          "Run the workload on a network loaded from FILE instead of \
+           building one. Exits nonzero if FILE holds an incompatible \
+           snapshot version.")
 
 let stats_cmd =
   let doc =
@@ -434,7 +530,7 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const stats $ nodes_arg $ seed_arg $ keys_arg $ queries_arg
-      $ churn_rounds_arg)
+      $ churn_rounds_arg $ stats_snapshot_arg)
 
 let simulate_cmd =
   let doc = "Build a network, load data, answer queries, report message costs." in
@@ -516,6 +612,16 @@ let out_arg =
     & info [ "out" ] ~docv:"FILE"
         ~doc:"Write the JSON document to FILE instead of stdout.")
 
+let monitor_every_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "monitor-every" ] ~docv:"MS"
+        ~doc:
+          "Health-monitor sampling period in virtual milliseconds; the \
+           report's $(b,health) section carries the resulting invariant \
+           time series and ok/degraded/violated events. 0 (the default) \
+           disables monitoring and leaves $(b,health) null.")
+
 let bench_run_cmd =
   let doc =
     "Run the concurrent workload driver: seeded operation mixes execute as \
@@ -527,7 +633,7 @@ let bench_run_cmd =
     Term.(
       const bench_run $ nodes_arg $ seed_arg $ keys_arg $ bench_ops_arg
       $ clients_arg $ mix_arg $ arrival_arg $ rate_arg $ think_arg
-      $ route_cache_arg $ out_arg)
+      $ route_cache_arg $ monitor_every_arg $ out_arg)
 
 let cache_nodes_arg =
   Arg.(

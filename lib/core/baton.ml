@@ -24,6 +24,7 @@ module Balance = Balance
 module Replication = Replication
 module Viz = Viz
 module Check = Check
+module Monitor = Monitor
 
 (** High-level convenience API over the protocol modules. *)
 module Network = struct

@@ -18,6 +18,19 @@ let cache_probe = "cache.probe"
 let cache_invalid = "cache.invalid"
 let cache_kinds = [ cache_probe; cache_invalid ]
 
+(* Link-kind labels for causal trace hops: which overlay link the
+   sender used to pick the destination. [link_sideways] is a
+   routing-table (left/right table) jump — the BATON long link;
+   [link_cache] a route-cache shortcut; [link_other] anything the
+   classifier cannot attribute (e.g. a contact found by global fallback
+   during repair). *)
+let link_parent = "parent"
+let link_child = "child"
+let link_adjacent = "adjacent"
+let link_sideways = "sideways"
+let link_cache = "cache"
+let link_other = "other"
+
 (* Simulator event names (Metrics.event) — observations that are not
    themselves messages. *)
 let ev_retry = "send.retry"

@@ -57,6 +57,29 @@ val cache_kinds : string list
 
 val all : string list
 
+(** {2 Link kinds}
+
+    Labels classifying which overlay link a traced hop travelled —
+    attached to [Baton_obs.Trace] hops so critical-path analysis can
+    break an operation's cost down by link type. *)
+
+val link_parent : string
+val link_child : string
+
+val link_adjacent : string
+(** Left/right adjacent link — the in-order neighbour chain a range
+    query sweeps along. *)
+
+val link_sideways : string
+(** Left/right routing-table jump — the BATON long link. *)
+
+val link_cache : string
+(** Adaptive route-cache shortcut. *)
+
+val link_other : string
+(** Unclassifiable: the destination is not a current neighbour of the
+    sender (e.g. a repair contact found out of band). *)
+
 (** {2 Event names}
 
     Names for {!Baton_sim.Metrics.event} counters — things worth

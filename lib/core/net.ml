@@ -1,6 +1,7 @@
 module Bus = Baton_sim.Bus
 module Metrics = Baton_sim.Metrics
 module Recorder = Baton_obs.Recorder
+module Trace = Baton_obs.Trace
 module Rng = Baton_util.Rng
 module Histogram = Baton_util.Histogram
 
@@ -30,6 +31,13 @@ type t = {
      retry/timeout events, but never sends a message itself, so
      enabling it cannot change [Metrics.total]. *)
   mutable recorder : Recorder.t option;
+  (* Optional causal trace collector. Like the recorder, a pure
+     observer: operations open trace episodes, [send_raw] stamps every
+     transmitted message with a causal context, and the collector
+     reconstructs the hop DAG afterwards. Enabling it cannot change
+     [Metrics.total] — no message is sent and no protocol PRNG is
+     consulted on its behalf. *)
+  mutable tracer : Trace.t option;
   (* Hop-suspension hook for the concurrent runtime: called after every
      transmitted protocol message so the runtime can suspend the
      running operation until the simulated delivery (or timeout)
@@ -71,6 +79,7 @@ let create ?(seed = 42) ~domain () =
     suspicions = Hashtbl.create 64;
     suspicion_repair = false;
     recorder = None;
+    tracer = None;
     hop_wait = None;
     cache_capacity = None;
   }
@@ -171,8 +180,62 @@ let set_recorder t r =
 
 let recorder t = t.recorder
 
+(* --- Causal tracing ------------------------------------------------ *)
+
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
+
+(* Ambient-causality snapshot for the concurrent runtime: opaque, and
+   free when no tracer is installed. The runtime captures a mark at
+   every fiber suspension point and reinstates it at resumption, so
+   interleaved operations cannot clobber each other's causal state. *)
+type trace_mark = Trace.mark option
+
+let trace_mark t = Option.map Trace.save t.tracer
+
+let restore_trace_mark t m =
+  match (t.tracer, m) with
+  | Some tr, Some m -> Trace.restore tr m
+  | _ -> ()
+
+(* Which overlay link carried a hop from [src] to [dst] — the
+   classification the critical-path analysis breaks costs down by.
+   Computed from the sender's links as they stand at transmission
+   time. *)
+let link_kind t ~src ~dst ~kind =
+  if List.mem kind Msg.cache_kinds then Msg.link_cache
+  else
+    match peer_opt t src with
+    | None -> Msg.link_other
+    | Some n ->
+      let is l =
+        match l with
+        | Some (i : Link.info) -> i.Link.peer = dst
+        | None -> false
+      in
+      let in_table tbl =
+        Option.is_some (Routing_table.find tbl (fun i -> i.Link.peer = dst))
+      in
+      if is n.Node.parent then Msg.link_parent
+      else if is n.Node.left_child || is n.Node.right_child then Msg.link_child
+      else if is n.Node.left_adjacent || is n.Node.right_adjacent then
+        Msg.link_adjacent
+      else if in_table n.Node.left_table || in_table n.Node.right_table then
+        Msg.link_sideways
+      else Msg.link_other
+
+let peer_level t id =
+  match peer_opt t id with
+  | Some n -> n.Node.pos.Position.level
+  | None -> -1
+
 let with_op t ~kind f =
-  match t.recorder with None -> f () | Some r -> Recorder.with_op r ~kind f
+  let recorded () =
+    match t.recorder with None -> f () | Some r -> Recorder.with_op r ~kind f
+  in
+  match t.tracer with
+  | None -> recorded ()
+  | Some tr -> Trace.with_episode tr ~op:kind recorded
 
 let obs_note ?peer t name =
   match t.recorder with None -> () | Some r -> Recorder.note ?peer r name
@@ -211,21 +274,55 @@ let wait_hop t ~src ~dst ~kind outcome =
    escapes. *)
 let send_raw t ~src ~dst ~kind =
   let ev = Bus.metrics t.bus in
+  (* Classified once, before the first transmission: the links that
+     explain the route choice are the ones in place when the sender
+     picked the destination. Pure reads — tracing consults no PRNG. *)
+  let link, dst_level =
+    match t.tracer with
+    | None -> (Msg.link_other, -1)
+    | Some _ -> (link_kind t ~src ~dst ~kind, peer_level t dst)
+  in
   let rec attempt k =
-    match Bus.send t.bus ~src ~dst ~kind with
-    | () -> wait_hop t ~src ~dst ~kind Delivered
+    (* Each attempt is its own span under the ambient parent: a retry
+       is a sibling of the attempt that timed out, not its child — the
+       failed attempt caused nothing downstream. *)
+    let ctx, sent =
+      match t.tracer with
+      | None -> (None, 0.)
+      | Some tr -> (Trace.next_ctx tr, Trace.time tr)
+    in
+    let record outcome =
+      match (t.tracer, ctx) with
+      | Some tr, Some ctx ->
+        Trace.record tr ~ctx ~src ~dst ~msg:kind ~link ~dst_level ~sent
+          ~outcome
+      | _ -> ()
+    in
+    match Bus.send ?ctx t.bus ~src ~dst ~kind with
+    | () ->
+      wait_hop t ~src ~dst ~kind Delivered;
+      (* Recorded after the wait, so [done_at] is the delivery instant
+         under the runtime's clock; the delivered message becomes the
+         ambient causal parent of whatever the receiver does next. *)
+      record Trace.Delivered;
+      (match (t.tracer, ctx) with
+      | Some tr, Some ctx -> Trace.advance tr ctx
+      | _ -> ())
     | exception Bus.Timeout _ when k < t.retry_limit ->
       Metrics.event ev Msg.ev_retry;
       (match t.recorder with Some r -> Recorder.retry r ~peer:dst | None -> ());
       wait_hop t ~src ~dst ~kind Timed_out;
+      record Trace.Timed_out;
       attempt (k + 1)
     | exception (Bus.Timeout _ as e) ->
       Metrics.event ev Msg.ev_give_up;
       obs_note ~peer:dst t Msg.ev_give_up;
       wait_hop t ~src ~dst ~kind Timed_out;
+      record Trace.Timed_out;
       raise e
     | exception (Bus.Unreachable _ as e) ->
       wait_hop t ~src ~dst ~kind Timed_out;
+      record Trace.Unreachable;
       raise e
   in
   attempt 0
@@ -264,25 +361,50 @@ let apply_notification t ~src ~dst ~kind ~expect_pos f =
   (* Notifications are one-way cache refreshes: fire-and-forget, no
      retransmission. A lost one just widens the staleness window that
      the dynamics experiment measures; it is counted as an event so the
-     loss is observable instead of silent. *)
+     loss is observable instead of silent.
+
+     In a trace they chain under the ambient causal parent like any
+     other message but never *become* the parent — nothing awaits
+     them. Deferred notifications run at flush time, outside the
+     episode that queued them, and stay untraced. *)
+  let ctx, sent =
+    match t.tracer with
+    | None -> (None, 0.)
+    | Some tr -> (Trace.next_ctx tr, Trace.time tr)
+  in
+  let record outcome =
+    match (t.tracer, ctx) with
+    | Some tr, Some ctx ->
+      Trace.record tr ~ctx ~src ~dst ~msg:kind
+        ~link:(link_kind t ~src ~dst ~kind) ~dst_level:(peer_level t dst)
+        ~sent ~outcome
+    | _ -> ()
+  in
   match peer_opt t dst with
   | None ->
     (* The destination left the network: the message is still sent (and
        counted); it is simply never acted upon. *)
-    (try Bus.send t.bus ~src ~dst ~kind
-     with Bus.Unreachable _ | Bus.Timeout _ -> ());
+    (match Bus.send ?ctx t.bus ~src ~dst ~kind with
+    | () -> record Trace.Delivered
+    | exception Bus.Unreachable _ -> record Trace.Unreachable
+    | exception Bus.Timeout _ -> record Trace.Timed_out);
     ev Msg.ev_notify_dropped
   | Some node -> (
-    match Bus.send t.bus ~src ~dst ~kind with
+    match Bus.send ?ctx t.bus ~src ~dst ~kind with
     | () -> (
+      record Trace.Delivered;
       (* A peer that changed position since the message was addressed
          ignores it: the update concerns a role it no longer holds. *)
       match expect_pos with
       | Some pos when not (Position.equal node.Node.pos pos) ->
         ev Msg.ev_notify_stale
       | Some _ | None -> f node)
-    | exception Bus.Unreachable _ -> ev Msg.ev_notify_dropped
-    | exception Bus.Timeout _ -> ev Msg.ev_notify_dropped)
+    | exception Bus.Unreachable _ ->
+      record Trace.Unreachable;
+      ev Msg.ev_notify_dropped
+    | exception Bus.Timeout _ ->
+      record Trace.Timed_out;
+      ev Msg.ev_notify_dropped)
 
 let notify ?expect_pos t ~src ~dst ~kind f =
   if t.defer then
@@ -314,24 +436,58 @@ let save t path =
   if not (Baton_util.Dyn_array.is_empty t.deferred) then
     invalid_arg "Net.save: deferred notifications pending";
   (* Observers hold closures, which cannot be marshalled: drop them.
-     A loaded network starts unobserved (and synchronous), like a fresh
-     one. *)
+     On success they stay dropped — a loaded network starts unobserved
+     (and synchronous), like a fresh one, and saving is the same
+     handoff point. If the save fails, though, every observer is
+     reattached before the error escapes, so a failed save never
+     silently blinds telemetry on a network that keeps running. *)
+  let recorder0 = t.recorder
+  and tracer0 = t.tracer
+  and hop_wait0 = t.hop_wait in
   set_recorder t None;
+  set_tracer t None;
   set_hop_wait t None;
   Bus.clear_subscribers t.bus;
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc snapshot_magic;
-      Marshal.to_channel oc t [])
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc snapshot_magic;
+        Marshal.to_channel oc t [])
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    set_recorder t recorder0;
+    set_tracer t tracer0;
+    set_hop_wait t hop_wait0;
+    Printexc.raise_with_backtrace e bt
+
+exception Incompatible_snapshot of { found : string; expected : string }
+
+let () =
+  Printexc.register_printer (function
+    | Incompatible_snapshot { found; expected } ->
+      Some
+        (Printf.sprintf
+           "Net.Incompatible_snapshot: snapshot version %S predates this \
+            build (expected %S); regenerate it with the current binary"
+           found expected)
+    | _ -> None)
+
+let magic_prefix = "BATON-NET-"
 
 let load path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let magic = really_input_string ic (String.length snapshot_magic) in
+      let magic =
+        try really_input_string ic (String.length snapshot_magic)
+        with End_of_file -> failwith "Net.load: not a BATON snapshot"
+      in
       if magic <> snapshot_magic then
-        failwith "Net.load: not a BATON snapshot";
+        if String.starts_with ~prefix:magic_prefix magic then
+          raise
+            (Incompatible_snapshot { found = magic; expected = snapshot_magic })
+        else failwith "Net.load: not a BATON snapshot";
       (Marshal.from_channel ic : t))

@@ -86,9 +86,38 @@ val set_recorder : t -> Baton_obs.Recorder.t option -> unit
 val recorder : t -> Baton_obs.Recorder.t option
 
 val with_op : t -> kind:string -> (unit -> 'a) -> 'a
-(** Run [f] inside a recorded operation span of the given kind; a
-    no-op wrapper when no recorder is installed. Protocol entry points
+(** Run [f] inside a recorded operation span of the given kind {e and}
+    a causal trace episode (when a tracer is installed); a no-op
+    wrapper when neither observer is present. Protocol entry points
     (search, join, leave, repair...) wrap themselves with this. *)
+
+(** {1 Causal tracing}
+
+    An optional {!Baton_obs.Trace} collector turns every operation run
+    under {!with_op} into a causal tree: each transmitted message
+    carries a {!Baton_sim.Bus.trace_ctx} naming the episode, its own
+    span and the span that caused it. Like the recorder, the tracer is
+    purely an observer — it sends nothing and consults no protocol
+    PRNG, so same-seed runs count byte-identical [Metrics] with tracing
+    on or off. *)
+
+val set_tracer : t -> Baton_obs.Trace.t option -> unit
+val tracer : t -> Baton_obs.Trace.t option
+
+type trace_mark
+(** Snapshot of the tracer's ambient causal state (open episode +
+    current parent span). The concurrent runtime captures one at every
+    fiber suspension point and reinstates it at resumption, so
+    interleaved operations keep their causal trees separate. Opaque,
+    and free when no tracer is installed. *)
+
+val trace_mark : t -> trace_mark
+val restore_trace_mark : t -> trace_mark -> unit
+
+val link_kind : t -> src:int -> dst:int -> kind:string -> string
+(** Classify which overlay link a hop travels
+    ({!Msg.link_parent} … {!Msg.link_other}), from the sender's links
+    as they currently stand. Exposed for the CLI's trace renderer. *)
 
 val event : ?peer:int -> t -> string -> unit
 (** Count one named simulator event in {!metrics} {e and} note it on
@@ -188,17 +217,26 @@ val flush_deferred : t -> unit
 val record_shift : t -> int -> unit
 (** Record the size of a restructuring shift (for Figure 8(h)). *)
 
+exception Incompatible_snapshot of { found : string; expected : string }
+(** The file is a BATON snapshot from a different format version —
+    structurally unreadable by this build; regenerate it. *)
+
 val save : t -> string -> unit
 (** Snapshot the whole network (peers, positions, data, counters, PRNG
     state) to a file, so an expensive build can be reused across runs.
     The network must be quiescent: deferred notifications pending from
-    {!set_defer} cannot be serialised.
+    {!set_defer} cannot be serialised. Observers (recorder, tracer,
+    hop-wait hook, bus subscribers) hold closures and are detached
+    before marshalling; on success they stay detached, but if the save
+    fails they are all reattached before the exception escapes.
     @raise Invalid_argument if deferred notifications are pending. *)
 
 val load : string -> t
 (** Restore a network saved by {!save}. The loaded network continues
     deterministically: running the same operations on the original and
     the restored network yields identical results and message counts.
-    @raise Failure if the file is not a BATON snapshot. *)
+    @raise Incompatible_snapshot if the file is a BATON snapshot of a
+    different format version.
+    @raise Failure if the file is not a BATON snapshot at all. *)
 
 val shift_histogram : t -> Baton_util.Histogram.t

@@ -26,13 +26,14 @@ let event_json (e : Span.entry) =
         ("hops", Json.Int hops);
         ("msgs", Json.Int msgs);
       ]
-    | Span.Hop { src; dst; msg } ->
+    | Span.Hop { src; dst; msg; span } ->
       [
         ("ev", Json.String "hop");
         ("src", Json.Int src);
         ("dst", Json.Int dst);
         ("msg", Json.String msg);
       ]
+      @ (if span < 0 then [] else [ ("span", Json.Int span) ])
     | Span.Note { name; peer } ->
       [
         ("ev", Json.String "note");
@@ -142,10 +143,11 @@ let span_tree recorder =
              (stamp e) e.Span.op
              (if ok then "done" else "FAILED")
              hops msgs)
-      | Span.Hop { src; dst; msg } ->
+      | Span.Hop { src; dst; msg; span } ->
         Buffer.add_string buf
-          (Printf.sprintf "%s  %s %d -> %d  %s\n" (indent e.Span.op) (stamp e)
-             src dst msg)
+          (Printf.sprintf "%s  %s %d -> %d  %s%s\n" (indent e.Span.op) (stamp e)
+             src dst msg
+             (if span < 0 then "" else Printf.sprintf " [span %d]" span))
       | Span.Note { name; peer } ->
         Buffer.add_string buf
           (Printf.sprintf "%s  %s ! %s%s\n" (indent e.Span.op) (stamp e) name

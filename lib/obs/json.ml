@@ -2,9 +2,10 @@
 
    The repository deliberately avoids external dependencies; this
    module covers exactly what the exporters need: deterministic,
-   schema-stable output (object fields are emitted in the order given,
-   floats through one fixed format), so that two same-seed runs produce
-   byte-identical files. *)
+   schema-stable output (object fields are emitted sorted by key, so
+   exports are byte-stable regardless of the order a producer happened
+   to assemble them in; floats go through one fixed format), so that
+   two same-seed runs produce byte-identical files. *)
 
 type t =
   | Null
@@ -28,6 +29,11 @@ let escape buf s =
         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s
+
+(* Emission order for object fields: sorted by key, independent of
+   insertion order. *)
+let sorted_fields fields =
+  List.stable_sort (fun (a, _) (b, _) -> String.compare a b) fields
 
 let float_repr v =
   if Float.is_integer v && Float.abs v < 1e15 then
@@ -60,7 +66,7 @@ let rec write buf = function
         escape buf k;
         Buffer.add_string buf "\":";
         write buf v)
-      fields;
+      (sorted_fields fields);
     Buffer.add_char buf '}'
 
 let to_string v =
@@ -97,7 +103,7 @@ let rec write_pretty buf indent = function
         escape buf k;
         Buffer.add_string buf "\": ";
         write_pretty buf (indent + 2) v)
-      fields;
+      (sorted_fields fields);
     Buffer.add_char buf '\n';
     Buffer.add_string buf pad;
     Buffer.add_char buf '}'

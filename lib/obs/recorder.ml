@@ -73,9 +73,9 @@ let record t ~op ev =
 let current_op t =
   match t.stack with [] -> -1 | op :: _ -> op.id
 
-let on_hop t ~src ~dst ~kind =
+let on_hop t ?(span = -1) ~src ~dst ~kind () =
   List.iter (fun (op : op_state) -> op.msgs <- op.msgs + 1) t.stack;
-  record t ~op:(current_op t) (Span.Hop { src; dst; msg = kind })
+  record t ~op:(current_op t) (Span.Hop { src; dst; msg = kind; span })
 
 let note ?peer t name =
   record t ~op:(current_op t) (Span.Note { name; peer })
@@ -129,7 +129,17 @@ let attach t bus =
   match t.attached with
   | Some _ -> invalid_arg "Recorder.attach: already attached"
   | None ->
-    let sub = Bus.subscribe bus (fun ~src ~dst ~kind -> on_hop t ~src ~dst ~kind) in
+    let sub =
+      Bus.subscribe bus (fun ~src ~dst ~kind ->
+          (* Tag the hop with its causal span id when the message in
+             flight carries a trace context. *)
+          let span =
+            match Bus.sending_ctx bus with
+            | Some ctx -> ctx.Bus.span
+            | None -> -1
+          in
+          on_hop t ~span ~src ~dst ~kind ())
+    in
     t.attached <- Some (bus, sub)
 
 let detach t =

@@ -33,7 +33,9 @@ let n_repair_triggered = "repair.triggered"
 type event =
   | Op_begin of { kind : kind; parent : int option }
   | Op_end of { ok : bool; hops : int; msgs : int }
-  | Hop of { src : int; dst : int; msg : string }
+  | Hop of { src : int; dst : int; msg : string; span : int }
+      (** [span] is the message's causal span id when it carried a
+          {!Baton_sim.Bus.trace_ctx}, [-1] for untraced traffic. *)
   | Note of { name : string; peer : int option }
 
 type entry = {

@@ -57,15 +57,18 @@ type config = {
   mix : mix;
   timeout_ms : float;
   route_cache : bool;
+  monitor_every_ms : float;  (* 0. = health monitoring off *)
 }
 
 let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
     ?(arrival = Closed { think_ms = 0. }) ?(range_span = 2_000_000)
     ?(theta = 1.0) ?(timeout_ms = Runtime.default_timeout_ms)
-    ?(route_cache = false) ~n ~mix () =
+    ?(route_cache = false) ?(monitor_every_ms = 0.) ~n ~mix () =
   if n < 2 then invalid_arg "Driver.config: n < 2";
   if clients < 1 then invalid_arg "Driver.config: clients < 1";
   if ops < 1 then invalid_arg "Driver.config: ops < 1";
+  if monitor_every_ms < 0. then
+    invalid_arg "Driver.config: negative monitor_every_ms";
   {
     n;
     seed;
@@ -78,6 +81,7 @@ let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
     mix;
     timeout_ms;
     route_cache;
+    monitor_every_ms;
   }
 
 (* One planned operation. Join/Leave carry no payload: the peer they
@@ -142,6 +146,7 @@ type report = {
   latencies : (string * Timing.t) list;  (** in {!kind_order} *)
   depth_max : int;
   depth_mean : float;
+  health : Json.t;  (** Monitor.json time series, [Json.Null] when off *)
 }
 
 let run cfg =
@@ -162,6 +167,11 @@ let run cfg =
   let membership = Runtime.Lock.create () in
   let crng = Rng.create ((cfg.seed * 17) + 23) in
   let completed = ref 0 and failed = ref 0 in
+  (* Completion instant of the last finished operation — the measured
+     duration. [Runtime.now] after the drain would also include
+     trailing non-workload events (the final monitor tick, a last
+     think-time sleep), which are not work. *)
+  let last_done = ref 0. in
   let latencies = List.map (fun k -> (k, Timing.create ())) kind_order in
   let par l r = Runtime.both l r in
   let execute op =
@@ -185,13 +195,15 @@ let run cfg =
     match execute op with
     | () ->
       incr completed;
+      last_done := Runtime.now rt;
       Timing.add digest (Runtime.now rt -. started)
     | exception _ ->
       (* Operations racing churn can find their origin gone or their
          walk stuck; on a real deployment the client would retry. The
          driver counts the casualty and moves on — determinism is
          unaffected, the failure is part of the seeded schedule. *)
-      incr failed
+      incr failed;
+      last_done := Runtime.now rt
   in
   (match cfg.arrival with
   | Closed { think_ms } ->
@@ -224,10 +236,34 @@ let run cfg =
         let u = Rng.float arng 1.0 in
         at := !at +. (-.mean_gap_ms *. log (1. -. (u *. 0.999))))
       plan);
+  (* Health monitor: a self-rescheduling engine tick, installed after
+     the workload fibers so the first sample lands one period into the
+     run. It stops rescheduling once every fiber has finished, so the
+     engine still drains. A pure observer — sampling sends no message
+     and draws from no protocol PRNG, so runs with monitoring on and
+     off count byte-identical metrics and finish at the same virtual
+     instant. *)
+  let monitor =
+    if cfg.monitor_every_ms <= 0. then None
+    else begin
+      let mon = Baton.Monitor.create net in
+      let engine = Runtime.engine rt in
+      let rec tick_loop () =
+        ignore
+          (Baton.Monitor.tick mon ~time:(Baton_sim.Engine.now engine)
+            : Baton.Monitor.sample);
+        if Runtime.live_fibers rt > 0 then
+          Baton_sim.Engine.schedule engine ~delay:cfg.monitor_every_ms
+            tick_loop
+      in
+      Baton_sim.Engine.schedule engine ~delay:cfg.monitor_every_ms tick_loop;
+      Some mon
+    end
+  in
   let metrics = Net.metrics net in
   let cp = Metrics.checkpoint metrics in
   Runtime.run rt;
-  let duration_ms = Runtime.now rt in
+  let duration_ms = !last_done in
   {
     cfg;
     ops_issued = Array.length plan;
@@ -246,6 +282,10 @@ let run cfg =
     latencies;
     depth_max = Runtime.queue_depth_max rt;
     depth_mean = Runtime.queue_depth_mean rt;
+    health =
+      (match monitor with
+      | None -> Json.Null
+      | Some mon -> Baton.Monitor.json mon);
   }
 
 (* --- Serialization -------------------------------------------------- *)
@@ -291,9 +331,11 @@ let report_json r =
           [
             ("max", Json.Int r.depth_max); ("mean", Json.Float r.depth_mean);
           ] );
+      ("monitor_every_ms", Json.Float r.cfg.monitor_every_ms);
+      ("health", r.health);
     ]
 
-let schema_version = "baton-bench-runtime-v2"
+let schema_version = "baton-bench-runtime-v3"
 
 let bench_json reports =
   Json.Obj

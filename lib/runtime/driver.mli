@@ -45,6 +45,9 @@ type config = {
   timeout_ms : float;
   route_cache : bool;  (** enable the adaptive route cache before the
                            measured phase *)
+  monitor_every_ms : float;
+      (** health-monitor sampling period in virtual ms; [0.] (the
+          default) disables monitoring *)
 }
 
 val config :
@@ -57,14 +60,16 @@ val config :
   ?theta:float ->
   ?timeout_ms:float ->
   ?route_cache:bool ->
+  ?monitor_every_ms:float ->
   n:int ->
   mix:mix ->
   unit ->
   config
 (** Defaults: seed 2005, 5 keys/node, 32 clients, 2000 ops, closed
     loop with zero think time, span 2·10⁶, theta 1.0 (the paper's Zipf
-    parameter), timeout {!Runtime.default_timeout_ms}.
-    @raise Invalid_argument on non-positive sizes. *)
+    parameter), timeout {!Runtime.default_timeout_ms}, monitoring off.
+    @raise Invalid_argument on non-positive sizes or a negative
+    monitoring period. *)
 
 val kind_order : string list
 (** Operation kinds in report order:
@@ -85,12 +90,21 @@ type report = {
   cache_hits : int;  (** validated shortcut deliveries *)
   cache_misses : int;  (** cache consulted, no covering entry *)
   cache_stale : int;  (** shortcut evicted after a failed validation *)
-  duration_ms : float;  (** virtual time to drain the workload *)
+  duration_ms : float;
+      (** completion instant of the last finished operation — trailing
+          non-workload events (a final monitor tick, a last think-time
+          sleep) are not work and are excluded *)
   throughput_ops_s : float;
   latencies : (string * Baton_obs.Timing.t) list;
       (** completed-operation latency digests, in {!kind_order} *)
   depth_max : int;
   depth_mean : float;
+  health : Baton_obs.Json.t;
+      (** [Baton.Monitor] time series + health events sampled every
+          [monitor_every_ms]; [Json.Null] when monitoring is off.
+          Sampling is a pure observation: the same seed with monitoring
+          on and off counts identical messages and finishes at the same
+          virtual instant. *)
 }
 
 val run : config -> report
@@ -102,7 +116,7 @@ val report_json : report -> Baton_obs.Json.t
 
 val schema_version : string
 (** Value of the ["schema"] field of {!bench_json}:
-    ["baton-bench-runtime-v2"]. *)
+    ["baton-bench-runtime-v3"]. *)
 
 val bench_json : report list -> Baton_obs.Json.t
 (** The BENCH_runtime.json document: [{schema; runs: [...]}]. *)

@@ -79,7 +79,14 @@ let suspend register = Effect.perform (Suspend register)
    [t]), and the parent's continuation resumes only when both are
    done. All continuations are one-shot and always resumed exactly
    once — the engine drains its queue completely — so no continuation
-   is leaked. *)
+   is leaked.
+
+   Every suspension point snapshots the tracer's ambient causal state
+   ([Net.trace_mark]) and reinstates it when the fiber resumes: between
+   the capture and the resumption other fibers run and move the ambient
+   episode/parent to their own, so without the restore an operation's
+   hops would chain into whichever trace happened to run last. Free
+   (a [None]) when no tracer is installed. *)
 let rec exec : type a. t -> (unit -> a) -> ((a, exn) result -> unit) -> unit =
  fun t f on_done ->
   let open Effect.Deep in
@@ -93,23 +100,33 @@ let rec exec : type a. t -> (unit -> a) -> ((a, exn) result -> unit) -> unit =
           | Wait delay ->
             Some
               (fun (k : (b, unit) continuation) ->
-                Engine.schedule t.engine ~delay (fun () -> continue k ()))
+                let m = Net.trace_mark t.net in
+                Engine.schedule t.engine ~delay (fun () ->
+                    Net.restore_trace_mark t.net m;
+                    continue k ()))
           | Suspend register ->
             Some
               (fun (k : (b, unit) continuation) ->
+                let m = Net.trace_mark t.net in
                 (* The resumption is scheduled, not run inline, so a
                    wake-up from another fiber's stack still interleaves
                    through the deterministic event queue. *)
                 register (fun () ->
                     Engine.schedule t.engine ~delay:0. (fun () ->
+                        Net.restore_trace_mark t.net m;
                         continue k ())))
           | Fork (fa, fb) ->
             Some
               (fun (k : (b, unit) continuation) ->
+                (* Both children inherit the fork point's causal state —
+                   their hop chains branch from the same parent span —
+                   and the parent resumes with it too. *)
+                let m = Net.trace_mark t.net in
                 let ra = ref None and rb = ref None in
                 let join () =
                   match (!ra, !rb) with
                   | Some a, Some b -> (
+                    Net.restore_trace_mark t.net m;
                     match (a, b) with
                     | Ok va, Ok vb -> continue k (va, vb)
                     | Error e, _ | _, Error e -> discontinue k e)
@@ -119,10 +136,18 @@ let rec exec : type a. t -> (unit -> a) -> ((a, exn) result -> unit) -> unit =
                    suspension), then the right — a deterministic start
                    order; from then on the event queue interleaves
                    them. *)
-                exec t fa (fun r ->
+                exec t
+                  (fun () ->
+                    Net.restore_trace_mark t.net m;
+                    fa ())
+                  (fun r ->
                     ra := Some r;
                     join ());
-                exec t fb (fun r ->
+                exec t
+                  (fun () ->
+                    Net.restore_trace_mark t.net m;
+                    fb ())
+                  (fun r ->
                     rb := Some r;
                     join ()))
           | _ -> None);
@@ -130,8 +155,16 @@ let rec exec : type a. t -> (unit -> a) -> ((a, exn) result -> unit) -> unit =
 
 let spawn ?at t f ~on_done =
   t.live_fibers <- t.live_fibers + 1;
+  (* The fiber body starts from the causal state at the spawn call —
+     for a driver spawning top-level operations, a clean slate — not
+     from whatever episode is ambient when the engine reaches it. *)
+  let m = Net.trace_mark t.net in
   let fiber () =
-    exec t f (fun r ->
+    exec t
+      (fun () ->
+        Net.restore_trace_mark t.net m;
+        f ())
+      (fun r ->
         t.live_fibers <- t.live_fibers - 1;
         on_done r)
   in

@@ -15,10 +15,20 @@ type fault_state = {
 
 type hop_hook = src:int -> dst:int -> kind:string -> unit
 
+(* Causal trace context carried by a message: which trace (operation
+   episode) it belongs to, its own span id, the span that caused it and
+   the kind of operation that originated the episode. The bus only
+   transports the context — allocation and analysis live in the
+   observability layer. *)
+type trace_ctx = { trace : int; span : int; parent : int; op : string }
+
 type t = {
   metrics : Metrics.t;
   failed : (int, unit) Hashtbl.t;
   mutable faults : fault_state option;
+  (* Context of the message currently passing through [send], readable
+     by hop subscribers via [sending_ctx]. *)
+  mutable in_flight : trace_ctx option;
   (* Hop subscribers. [subs_rev] holds them newest-first so subscribing
      is O(1); [subs_fwd] caches the subscription-order view that [send]
      iterates, rebuilt lazily after a (un)subscription. Both are
@@ -41,6 +51,7 @@ let create () =
     metrics = Metrics.create ();
     failed = Hashtbl.create 64;
     faults = None;
+    in_flight = None;
     subs_rev = [];
     subs_fwd = [];
     subs_dirty = false;
@@ -139,13 +150,17 @@ let fault_verdict t dst =
       end
       else `Deliver)
 
-let send t ~src ~dst ~kind =
+let sending_ctx t = t.in_flight
+
+let send ?ctx t ~src ~dst ~kind =
   if src <> dst then begin
     (* The message is transmitted — and therefore counted — whether or
        not the destination is alive or the network loses it; a missing
        answer is how the sender discovers the problem (Section III-C). *)
     Metrics.record t.metrics ~dst ~kind;
+    t.in_flight <- ctx;
     List.iter (fun (_, hook) -> hook ~src ~dst ~kind) (subscribers t);
+    t.in_flight <- None;
     if is_failed t dst then raise (Unreachable dst);
     match fault_verdict t dst with
     | `Deliver -> ()

@@ -47,14 +47,32 @@ val create : unit -> t
 val metrics : t -> Metrics.t
 (** The accounting sink for this bus. *)
 
-val send : t -> src:int -> dst:int -> kind:string -> unit
+type trace_ctx = {
+  trace : int;  (** trace (operation-episode) id *)
+  span : int;  (** this message's own span id *)
+  parent : int;  (** span id of the causing message, [-1] at the root *)
+  op : string;  (** kind of the operation that originated the episode *)
+}
+(** Causal trace context carried by a message (Dapper-style). The bus
+    only transports it: allocation, causality bookkeeping and analysis
+    live in [Baton_obs.Trace]. Carrying a context is free — it changes
+    neither accounting nor the fault model, so traced and untraced runs
+    of the same seed count identical messages. *)
+
+val send : ?ctx:trace_ctx -> t -> src:int -> dst:int -> kind:string -> unit
 (** Account one message. Self-sends ([src = dst]) are free: a node
     consulting its own state passes no network message. Messages to
     failed peers are still counted — they are transmitted, and the
-    missing answer is how the sender discovers the failure.
+    missing answer is how the sender discovers the failure. When [ctx]
+    is given, the message carries that causal trace context; hop
+    subscribers can read it via {!sending_ctx} while their hook runs.
     @raise Unreachable if [dst] is permanently failed.
     @raise Timeout if the fault model drops the message or [dst] is
     transiently unresponsive. *)
+
+val sending_ctx : t -> trace_ctx option
+(** The trace context of the message currently passing through {!send}
+    — [Some] only while hop hooks run for a message that carries one. *)
 
 val set_faults :
   t ->

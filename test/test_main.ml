@@ -13,6 +13,7 @@ let () =
       ("sim", Test_sim.suite);
       ("sim.latency", Test_latency.suite);
       ("obs", Test_obs.suite);
+      ("obs.trace", Test_trace.suite);
       ("baton.position", Test_position.suite);
       ("baton.range", Test_range.suite);
       ("baton.routing_table", Test_routing_table.suite);
@@ -34,6 +35,7 @@ let () =
       ("baton.resilience", Test_resilience.suite);
       ("baton.replication", Test_replication.suite);
       ("baton.viz", Test_viz.suite);
+      ("baton.monitor", Test_monitor.suite);
       ("chord", Test_chord.suite);
       ("multiway", Test_multiway.suite);
       ("overlay", Test_overlay.suite);

@@ -116,16 +116,21 @@ let test_event_json_schema () =
   let entries =
     [
       { Span.seq = 0; op = 0; time = None; ev = Span.Op_begin { kind = Span.exact; parent = None } };
-      { Span.seq = 1; op = 0; time = None; ev = Span.Hop { src = 3; dst = 7; msg = "search.exact" } };
+      { Span.seq = 1; op = 0; time = None; ev = Span.Hop { src = 3; dst = 7; msg = "search.exact"; span = -1 } };
       { Span.seq = 2; op = 0; time = Some 1.5; ev = Span.Note { name = "send.retry"; peer = Some 7 } };
       { Span.seq = 3; op = 0; time = None; ev = Span.Op_end { ok = true; hops = 1; msgs = 2 } };
+      { Span.seq = 4; op = 0; time = None; ev = Span.Hop { src = 3; dst = 7; msg = "search.exact"; span = 5 } };
     ]
   in
-  Alcotest.(check string) "schema-stable lines"
-    ("{\"seq\":0,\"op\":0,\"ev\":\"begin\",\"kind\":\"exact\",\"parent\":null}\n"
-    ^ "{\"seq\":1,\"op\":0,\"ev\":\"hop\",\"src\":3,\"dst\":7,\"msg\":\"search.exact\"}\n"
-    ^ "{\"seq\":2,\"op\":0,\"t\":1.5,\"ev\":\"note\",\"name\":\"send.retry\",\"peer\":7}\n"
-    ^ "{\"seq\":3,\"op\":0,\"ev\":\"end\",\"ok\":true,\"hops\":1,\"msgs\":2}\n")
+  (* Golden strings pin both the schema and the emission order: object
+     keys come out sorted regardless of the order the exporter
+     assembled them in. *)
+  Alcotest.(check string) "schema-stable lines, keys sorted"
+    ("{\"ev\":\"begin\",\"kind\":\"exact\",\"op\":0,\"parent\":null,\"seq\":0}\n"
+    ^ "{\"dst\":7,\"ev\":\"hop\",\"msg\":\"search.exact\",\"op\":0,\"seq\":1,\"src\":3}\n"
+    ^ "{\"ev\":\"note\",\"name\":\"send.retry\",\"op\":0,\"peer\":7,\"seq\":2,\"t\":1.5}\n"
+    ^ "{\"ev\":\"end\",\"hops\":1,\"msgs\":2,\"ok\":true,\"op\":0,\"seq\":3}\n"
+    ^ "{\"dst\":7,\"ev\":\"hop\",\"msg\":\"search.exact\",\"op\":0,\"seq\":4,\"span\":5,\"src\":3}\n")
     (lines entries)
 
 (* The acceptance property behind `baton_cli trace --json`: two
@@ -187,11 +192,12 @@ let test_stats_json_shape () =
   Recorder.attach r bus;
   Recorder.with_op r ~kind:Span.exact (fun () -> Bus.send bus ~src:1 ~dst:2 ~kind:"m");
   Recorder.detach r;
-  Alcotest.(check string) "compact stats summary"
-    ("{\"ops\":[{\"kind\":\"exact\",\"count\":1,"
-    ^ "\"hops\":{\"mean\":1.0,\"p50\":1,\"p95\":1,\"p99\":1,\"max\":1},"
-    ^ "\"msgs\":{\"mean\":1.0,\"p50\":1,\"p95\":1,\"p99\":1,\"max\":1}}],"
-    ^ "\"events\":{\"recorded\":3,\"dropped\":0}}")
+  Alcotest.(check string) "compact stats summary, keys sorted"
+    ("{\"events\":{\"dropped\":0,\"recorded\":3},"
+    ^ "\"ops\":[{\"count\":1,"
+    ^ "\"hops\":{\"max\":1,\"mean\":1.0,\"p50\":1,\"p95\":1,\"p99\":1},"
+    ^ "\"kind\":\"exact\","
+    ^ "\"msgs\":{\"max\":1,\"mean\":1.0,\"p50\":1,\"p95\":1,\"p99\":1}}]}")
     (Json.to_string (Export.stats_json r))
 
 let test_span_tree_renders () =
@@ -238,6 +244,31 @@ let test_save_detaches_recorder () =
       Alcotest.(check (option unit)) "recorder detached on save" None
         (Option.map ignore (Net.recorder net)))
 
+(* Regression: a save that dies mid-way (unwritable path, full disk)
+   must put the observers back. The old code detached the recorder
+   before opening the file and never reattached on the error path,
+   silently blinding telemetry on a network that kept running. *)
+let test_failed_save_restores_observers () =
+  let net = N.build ~seed:3 50 in
+  let r = Recorder.create () in
+  Net.set_recorder net (Some r);
+  let tr = Baton_obs.Trace.create () in
+  Net.set_tracer net (Some tr);
+  let bad_path = Filename.concat (Filename.get_temp_dir_name ()) "no/such/dir/x.snap" in
+  (match Net.save net bad_path with
+  | () -> Alcotest.fail "expected save to fail"
+  | exception Sys_error _ -> ());
+  Alcotest.(check bool) "recorder reattached" true
+    (Option.is_some (Net.recorder net));
+  Alcotest.(check bool) "tracer reattached" true
+    (Option.is_some (Net.tracer net));
+  (* And the recorder's bus subscription is live again: a fresh
+     operation still lands in the ring. *)
+  let before = Recorder.recorded r in
+  ignore (Search.exact net ~from:(Net.random_peer net) 123_456);
+  Alcotest.(check bool) "subscription restored" true
+    (Recorder.recorded r > before)
+
 let suite =
   [
     Alcotest.test_case "ring bounds/drops" `Quick test_ring_bounds_and_drops;
@@ -252,4 +283,6 @@ let suite =
     Alcotest.test_case "stats json shape" `Quick test_stats_json_shape;
     Alcotest.test_case "span tree" `Quick test_span_tree_renders;
     Alcotest.test_case "save detaches recorder" `Quick test_save_detaches_recorder;
+    Alcotest.test_case "failed save restores observers" `Quick
+      test_failed_save_restores_observers;
   ]

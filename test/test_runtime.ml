@@ -220,6 +220,71 @@ let test_bench_json_schema () =
       "\"queue_depth\""; "\"p99_ms\"";
     ]
 
+(* The monitor is a pure observer: switching it on must not move the
+   paper's message metric, the failure schedule or the virtual clock. *)
+let test_monitor_is_workload_neutral () =
+  let cfg ~monitor_every_ms =
+    Driver.config ~seed:99 ~keys_per_node:3 ~clients:8 ~ops:120 ~n:60
+      ~monitor_every_ms ~mix:Driver.churn_heavy ()
+  in
+  let off = Driver.run (cfg ~monitor_every_ms:0.) in
+  let on = Driver.run (cfg ~monitor_every_ms:250.) in
+  Alcotest.(check int) "messages unchanged" off.Driver.messages
+    on.Driver.messages;
+  Alcotest.(check int) "cache messages unchanged" off.Driver.cache_messages
+    on.Driver.cache_messages;
+  Alcotest.(check (pair int int)) "same completions and failures"
+    (off.Driver.completed, off.Driver.failed)
+    (on.Driver.completed, on.Driver.failed);
+  Alcotest.(check (float 0.0)) "same virtual duration" off.Driver.duration_ms
+    on.Driver.duration_ms;
+  Alcotest.(check bool) "off-run report carries no health section" true
+    (off.Driver.health = Json.Null);
+  Alcotest.(check bool) "on-run report carries one" true
+    (on.Driver.health <> Json.Null)
+
+(* The acceptance scenario: a churn-heavy run produces a non-empty
+   health time series whose events include at least one degraded -> ok
+   recovery (a tick caught a membership op mid-flight, then the overlay
+   healed), and the whole section replays byte-identically. *)
+let test_churn_health_series () =
+  let cfg =
+    Driver.config ~seed:99 ~keys_per_node:3 ~clients:8 ~ops:120 ~n:60
+      ~monitor_every_ms:400. ~mix:Driver.churn_heavy ()
+  in
+  let health () = Json.to_string (Driver.run cfg).Driver.health in
+  let doc = health () in
+  let contains s =
+    let re = Str.regexp_string s in
+    match Str.search_forward re doc 0 with
+    | (_ : int) -> true
+    | exception Not_found -> false
+  in
+  Alcotest.(check bool) "samples present" true (contains "\"samples\":[{");
+  (* A degraded -> ok edge, not just any transition. Event objects
+     serialize with sorted keys, so within one object "from" precedes
+     "to" by well under 80 bytes. *)
+  let recovery =
+    let rec scan pos =
+      match
+        Str.search_forward (Str.regexp_string "\"from\":\"degraded\"") doc pos
+      with
+      | p ->
+        let window = String.sub doc p (min 80 (String.length doc - p)) in
+        (try
+           ignore (Str.search_forward (Str.regexp_string "\"to\":\"ok\"") window 0);
+           true
+         with Not_found -> scan (p + 1))
+      | exception Not_found -> false
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "at least one degraded -> ok recovery" true recovery;
+  Alcotest.(check bool) "run ends healthy" true
+    (contains "\"final\":\"ok\"");
+  Alcotest.(check string) "health section byte-identical across runs" doc
+    (health ())
+
 let suite =
   [
     Alcotest.test_case "sleep/virtual clock" `Quick test_sleep_and_clock;
@@ -232,4 +297,7 @@ let suite =
     Alcotest.test_case "driver accounts every op" `Quick
       test_driver_accounts_every_op;
     Alcotest.test_case "bench json schema" `Quick test_bench_json_schema;
+    Alcotest.test_case "monitor is workload-neutral" `Quick
+      test_monitor_is_workload_neutral;
+    Alcotest.test_case "churn health series" `Quick test_churn_health_series;
   ]
