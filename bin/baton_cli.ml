@@ -394,7 +394,19 @@ let compare_overlays nodes seed ops =
    interleaved fibers on the discrete-event runtime and emit the
    BENCH_runtime.json document. *)
 let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_ms
-    route_cache monitor_every out =
+    route_cache monitor_every faults oracle out =
+  let fault_schedule =
+    match faults with
+    | None -> []
+    | Some spec -> (
+      match Baton_sim.Partition.parse spec with
+      | Ok schedule -> schedule
+      | Error msg ->
+        Printf.eprintf "bad fault schedule %S: %s\n" spec msg;
+        exit 2)
+  in
+  (* A faulted run without the oracle is a benchmark with no referee. *)
+  let oracle = oracle || fault_schedule <> [] in
   let mixes =
     match mix_names with
     | [] -> Driver.mixes
@@ -406,7 +418,9 @@ let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_
           | None ->
             Printf.eprintf "unknown mix %S (known: %s)\n" name
               (String.concat ", "
-                 (List.map (fun m -> m.Driver.mix_name) Driver.mixes));
+                 (List.map
+                    (fun m -> m.Driver.mix_name)
+                    (Driver.mixes @ [ Driver.adversarial ])));
             exit 2)
         names
   in
@@ -423,7 +437,8 @@ let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_
       (fun mix ->
         let cfg =
           Driver.config ~seed ~keys_per_node ~clients ~ops ~arrival
-            ~route_cache ~monitor_every_ms:monitor_every ~n:nodes ~mix ()
+            ~route_cache ~monitor_every_ms:monitor_every ~fault_schedule
+            ~oracle ~n:nodes ~mix ()
         in
         Printf.eprintf "running %s (n=%d, %d ops)...\n%!" mix.Driver.mix_name
           nodes ops;
@@ -622,18 +637,42 @@ let monitor_every_arg =
            time series and ok/degraded/violated events. 0 (the default) \
            disables monitoring and leaves $(b,health) null.")
 
+let faults_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject an adversarial fault schedule into the measured phase: \
+           ';'-separated $(b,partition@AT+DUR:k=K[,oneway]), \
+           $(b,subtree@AT[:roots=R]) and \
+           $(b,gray@AT+DUR:peers=P[,drop=D][,slow=S]) entries, times in \
+           virtual milliseconds. Implies $(b,--oracle). Example: \
+           'partition@2000+3000:k=2;subtree@6000;gray@1000+5000:peers=5'.")
+
+let oracle_arg =
+  Arg.(
+    value & flag
+    & info [ "oracle" ]
+        ~doc:
+          "Replay every completed operation against the consistency oracle \
+           (stale reads, phantoms, false-complete ranges, broken tiling); \
+           the report's $(b,oracle) section carries verdict counts and \
+           trace-evidenced violation details.")
+
 let bench_run_cmd =
   let doc =
     "Run the concurrent workload driver: seeded operation mixes execute as \
      interleaved fibers on the discrete-event runtime; reports virtual-time \
-     throughput, per-kind latency percentiles and queue depths as JSON. \
+     throughput, per-kind latency percentiles and queue depths as JSON — \
+     plus oracle verdicts and fault-scenario accounting when enabled. \
      Deterministic: same seed, byte-identical output."
   in
   Cmd.v (Cmd.info "bench-run" ~doc)
     Term.(
       const bench_run $ nodes_arg $ seed_arg $ keys_arg $ bench_ops_arg
       $ clients_arg $ mix_arg $ arrival_arg $ rate_arg $ think_arg
-      $ route_cache_arg $ monitor_every_arg $ out_arg)
+      $ route_cache_arg $ monitor_every_arg $ faults_arg $ oracle_arg
+      $ out_arg)
 
 let cache_nodes_arg =
   Arg.(

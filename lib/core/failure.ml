@@ -200,8 +200,15 @@ let suspicion_threshold = 3
 let trigger net ~observer suspect_id =
   Net.event net ~peer:suspect_id Msg.ev_repair_triggered;
   Net.clear_suspicion net suspect_id;
-  try repair net ~reporter:observer suspect_id
-  with Bus.Unreachable _ | Bus.Timeout _ | Not_found | Failure _ -> ()
+  (* Under the concurrent runtime the repair runs inside the harness's
+     membership critical section (see [Net.set_repair_serializer]):
+     queries keep racing freely, but structural mutations — repairs,
+     joins, leaves — never interleave with each other. By the time the
+     section is entered the peer may already have been repaired by
+     whoever held it first; [repair_run] re-checks and no-ops then. *)
+  Net.serialize_repair net (fun () ->
+      try repair net ~reporter:observer suspect_id
+      with Bus.Unreachable _ | Bus.Timeout _ | Not_found | Failure _ -> ())
 
 let observe_unreachable net ~observer dead_id =
   (* Whatever else happens, stop shortcutting through the dead peer:

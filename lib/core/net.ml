@@ -44,6 +44,14 @@ type t = {
      instant. [None] — the default — keeps every operation synchronous,
      exactly the pre-runtime behaviour. *)
   mutable hop_wait : hop_wait option;
+  (* Critical section for suspicion-triggered repairs. Under the
+     concurrent runtime, several fibers can observe dead peers at the
+     same (virtual) time and each would start a structural repair; the
+     driver installs its membership lock here so repairs serialize with
+     each other and with joins/leaves instead of interleaving
+     mutations. [None] — the default — runs repairs inline, the
+     synchronous behaviour. *)
+  mutable repair_serializer : ((unit -> unit) -> unit) option;
   (* Adaptive route cache: [None] disables caching network-wide and the
      per-node caches stay empty, making the disabled network
      behaviourally identical to one built before the cache existed. *)
@@ -81,6 +89,7 @@ let create ?(seed = 42) ~domain () =
     recorder = None;
     tracer = None;
     hop_wait = None;
+    repair_serializer = None;
     cache_capacity = None;
   }
 
@@ -254,6 +263,13 @@ let retry_limit t = t.retry_limit
 
 let set_hop_wait t w = t.hop_wait <- w
 let hop_wait t = t.hop_wait
+
+let set_repair_serializer t s = t.repair_serializer <- s
+
+(* Run a structural repair inside the installed critical section (the
+   driver's membership lock), or inline when none is installed. *)
+let serialize_repair t f =
+  match t.repair_serializer with None -> f () | Some s -> s f
 
 (* Tell the runtime (when one drives this network) that a message was
    transmitted, so it can charge delivery latency — or a timeout
@@ -430,7 +446,7 @@ let shift_histogram t = t.shifts
 (* Snapshot format: a magic string (to fail fast on foreign files)
    followed by the marshalled record. The record holds no closures once
    the deferred queue is empty and the bus trace hook is cleared. *)
-let snapshot_magic = "BATON-NET-v3"
+let snapshot_magic = "BATON-NET-v4"
 
 let save t path =
   if not (Baton_util.Dyn_array.is_empty t.deferred) then
@@ -443,10 +459,12 @@ let save t path =
      silently blinds telemetry on a network that keeps running. *)
   let recorder0 = t.recorder
   and tracer0 = t.tracer
-  and hop_wait0 = t.hop_wait in
+  and hop_wait0 = t.hop_wait
+  and serializer0 = t.repair_serializer in
   set_recorder t None;
   set_tracer t None;
   set_hop_wait t None;
+  set_repair_serializer t None;
   Bus.clear_subscribers t.bus;
   try
     let oc = open_out_bin path in
@@ -460,6 +478,7 @@ let save t path =
     set_recorder t recorder0;
     set_tracer t tracer0;
     set_hop_wait t hop_wait0;
+    set_repair_serializer t serializer0;
     Printexc.raise_with_backtrace e bt
 
 exception Incompatible_snapshot of { found : string; expected : string }

@@ -156,6 +156,19 @@ val set_hop_wait : t -> hop_wait option -> unit
 
 val hop_wait : t -> hop_wait option
 
+val set_repair_serializer : t -> ((unit -> unit) -> unit) option -> unit
+(** Install a critical section for suspicion-triggered repairs. Under
+    the concurrent runtime several fibers can observe failures at once
+    and each would start a structural repair; a workload harness
+    installs its membership lock here so repairs serialize with each
+    other and with joins/leaves. [None] (default) runs repairs inline —
+    the synchronous behaviour. The installed closure is dropped by
+    {!save}, like every observer. *)
+
+val serialize_repair : t -> (unit -> unit) -> unit
+(** Run a repair inside the installed critical section (inline when
+    none is installed). Used by {!Failure}. *)
+
 val set_retry_limit : t -> int -> unit
 (** Retransmissions allowed per logical send (default 3). [0] disables
     retries. @raise Invalid_argument on negative values. *)

@@ -12,6 +12,7 @@ type result = {
   retries : int;
   nodes_visited : int;
   complete : bool;
+  holes : (int * int) list;
   cached : bool;
 }
 
@@ -214,15 +215,24 @@ let exact ?(kind = Msg.search_exact) net ~from v =
   let run () =
     measured net (fun () ->
         let node, hops, cached = exact_routed net ~kind ~from v in
+        (* The single answer is authoritative only when the answering
+           node actually owns [v]. Landing elsewhere — the boundary
+           node for out-of-range values, or a stranded node when
+           failures severed the path to the owner — is reported as an
+           incomplete answer with the searched point as its hole, so
+           callers (and the consistency oracle) can tell "definitely
+           absent" from "could not be determined". *)
+        let owns = Range.contains node.Node.range v in
         {
           node;
-          found = Range.contains node.Node.range v;
+          found = owns;
           keys = [];
           hops;
           msgs = 0;
           retries = 0;
           nodes_visited = 1;
-          complete = true;
+          complete = owns;
+          holes = (if owns then [] else [ (v, v + 1) ]);
           cached;
         })
   in
@@ -237,32 +247,51 @@ let lookup net ~from v =
 
 (* What one directional adjacent-link sweep produces; opaque to
    callers, who only thread it through a [par] runner. *)
-type sweep_outcome = int list list * int * int * bool
+type sweep_outcome = int list list * int * int * (int * int) list
 
 type par = (unit -> sweep_outcome) -> (unit -> sweep_outcome) -> sweep_outcome * sweep_outcome
 
 (* Collect matching keys from one direction of adjacent links, starting
    at (and excluding) [node]. Returns (keys in visit order, peers
-   visited, messages paid, interval fully covered?). A dead or silent
+   visited, messages paid, unreachable sub-intervals). A dead or silent
    adjacent peer no longer aborts the scan: the current node drops the
    link, bridges the gap through its surviving neighbourhood, and
-   carries on — flagging the answer incomplete when the skipped peer's
-   cached range intersected the query. *)
+   carries on — recording the skipped peer's cached range as a *hole*
+   when it intersected the query, so callers learn not just that the
+   answer is partial but exactly which sub-interval is missing. *)
 let sweep net (node : Node.t) side ~lo ~hi =
   let keys = ref [] and visited = ref 0 and msgs = ref 0 in
-  let complete = ref true in
+  (* Unreachable sub-intervals, half-open and clipped to the query;
+     overlap-merged by the caller. *)
+  let holes = ref [] in
+  let add_hole a b =
+    let a = max a lo and b = min b (hi + 1) in
+    if a < b then holes := (a, b) :: !holes
+  in
   let continue (n : Node.t) =
     match side with
     | `Right -> Range.is_left_of n.Node.range hi
     | `Left -> lo < n.Node.range.Range.lo
   in
+  (* Everything this direction still owes beyond [n]'s own range. *)
+  let rest_of_query (n : Node.t) =
+    match side with
+    | `Right -> add_hole n.Node.range.Range.hi (hi + 1)
+    | `Left -> add_hole lo n.Node.range.Range.lo
+  in
   let rec go (n : Node.t) bridges =
     if continue n then
       match Node.adjacent n side with
-      | None -> ()
+      | None ->
+        (* The chain ends while the query interval is still open: a
+           severed adjacency that no rebuild restored. The silent
+           truncation used to claim completeness; the remainder is a
+           hole. *)
+        rest_of_query n
       | Some next -> (
         let lost_data () =
-          if Range.intersects next.Link.range ~lo ~hi then complete := false
+          if Range.intersects next.Link.range ~lo ~hi then
+            add_hole next.Link.range.Range.lo next.Link.range.Range.hi
         in
         let bridge ~data_lost =
           if data_lost then lost_data ();
@@ -272,7 +301,10 @@ let sweep net (node : Node.t) side ~lo ~hi =
               ~kind:Msg.search_range;
             go n (bridges + 1)
           end
-          else complete := false
+          else
+            (* Give up bridging from here: whatever lies beyond is
+               unreachable in this direction. *)
+            rest_of_query n
         in
         match
           Net.send net ~src:n.Node.id ~dst:next.Link.peer
@@ -283,7 +315,7 @@ let sweep net (node : Node.t) side ~lo ~hi =
           incr visited;
           (* Live ranges tile the domain; a hole between consecutive
              ranges is a crashed peer whose links an earlier detour
-             already spliced around. Its keys died with it, so a hole
+             already spliced around. Its keys died with it, so a gap
              intersecting the query makes the answer partial even
              though no send failed here. *)
           let gap_lo, gap_hi =
@@ -291,8 +323,7 @@ let sweep net (node : Node.t) side ~lo ~hi =
             | `Right -> (n.Node.range.Range.hi, next_node.Node.range.Range.lo)
             | `Left -> (next_node.Node.range.Range.hi, n.Node.range.Range.lo)
           in
-          if gap_lo < gap_hi && gap_lo <= hi && gap_hi > lo then
-            complete := false;
+          if gap_lo < gap_hi then add_hole gap_lo gap_hi;
           keys := Sorted_store.keys_in next_node.Node.store ~lo ~hi :: !keys;
           go next_node 0
         | exception Bus.Unreachable dead ->
@@ -312,7 +343,7 @@ let sweep net (node : Node.t) side ~lo ~hi =
           bridge ~data_lost:false)
   in
   go node 0;
-  (!keys, !visited, !msgs, !complete)
+  (!keys, !visited, !msgs, !holes)
 
 let range_walk ?par net ~from ~lo ~hi =
   (* Find any node intersecting the interval, then per the paper
@@ -342,8 +373,8 @@ let range_walk ?par net ~from ~lo ~hi =
   let here = Sorted_store.keys_in node.Node.store ~lo ~hi in
   let sweep_left () = sweep net node `Left ~lo ~hi in
   let sweep_right () = sweep net node `Right ~lo ~hi in
-  let ( (left_keys, left_visited, left_msgs, left_complete),
-        (right_keys, right_visited, right_msgs, right_complete) ) =
+  let ( (left_keys, left_visited, left_msgs, left_holes),
+        (right_keys, right_visited, right_msgs, right_holes) ) =
     match par with
     | None ->
       let l = sweep_left () in
@@ -356,6 +387,18 @@ let range_walk ?par net ~from ~lo ~hi =
   let keys =
     List.concat left_keys @ here @ List.concat (List.rev right_keys)
   in
+  (* Normalize the holes: ascending, overlaps merged (the same dead
+     peer can surface twice — once from its stale link range, once as
+     the tiling gap the detour hopped over). *)
+  let holes =
+    let rec merge = function
+      | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 ->
+        merge ((a1, max b1 b2) :: rest)
+      | h :: rest -> h :: merge rest
+      | [] -> []
+    in
+    merge (List.sort compare (left_holes @ right_holes))
+  in
   {
     node;
     found = keys <> [];
@@ -364,7 +407,8 @@ let range_walk ?par net ~from ~lo ~hi =
     msgs = 0;
     retries = 0;
     nodes_visited = 1 + left_visited + right_visited;
-    complete = left_complete && right_complete;
+    complete = holes = [];
+    holes;
     cached;
   }
 

@@ -43,11 +43,18 @@ type result = {
   retries : int;  (** retransmissions hidden inside [msgs] *)
   nodes_visited : int;  (** partial-answer nodes contacted *)
   complete : bool;
-      (** [false] when a dead or silent peer whose cached range
-          intersected the query had to be skipped: [keys] is the
-          partial answer collected from the surviving chain. Always
-          [true] for exact/lookup, whose single answer is
-          authoritative. *)
+      (** [false] when part of the queried data could not be reached:
+          a dead or silent peer had to be skipped mid-sweep, the
+          adjacency chain was severed, or an exact search could not
+          reach the owner of the searched value. Equivalent to
+          [holes = \[\]]. *)
+  holes : (int * int) list;
+      (** the unreachable sub-intervals behind [complete = false]:
+          half-open [\[a, b)] ranges, ascending, overlap-merged and
+          clipped to the query — so callers (and the consistency
+          oracle) can tell "hole at [\[a, b)]" from "truncated". Empty
+          iff [complete]. For an incomplete exact search this is the
+          searched point [\[(v, v + 1)\]]. *)
   cached : bool;
       (** did a validated route-cache shortcut serve the routing step? *)
 }
@@ -63,8 +70,11 @@ val exact : ?kind:string -> Net.t -> from:Node.t -> int -> result
 (** [exact net ~from v] routes from [from] to the node whose range
     contains [v]. For values outside the current global range the
     leftmost/rightmost node is returned (it is the one that would
-    expand, per Section IV-C) with [found = false]. [kind] defaults to
-    {!Msg.search_exact}. *)
+    expand, per Section IV-C) with [found = false]. The answer is
+    [complete] iff the answering node owns [v]; a walk stranded by
+    severed links reports [complete = false] with hole [(v, v + 1)],
+    so "absent" is never conflated with "owner unreachable". [kind]
+    defaults to {!Msg.search_exact}. *)
 
 val lookup : Net.t -> from:Node.t -> int -> result
 (** [lookup net ~from v] routes to the responsible node and tests
@@ -88,8 +98,9 @@ val range : ?par:par -> Net.t -> from:Node.t -> lo:int -> hi:int -> result
     adjacent links, one message per additional node (paper:
     [O(log N + X)]). A mid-scan dead or timed-out adjacent peer no
     longer aborts the query: the scan bridges the gap through the
-    surviving neighbourhood and returns what it collected, flagging
-    [complete = false] if skipped data intersected the interval.
+    surviving neighbourhood and returns what it collected, reporting
+    each skipped sub-interval in [holes] (and [complete = false]) when
+    skipped data intersected the interval.
 
     [par] (default: sequential) runs the left and right sweeps; both
     orders transmit the identical message multiset, so [Metrics.total]

@@ -10,9 +10,21 @@ and insert_run net ~from key =
   let expanded =
     if Range.contains node.Node.range key then false
     else begin
-      (* The leftmost (rightmost) node expands its range to cover the
-         new key and must tell everyone who caches its range. *)
+      (* Only the genuine boundary node may expand (Section IV-C): the
+         leftmost node's lower bound sits at (or beyond) the original
+         domain edge and only ever moves outward, so the edge test
+         identifies it exactly — likewise the rightmost. A walk that
+         lands anywhere else without reaching the owner was stranded by
+         failures; expanding *that* node would overlap a live peer's
+         range and silently corrupt the tiling, so the insert aborts
+         instead (the client retries, as for any stuck routing). *)
       let r = node.Node.range in
+      let dom = Net.domain net in
+      let boundary =
+        if key < r.Range.lo then r.Range.lo <= dom.Range.lo
+        else r.Range.hi >= dom.Range.hi
+      in
+      if not boundary then raise (Search.Routing_stuck hops);
       (if key < r.Range.lo then Node.set_range node { r with Range.lo = key }
        else Node.set_range node { r with Range.hi = key + 1 });
       Wiring.announce net node ~kind:Msg.expand;

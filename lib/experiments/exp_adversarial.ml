@@ -1,0 +1,91 @@
+(* Adversarial-scenario experiment: the paper's "correct answers in
+   the presence of node failures" claim, checked rather than asserted.
+
+   Each row runs the workload driver under one correlated fault
+   schedule — partitions (symmetric and one-way), a subtree-correlated
+   crash burst, gray peers, and all of them combined — with the
+   consistency oracle judging every completed operation against the
+   sequential key-space model. The claim under test: however nasty the
+   schedule, violations stay at zero; degradation shows up only as
+   failed operations, explicitly flagged incomplete answers, and paid
+   messages. Message counts include every blocked, retried and
+   repair-detour transmission — surviving a partition is not free and
+   the table does not pretend it is. *)
+
+module Metrics = Baton_sim.Metrics
+module Partition = Baton_sim.Partition
+module Oracle = Baton_obs.Oracle
+module Driver = Baton_runtime.Driver
+
+(* One schedule per failure mode, plus a combined worst case. Windows
+   sit early in the run so even short (tiny-parameter) runs overlap
+   them; the driver scales its duration with ops, never cutting a
+   window off. *)
+let scenarios =
+  [
+    ("baseline", "");
+    ("partition k=2", "partition@500+1500:k=2");
+    ("partition one-way", "partition@500+1500:k=2,oneway");
+    ("subtree crash", "subtree@800");
+    ("gray peers", "gray@300+2000:peers=5,drop=0.3,slow=4");
+    ("combined", "partition@500+1200:k=2;subtree@2200;gray@300+2500:peers=4");
+  ]
+
+let schedule_of spec =
+  if String.equal spec "" then []
+  else
+    match Partition.parse spec with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("Exp_adversarial: " ^ msg)
+
+let run (p : Params.t) =
+  let n = List.fold_left max 2 p.Params.sizes in
+  let ops = max 150 p.Params.queries in
+  let row (label, spec) =
+    let cfg =
+      Driver.config ~seed:p.Params.seed
+        ~keys_per_node:p.Params.keys_per_node ~ops
+        ~fault_schedule:(schedule_of spec) ~oracle:true ~n
+        ~mix:Driver.adversarial ()
+    in
+    let r = Driver.run cfg in
+    let o = Option.get r.Driver.oracle in
+    [
+      label;
+      Table.cell_int r.Driver.completed;
+      Table.cell_int r.Driver.failed;
+      Table.cell_int (Oracle.checked o);
+      Table.cell_int (Oracle.violation_count o);
+      Table.cell_int (Oracle.tolerated_count o);
+      Table.cell_int (Oracle.incomplete_count o);
+      Table.cell_int (Oracle.lost_keys o);
+      Table.cell_int r.Driver.partition_timeouts;
+      Table.cell_int r.Driver.gray_drops;
+      Table.cell_int r.Driver.messages;
+    ]
+  in
+  Table.make ~id:"adversarial"
+    ~title:"Adversarial fault schedules: oracle verdicts on every completed op"
+    ~header:
+      [
+        "scenario"; "ok"; "failed"; "checked"; "violations"; "tolerated";
+        "incomplete"; "lost keys"; "part-blocked"; "gray-dropped"; "messages";
+      ]
+    ~notes:
+      [
+        Printf.sprintf
+          "N = %d peers, %d ops per scenario (exact/range/insert mix), \
+           closed loop; suspicion-driven repair on — peers recover with \
+           no help from the harness."
+          n ops;
+        "violations must be 0: a wrong answer presented as right. \
+         tolerated = answers the oracle excused because the system \
+         flagged them (incomplete, hole-covered) or a concurrent \
+         mutation made the key genuinely uncertain; lost keys = keys \
+         destroyed by crashes (their absence is correct, not stale).";
+        "part-blocked / gray-dropped count messages eaten by the active \
+         partition / gray endpoints; all such attempts, their \
+         retransmissions and the repair detours are included in \
+         messages — the honest price of surviving the schedule.";
+      ]
+    (List.map row scenarios)

@@ -1,0 +1,17 @@
+(** Adversarial fault schedules vs. the consistency oracle.
+
+    Runs the workload driver under correlated fault scenarios —
+    symmetric and one-way partitions, a subtree-correlated crash
+    burst, gray peers, and their combination — with
+    {!Baton_obs.Oracle} judging every completed operation. The table
+    reports verdict counts per scenario; the reproduction's claim is
+    that the violations column is identically zero: faults may fail
+    operations or force explicitly-flagged incomplete answers, but
+    never a wrong answer presented as right. *)
+
+val scenarios : (string * string) list
+(** [(label, fault-schedule spec)] rows, in table order; the empty
+    spec is the fault-free baseline. *)
+
+val run : Params.t -> Table.t
+(** Network size is the largest entry of [Params.sizes]. *)

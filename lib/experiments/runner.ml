@@ -24,6 +24,7 @@ let experiments =
     ("churn-sweep", fun p -> [ Exp_churn_sweep.run p ]);
     ("route-cache", fun p -> [ Exp_cache.run p ]);
     ("concurrency", fun p -> Exp_concurrency.run p);
+    ("adversarial", fun p -> [ Exp_adversarial.run p ]);
   ]
 
 let run_all ?(on_table = fun _ -> ()) params =

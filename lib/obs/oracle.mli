@@ -1,0 +1,103 @@
+(** Trace-replay consistency oracle.
+
+    Replays every completed operation's answer against a sequential
+    model of the key space maintained from the applied mutation
+    sequence (bulk load, inserts, deletes, crash-induced key loss),
+    attaching the operation's causal-trace analysis as evidence.
+    Because operations overlap mutations, the model is interval-valued:
+    each mutation occupies an uncertainty window from issue to
+    completion, and a key's state is {e definite} for a reader only
+    when its newest transition settled before the reader's window
+    opened and no mutation of it was in flight.
+
+    A pure observer: never sends a message, never draws from a protocol
+    PRNG — checked and unchecked same-seed runs count byte-identical
+    {!Baton_sim.Metrics}. *)
+
+type t
+
+type verdict =
+  | Pass  (** answer matches the definite model state *)
+  | Tolerated of string
+      (** answer disagrees but the system said so: flagged incomplete,
+          missing keys inside a reported hole, or genuinely uncertain
+          under concurrency *)
+  | Violation of string
+      (** answer is wrong and was presented as right: stale read,
+          phantom key, false-complete range, broken range tiling *)
+
+val create : unit -> t
+
+(** {1 Model maintenance — driven by the workload harness} *)
+
+val seed_keys : t -> int list -> unit
+(** Record the initial bulk load, settled before the measured phase. *)
+
+val begin_mutation : t -> int -> unit
+(** A mutation of this key is now in flight: its state is uncertain to
+    every overlapping reader until committed or aborted. *)
+
+val abort_mutation : t -> int -> unit
+(** The in-flight mutation failed before applying (its operation
+    raised): the key keeps its previous state. *)
+
+val commit_insert : t -> int -> started:float -> finished:float -> unit
+(** The in-flight insert applied, with the given uncertainty window. *)
+
+val commit_delete : t -> int -> started:float -> finished:float -> unit
+
+val note_lost : t -> time:float -> int list -> unit
+(** Keys destroyed by a crash, at one definite instant. *)
+
+val lost_keys : t -> int
+(** Total keys destroyed by crashes so far. *)
+
+(** {1 Checks — one per completed operation} *)
+
+val check_exact :
+  t ->
+  ?trace:Trace.analysis ->
+  started:float ->
+  finished:float ->
+  key:int ->
+  found:bool ->
+  complete:bool ->
+  unit ->
+  verdict
+(** Judge a completed exact-match lookup: [found] against the key's
+    definite state at [started]. A wrong [found=false] is tolerated
+    only when the answer was flagged [complete=false]. *)
+
+val check_range :
+  t ->
+  ?trace:Trace.analysis ->
+  started:float ->
+  finished:float ->
+  lo:int ->
+  hi:int ->
+  keys:int list ->
+  complete:bool ->
+  holes:(int * int) list ->
+  unit ->
+  verdict
+(** Judge a completed range query over the closed interval
+    [\[lo, hi\]]. Violations: an answered key that is definitely absent
+    or out of range (phantom); a definitely-present key omitted while
+    the answer claimed [complete] (false-complete); a definitely-present
+    key omitted outside every reported hole (broken tiling). Omissions
+    inside reported holes and disagreements on uncertain keys are
+    tolerated. The store is a multiset but the oracle models presence,
+    so answers are judged as sets. *)
+
+(** {1 Report} *)
+
+val checked : t -> int
+val violation_count : t -> int
+val tolerated_count : t -> int
+
+val incomplete_count : t -> int
+(** Answers that arrived explicitly flagged [complete = false]. *)
+
+val json : t -> Json.t
+(** Deterministic summary: totals, per-op-kind counts, and a capped
+    list of violation details (with trace evidence when supplied). *)

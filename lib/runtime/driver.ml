@@ -12,9 +12,15 @@
 
 module Rng = Baton_util.Rng
 module Zipf = Baton_util.Zipf
+module Sorted_store = Baton_util.Sorted_store
 module Timing = Baton_obs.Timing
 module Json = Baton_obs.Json
+module Trace = Baton_obs.Trace
+module Oracle = Baton_obs.Oracle
 module Metrics = Baton_sim.Metrics
+module Bus = Baton_sim.Bus
+module Engine = Baton_sim.Engine
+module Partition = Baton_sim.Partition
 module Datagen = Baton_workload.Datagen
 module Net = Baton.Net
 
@@ -42,8 +48,15 @@ let churn_heavy =
 
 let mixes = [ read_heavy; range_heavy; churn_heavy ]
 
+(* Adversarial-scenario mix: reads and ranges the oracle can judge,
+   inserts to keep the model moving, no client-driven churn — the
+   membership stress comes from the fault schedule instead. Selectable
+   by name but not part of the default bench sweep. *)
+let adversarial =
+  { mix_name = "adversarial"; exact_w = 5; range_w = 3; insert_w = 2; churn_w = 0 }
+
 let mix_named name =
-  List.find_opt (fun m -> String.equal m.mix_name name) mixes
+  List.find_opt (fun m -> String.equal m.mix_name name) (mixes @ [ adversarial ])
 
 type config = {
   n : int;
@@ -58,12 +71,15 @@ type config = {
   timeout_ms : float;
   route_cache : bool;
   monitor_every_ms : float;  (* 0. = health monitoring off *)
+  fault_schedule : Partition.schedule;  (* [] = no injected scenario *)
+  oracle : bool;  (* check every completed op against the oracle *)
 }
 
 let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
     ?(arrival = Closed { think_ms = 0. }) ?(range_span = 2_000_000)
     ?(theta = 1.0) ?(timeout_ms = Runtime.default_timeout_ms)
-    ?(route_cache = false) ?(monitor_every_ms = 0.) ~n ~mix () =
+    ?(route_cache = false) ?(monitor_every_ms = 0.) ?(fault_schedule = [])
+    ?(oracle = false) ~n ~mix () =
   if n < 2 then invalid_arg "Driver.config: n < 2";
   if clients < 1 then invalid_arg "Driver.config: clients < 1";
   if ops < 1 then invalid_arg "Driver.config: ops < 1";
@@ -82,6 +98,8 @@ let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
     timeout_ms;
     route_cache;
     monitor_every_ms;
+    fault_schedule;
+    oracle;
   }
 
 (* One planned operation. Join/Leave carry no payload: the peer they
@@ -147,6 +165,10 @@ type report = {
   depth_max : int;
   depth_mean : float;
   health : Json.t;  (** Monitor.json time series, [Json.Null] when off *)
+  partition_timeouts : int;  (** messages blocked by an active partition *)
+  gray_drops : int;  (** messages dropped by a gray endpoint *)
+  scenario : (float * string) list;  (** fault lifecycle, chronological *)
+  oracle : Oracle.t option;  (** consistency verdicts, when enabled *)
 }
 
 let run cfg =
@@ -163,9 +185,104 @@ let run cfg =
   if cfg.route_cache then Net.enable_route_cache net;
   (* Phase 2 — concurrent measured run. *)
   let rt = Runtime.create ~timeout_ms:cfg.timeout_ms net in
+  let engine = Runtime.engine rt in
   let plan = plan_ops cfg ~keys in
   let membership = Runtime.Lock.create () in
   let crng = Rng.create ((cfg.seed * 17) + 23) in
+  (* Consistency oracle: seeded with the bulk load (settled before the
+     measured phase), fed every mutation and judging every completed
+     read. A tracer rides along so each verdict carries the op's causal
+     evidence. Both are pure observers — message counts are identical
+     with the oracle on or off. *)
+  let oracle =
+    if not cfg.oracle then None
+    else begin
+      let o = Oracle.create () in
+      Oracle.seed_keys o (Array.to_list keys);
+      let tr = Trace.create () in
+      Trace.use_engine tr engine;
+      Net.set_tracer net (Some tr);
+      Some o
+    end
+  in
+  (* Adversarial scenario: translate the fault schedule into engine
+     events. Faults can only fire while the engine runs, i.e. during
+     the measured phase — never during setup. Suspicion-driven repair
+     is enabled (peers must recover on their own; no god view) and
+     serialized through the same membership lock as joins/leaves, so
+     structural mutations never interleave. *)
+  let scenario_notes = ref [] in
+  if cfg.fault_schedule <> [] then begin
+    Net.set_suspicion_repair net true;
+    Net.set_repair_serializer net
+      (Some (fun f -> Runtime.Lock.with_lock membership f));
+    let live_peers () =
+      List.filter
+        (fun (p : Baton.Node.t) ->
+          not (Bus.is_failed (Net.bus net) p.Baton.Node.id))
+        (Net.peers net)
+    in
+    let peers_in_order () =
+      live_peers ()
+      |> List.sort (fun (a : Baton.Node.t) (b : Baton.Node.t) ->
+             compare a.Baton.Node.range.Baton.Range.lo
+               b.Baton.Node.range.Baton.Range.lo)
+      |> List.map (fun (p : Baton.Node.t) -> p.Baton.Node.id)
+      |> Array.of_list
+    in
+    let pick_subtree srng =
+      (* Sample a live internal node (level >= 2 keeps the blast radius
+         below "most of the network") and take its whole subtree — the
+         correlated victim group. Falls back to a single random live
+         peer in tiny or degenerate trees. *)
+      let live =
+        List.sort
+          (fun (a : Baton.Node.t) (b : Baton.Node.t) ->
+            compare a.Baton.Node.id b.Baton.Node.id)
+          (live_peers ())
+      in
+      let internal =
+        List.filter
+          (fun (p : Baton.Node.t) ->
+            Baton.Node.level p >= 2 && not (Baton.Node.is_leaf p))
+          live
+      in
+      match (internal, live) with
+      | [], [] -> [||]
+      | [], _ ->
+        [| (List.nth live (Rng.int srng (List.length live))).Baton.Node.id |]
+      | _, _ ->
+        let top = List.nth internal (Rng.int srng (List.length internal)) in
+        let rec collect pos acc =
+          match Baton.Wiring.occupant net pos with
+          | None -> acc
+          | Some (c : Baton.Node.t) ->
+            let acc = c.Baton.Node.id :: acc in
+            let acc = collect (Baton.Position.left_child pos) acc in
+            collect (Baton.Position.right_child pos) acc
+        in
+        collect top.Baton.Node.pos []
+        |> List.filter (fun id -> not (Bus.is_failed (Net.bus net) id))
+        |> List.sort_uniq compare |> Array.of_list
+    in
+    let crash id =
+      match Net.peer_opt net id with
+      | None -> ()
+      | Some (victim : Baton.Node.t) ->
+        (* The crash destroys the peer's data at this instant; tell the
+           model before the bus refuses messages to it. *)
+        (match oracle with
+        | Some o ->
+          Oracle.note_lost o ~time:(Engine.now engine)
+            (Sorted_store.to_list victim.Baton.Node.store)
+        | None -> ());
+        Baton.Failure.crash net victim
+    in
+    let note msg = scenario_notes := (Engine.now engine, msg) :: !scenario_notes in
+    Partition.install ~bus:(Net.bus net) ~engine ~seed:((cfg.seed * 67) + 5)
+      ~hooks:{ Partition.peers_in_order; pick_subtree; crash; note }
+      cfg.fault_schedule
+  end;
   let completed = ref 0 and failed = ref 0 in
   (* Completion instant of the last finished operation — the measured
      duration. [Runtime.now] after the drain would also include
@@ -176,32 +293,69 @@ let run cfg =
   let par l r = Runtime.both l r in
   let execute op =
     match op with
-    | Exact k -> ignore (Baton.Search.lookup net ~from:(Net.random_peer net) k)
+    | Exact k ->
+      `Lookup (k, Baton.Search.lookup net ~from:(Net.random_peer net) k)
     | Range (lo, hi) ->
-      ignore (Baton.Search.range ~par net ~from:(Net.random_peer net) ~lo ~hi)
-    | Insert k -> ignore (Baton.Update.insert net ~from:(Net.random_peer net) k)
+      `Ranged (lo, hi, Baton.Search.range ~par net ~from:(Net.random_peer net) ~lo ~hi)
+    | Insert k ->
+      ignore (Baton.Update.insert net ~from:(Net.random_peer net) k);
+      `Inserted k
     | Join ->
       Runtime.Lock.with_lock membership (fun () ->
-          ignore (Baton.Network.join net))
+          ignore (Baton.Network.join net));
+      `Membership
     | Leave ->
       Runtime.Lock.with_lock membership (fun () ->
           if Net.size net > 2 then
-            Baton.Network.leave net (Rng.pick crng (Net.live_ids net)))
+            Baton.Network.leave net (Rng.pick crng (Net.live_ids net)));
+      `Membership
+  in
+  (* The trace of the operation that just completed. Safe to read after
+     [execute] returns: closing the episode and this check run with no
+     suspension point between them, so no interleaved fiber can have
+     displaced it. *)
+  let latest_trace () =
+    match Net.tracer net with
+    | None -> None
+    | Some tr -> Option.map (Trace.analyze ?top:None) (Trace.latest tr)
   in
   let run_op i =
     let op = plan.(i) in
     let digest = List.assoc (op_kind op) latencies in
     let started = Runtime.now rt in
+    (match (oracle, op) with
+    | Some o, Insert k -> Oracle.begin_mutation o k
+    | _ -> ());
     match execute op with
-    | () ->
+    | outcome ->
       incr completed;
-      last_done := Runtime.now rt;
-      Timing.add digest (Runtime.now rt -. started)
+      let finished = Runtime.now rt in
+      last_done := finished;
+      Timing.add digest (finished -. started);
+      (match oracle with
+      | None -> ()
+      | Some o -> (
+        match outcome with
+        | `Lookup (k, (r : Baton.Search.result)) ->
+          ignore
+            (Oracle.check_exact o ?trace:(latest_trace ()) ~started ~finished
+               ~key:k ~found:r.found ~complete:r.complete ()
+              : Oracle.verdict)
+        | `Ranged (lo, hi, (r : Baton.Search.result)) ->
+          ignore
+            (Oracle.check_range o ?trace:(latest_trace ()) ~started ~finished
+               ~lo ~hi ~keys:r.keys ~complete:r.complete ~holes:r.holes ()
+              : Oracle.verdict)
+        | `Inserted k -> Oracle.commit_insert o k ~started ~finished
+        | `Membership -> ()))
     | exception _ ->
       (* Operations racing churn can find their origin gone or their
          walk stuck; on a real deployment the client would retry. The
          driver counts the casualty and moves on — determinism is
          unaffected, the failure is part of the seeded schedule. *)
+      (match (oracle, op) with
+      | Some o, Insert k -> Oracle.abort_mutation o k
+      | _ -> ());
       incr failed;
       last_done := Runtime.now rt
   in
@@ -247,16 +401,11 @@ let run cfg =
     if cfg.monitor_every_ms <= 0. then None
     else begin
       let mon = Baton.Monitor.create net in
-      let engine = Runtime.engine rt in
-      let rec tick_loop () =
-        ignore
-          (Baton.Monitor.tick mon ~time:(Baton_sim.Engine.now engine)
-            : Baton.Monitor.sample);
-        if Runtime.live_fibers rt > 0 then
-          Baton_sim.Engine.schedule engine ~delay:cfg.monitor_every_ms
-            tick_loop
-      in
-      Baton_sim.Engine.schedule engine ~delay:cfg.monitor_every_ms tick_loop;
+      Engine.every engine ~period:cfg.monitor_every_ms (fun () ->
+          ignore
+            (Baton.Monitor.tick mon ~time:(Engine.now engine)
+              : Baton.Monitor.sample);
+          Runtime.live_fibers rt > 0);
       Some mon
     end
   in
@@ -286,6 +435,10 @@ let run cfg =
       (match monitor with
       | None -> Json.Null
       | Some mon -> Baton.Monitor.json mon);
+    partition_timeouts = Metrics.event_since metrics cp Bus.partition_event;
+    gray_drops = Metrics.event_since metrics cp Bus.gray_event;
+    scenario = List.rev !scenario_notes;
+    oracle;
   }
 
 (* --- Serialization -------------------------------------------------- *)
@@ -333,9 +486,27 @@ let report_json r =
           ] );
       ("monitor_every_ms", Json.Float r.cfg.monitor_every_ms);
       ("health", r.health);
+      ( "faults",
+        Json.Obj
+          [
+            ( "schedule",
+              if r.cfg.fault_schedule = [] then Json.Null
+              else Json.String (Partition.to_string r.cfg.fault_schedule) );
+            ("partition_timeouts", Json.Int r.partition_timeouts);
+            ("gray_drops", Json.Int r.gray_drops);
+            ( "scenario",
+              Json.List
+                (List.map
+                   (fun (t, msg) ->
+                     Json.Obj
+                       [ ("t", Json.Float t); ("msg", Json.String msg) ])
+                   r.scenario) );
+          ] );
+      ( "oracle",
+        match r.oracle with None -> Json.Null | Some o -> Oracle.json o );
     ]
 
-let schema_version = "baton-bench-runtime-v3"
+let schema_version = "baton-bench-runtime-v4"
 
 let bench_json reports =
   Json.Obj
@@ -353,7 +524,14 @@ let summary r =
         (Timing.percentile d 50.) (Timing.percentile d 95.)
         (Timing.percentile d 99.)
   in
-  Printf.sprintf
-    "%-12s %5d ops  %5d ok  %3d failed  %8.1f ops/s  exact %s  range %s"
-    r.cfg.mix.mix_name r.ops_issued r.completed r.failed r.throughput_ops_s
-    (digest "exact") (digest "range")
+  let base =
+    Printf.sprintf
+      "%-12s %5d ops  %5d ok  %3d failed  %8.1f ops/s  exact %s  range %s"
+      r.cfg.mix.mix_name r.ops_issued r.completed r.failed r.throughput_ops_s
+      (digest "exact") (digest "range")
+  in
+  match r.oracle with
+  | None -> base
+  | Some o ->
+    Printf.sprintf "%s  oracle %d checked / %d violations" base
+      (Oracle.checked o) (Oracle.violation_count o)

@@ -27,6 +27,11 @@ val read_heavy : mix
 val range_heavy : mix
 val churn_heavy : mix
 
+val adversarial : mix
+(** Read/range/insert mix for adversarial-scenario runs: the membership
+    stress comes from the fault schedule, not from client churn.
+    Selectable through {!mix_named} but not part of {!mixes}. *)
+
 val mixes : mix list
 (** The three canonical mixes, in report order. *)
 
@@ -48,6 +53,16 @@ type config = {
   monitor_every_ms : float;
       (** health-monitor sampling period in virtual ms; [0.] (the
           default) disables monitoring *)
+  fault_schedule : Baton_sim.Partition.schedule;
+      (** adversarial scenario injected into the measured phase
+          (partitions, subtree crashes, gray peers); [[]] (the default)
+          injects nothing. A non-empty schedule also enables
+          suspicion-driven repair, serialized with joins/leaves through
+          the driver's membership lock. *)
+  oracle : bool;
+      (** replay every completed operation against the consistency
+          oracle ({!Baton_obs.Oracle}), with causal-trace evidence
+          attached to each violation *)
 }
 
 val config :
@@ -61,13 +76,16 @@ val config :
   ?timeout_ms:float ->
   ?route_cache:bool ->
   ?monitor_every_ms:float ->
+  ?fault_schedule:Baton_sim.Partition.schedule ->
+  ?oracle:bool ->
   n:int ->
   mix:mix ->
   unit ->
   config
 (** Defaults: seed 2005, 5 keys/node, 32 clients, 2000 ops, closed
     loop with zero think time, span 2·10⁶, theta 1.0 (the paper's Zipf
-    parameter), timeout {!Runtime.default_timeout_ms}, monitoring off.
+    parameter), timeout {!Runtime.default_timeout_ms}, monitoring off,
+    no fault schedule, oracle off.
     @raise Invalid_argument on non-positive sizes or a negative
     monitoring period. *)
 
@@ -105,6 +123,18 @@ type report = {
           Sampling is a pure observation: the same seed with monitoring
           on and off counts identical messages and finishes at the same
           virtual instant. *)
+  partition_timeouts : int;
+      (** messages blocked by an active partition during the measured
+          phase ({!Baton_sim.Bus.partition_event}) *)
+  gray_drops : int;
+      (** messages dropped by a gray endpoint during the measured phase
+          ({!Baton_sim.Bus.gray_event}) *)
+  scenario : (float * string) list;
+      (** fault-scenario lifecycle breadcrumbs [(virtual ms, message)],
+          chronological; empty without a fault schedule *)
+  oracle : Baton_obs.Oracle.t option;
+      (** the consistency oracle after judging every completed
+          operation; [None] when [cfg.oracle] is off *)
 }
 
 val run : config -> report
@@ -116,7 +146,7 @@ val report_json : report -> Baton_obs.Json.t
 
 val schema_version : string
 (** Value of the ["schema"] field of {!bench_json}:
-    ["baton-bench-runtime-v3"]. *)
+    ["baton-bench-runtime-v4"]. *)
 
 val bench_json : report list -> Baton_obs.Json.t
 (** The BENCH_runtime.json document: [{schema; runs: [...]}]. *)

@@ -183,7 +183,12 @@ let hop_wait t : Net.hop_wait =
  fun ~src ~dst ~kind:_ ~outcome ->
   let delay =
     match outcome with
-    | Net.Delivered -> Latency.of_pair t.latency ~src ~dst
+    | Net.Delivered ->
+      (* A gray endpoint stretches the delivery: the pair's base
+         latency times the worse endpoint's slowdown factor (1.0 when
+         neither end is gray — see [Bus.latency_factor]). *)
+      Latency.of_pair t.latency ~src ~dst
+      *. Baton_sim.Bus.latency_factor (Net.bus t.net) ~src ~dst
     | Net.Timed_out ->
       (* The sender learns nothing until its retransmission timer
          fires; the destination's queue is not charged. *)

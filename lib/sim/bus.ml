@@ -13,6 +13,28 @@ type fault_state = {
   stunned : (int, int) Hashtbl.t;
 }
 
+(* A network partition: every peer is assigned to an island, and
+   ordered island pairs in [blocked] cannot exchange messages. The
+   assignment lives in a plain hashtable (no closures) so a partitioned
+   bus still marshals. Peers absent from the table — e.g. joined while
+   the partition was up — are reachable from everywhere: a fresh peer
+   has no island history. *)
+type partition_state = {
+  island : (int, int) Hashtbl.t;
+  blocked : (int * int) list;
+}
+
+(* Gray failures: peers that are never declared dead but whose links
+   silently degrade — an elevated per-message drop probability and a
+   latency multiplier the runtime applies to delivery delays. The drop
+   PRNG is separate from the base fault model's so installing gray
+   peers never perturbs the base drop/stun sequence. *)
+type gray_state = {
+  grng : Rng.t;
+  (* peer id -> (extra drop probability, latency slowdown factor) *)
+  gray_peers : (int, float * float) Hashtbl.t;
+}
+
 type hop_hook = src:int -> dst:int -> kind:string -> unit
 
 (* Causal trace context carried by a message: which trace (operation
@@ -26,6 +48,8 @@ type t = {
   metrics : Metrics.t;
   failed : (int, unit) Hashtbl.t;
   mutable faults : fault_state option;
+  mutable partition : partition_state option;
+  mutable gray : gray_state option;
   (* Context of the message currently passing through [send], readable
      by hop subscribers via [sending_ctx]. *)
   mutable in_flight : trace_ctx option;
@@ -45,12 +69,16 @@ exception Timeout of int
 
 let drop_event = "fault.drop"
 let transient_event = "fault.transient"
+let partition_event = "fault.partition"
+let gray_event = "fault.gray"
 
 let create () =
   {
     metrics = Metrics.create ();
     failed = Hashtbl.create 64;
     faults = None;
+    partition = None;
+    gray = None;
     in_flight = None;
     subs_rev = [];
     subs_fwd = [];
@@ -150,6 +178,76 @@ let fault_verdict t dst =
       end
       else `Deliver)
 
+(* --- Partitions ---------------------------------------------------- *)
+
+let set_partition t ~assign ~blocked =
+  let island = Hashtbl.create 64 in
+  List.iter (fun (peer, i) -> Hashtbl.replace island peer i) assign;
+  t.partition <- Some { island; blocked }
+
+let clear_partition t = t.partition <- None
+let partition_active t = Option.is_some t.partition
+
+let partition_blocked t ~src ~dst =
+  match t.partition with
+  | None -> false
+  | Some p -> (
+    match (Hashtbl.find_opt p.island src, Hashtbl.find_opt p.island dst) with
+    | Some i, Some j -> i <> j && List.mem (i, j) p.blocked
+    | _, _ -> false)
+
+(* --- Gray failures -------------------------------------------------- *)
+
+let set_gray_model t ~seed =
+  t.gray <- Some { grng = Rng.create seed; gray_peers = Hashtbl.create 16 }
+
+let clear_gray_model t = t.gray <- None
+
+let set_gray_peer t id ~extra_drop ~slow =
+  if extra_drop < 0. || extra_drop > 1. then
+    invalid_arg "Bus.set_gray_peer: extra_drop outside [0, 1]";
+  if slow < 1. then invalid_arg "Bus.set_gray_peer: slow < 1";
+  match t.gray with
+  | None -> invalid_arg "Bus.set_gray_peer: no gray model installed"
+  | Some g -> Hashtbl.replace g.gray_peers id (extra_drop, slow)
+
+let clear_gray_peer t id =
+  match t.gray with None -> () | Some g -> Hashtbl.remove g.gray_peers id
+
+let gray_count t =
+  match t.gray with None -> 0 | Some g -> Hashtbl.length g.gray_peers
+
+let is_gray t id =
+  match t.gray with None -> false | Some g -> Hashtbl.mem g.gray_peers id
+
+let latency_factor t ~src ~dst =
+  match t.gray with
+  | None -> 1.0
+  | Some g ->
+    let slow id =
+      match Hashtbl.find_opt g.gray_peers id with
+      | Some (_, s) -> s
+      | None -> 1.0
+    in
+    Float.max (slow src) (slow dst)
+
+(* Extra drop probability for a hop touching a gray endpoint: the worse
+   of the two ends decides (the message crosses both NICs, the sick one
+   dominates). The gray PRNG is consulted only when that probability is
+   positive, so traffic between healthy peers leaves the gray stream —
+   and therefore the whole fault sequence — untouched. *)
+let gray_dropped t ~src ~dst =
+  match t.gray with
+  | None -> false
+  | Some g ->
+    let drop id =
+      match Hashtbl.find_opt g.gray_peers id with
+      | Some (d, _) -> d
+      | None -> 0.
+    in
+    let p = Float.max (drop src) (drop dst) in
+    p > 0. && Rng.float g.grng 1.0 < p
+
 let sending_ctx t = t.in_flight
 
 let send ?ctx t ~src ~dst ~kind =
@@ -162,6 +260,18 @@ let send ?ctx t ~src ~dst ~kind =
     List.iter (fun (_, hook) -> hook ~src ~dst ~kind) (subscribers t);
     t.in_flight <- None;
     if is_failed t dst then raise (Unreachable dst);
+    (* Fault layers, outermost first: a partition blocks the message
+       before it reaches the destination's island, so it consumes
+       neither a gray draw nor a stun slot; a gray drop loses it next;
+       only then does the base drop/stun model see it. *)
+    if partition_blocked t ~src ~dst then begin
+      Metrics.event t.metrics partition_event;
+      raise (Timeout dst)
+    end;
+    if gray_dropped t ~src ~dst then begin
+      Metrics.event t.metrics gray_event;
+      raise (Timeout dst)
+    end;
     match fault_verdict t dst with
     | `Deliver -> ()
     | `Drop ->
@@ -172,6 +282,21 @@ let send ?ctx t ~src ~dst ~kind =
       raise (Timeout dst)
   end
 
-let fail t id = if not (is_failed t id) then Hashtbl.add t.failed id ()
-let revive t id = Hashtbl.remove t.failed id
+let clear_stun t id =
+  match t.faults with None -> () | Some f -> Hashtbl.remove f.stunned id
+
+let fail t id =
+  if not (is_failed t id) then begin
+    Hashtbl.add t.failed id ();
+    (* A crash obliterates transient state: whatever silence the fault
+       model still had scheduled for this peer dies with it. *)
+    clear_stun t id
+  end
+
+let revive t id =
+  Hashtbl.remove t.failed id;
+  (* The id restarts in a fresh role; a stun scheduled before the crash
+     must not silently swallow its first messages afterwards. *)
+  clear_stun t id
+
 let failed_count t = Hashtbl.length t.failed

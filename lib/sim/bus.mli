@@ -42,6 +42,14 @@ val transient_event : string
 (** {!Metrics.event} name bumped on every message a transiently
     unresponsive peer ignores. *)
 
+val partition_event : string
+(** {!Metrics.event} name bumped on every message a network partition
+    blocks. *)
+
+val gray_event : string
+(** {!Metrics.event} name bumped on every message lost to a gray
+    peer's degraded links. *)
+
 val create : unit -> t
 
 val metrics : t -> Metrics.t
@@ -101,11 +109,72 @@ val stun : t -> int -> msgs:int -> unit
     deterministic transient-failure injection for tests.
     @raise Invalid_argument if no fault model is installed. *)
 
+(** {1 Network partitions}
+
+    A partition assigns peers to islands and blocks messages between
+    chosen ordered island pairs; a blocked send surfaces as {!Timeout}
+    (the sender cannot tell a partition from loss). Blocking an ordered
+    pair [(i, j)] stops traffic {e from} island [i] {e to} island [j]
+    only, so asymmetric (one-way) partitions are expressible. Peers not
+    assigned to any island — e.g. joined while the partition was up —
+    are reachable from everywhere. Partition state is plain data and
+    survives marshalling. *)
+
+val set_partition :
+  t -> assign:(int * int) list -> blocked:(int * int) list -> unit
+(** [set_partition t ~assign ~blocked] installs (or replaces) a
+    partition. [assign] maps peer id to island index; [blocked] lists
+    ordered island pairs [(src_island, dst_island)] that cannot
+    communicate. *)
+
+val clear_partition : t -> unit
+(** Heal the partition; island assignments are discarded. *)
+
+val partition_active : t -> bool
+
+val partition_blocked : t -> src:int -> dst:int -> bool
+(** Would a message from [src] to [dst] be blocked right now? *)
+
+(** {1 Gray failures}
+
+    Gray peers are never declared dead: their links silently degrade
+    instead. Each gray peer carries an extra per-message drop
+    probability (applied to any hop touching it, surfacing as
+    {!Timeout} and counted under {!gray_event}) and a latency
+    multiplier that {!latency_factor} reports for the runtime's
+    delivery clock. Gray drops draw from a dedicated seeded PRNG, so
+    installing gray peers never perturbs the base fault model's
+    drop/stun sequence. *)
+
+val set_gray_model : t -> seed:int -> unit
+(** Install (or reset) the gray-failure model with its own PRNG. *)
+
+val clear_gray_model : t -> unit
+
+val set_gray_peer : t -> int -> extra_drop:float -> slow:float -> unit
+(** Mark a peer gray: hops touching it are additionally dropped with
+    probability [extra_drop] and slowed by factor [slow] (>= 1).
+    @raise Invalid_argument without a gray model, on [extra_drop]
+    outside [\[0, 1\]], or [slow < 1]. *)
+
+val clear_gray_peer : t -> int -> unit
+(** Restore a peer to full health (no-op when not gray). *)
+
+val gray_count : t -> int
+val is_gray : t -> int -> bool
+
+val latency_factor : t -> src:int -> dst:int -> float
+(** Delivery-latency multiplier for a hop: the worse of the two
+    endpoints' slowdown factors, [1.0] when neither is gray. *)
+
 val fail : t -> int -> unit
-(** Mark a peer as failed (crashed / abruptly departed). *)
+(** Mark a peer as failed (crashed / abruptly departed). Clears any
+    pending transient stun — the crash supersedes it. *)
 
 val revive : t -> int -> unit
-(** Clear the failed mark (peer re-joins with a fresh role). *)
+(** Clear the failed mark (peer re-joins with a fresh role). Also
+    clears any stun left from before the crash, so a revived id never
+    silently ignores its first messages. *)
 
 val is_failed : t -> int -> bool
 

@@ -11,6 +11,11 @@ let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   Event_queue.push t.queue ~time f
 
+let every t ~period f =
+  if period <= 0. then invalid_arg "Engine.every: period <= 0";
+  let rec tick () = if f () then schedule t ~delay:period tick in
+  schedule t ~delay:period tick
+
 let pending t = Event_queue.length t.queue
 
 let step t =

@@ -20,6 +20,13 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** Absolute-time variant; [time] must not be in the past. *)
 
+val every : t -> period:float -> (unit -> bool) -> unit
+(** [every t ~period f] runs [f] one period from now and keeps
+    rescheduling it every [period] for as long as it returns [true] —
+    the self-rescheduling tick pattern used by periodic observers
+    (health monitor) and scenario heartbeats.
+    @raise Invalid_argument if [period <= 0]. *)
+
 val pending : t -> int
 (** Number of events not yet executed. *)
 

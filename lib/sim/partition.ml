@@ -1,0 +1,238 @@
+(* Adversarial scenario engine: scheduled, correlated fault injection.
+
+   The fault model in [Bus] degrades individual messages
+   independently; real outages are correlated — a switch dies and an
+   entire rack vanishes, a WAN link flaps and the overlay splits into
+   islands, a sick NIC slows a peer without killing it. This module
+   turns a declarative, seeded schedule of such episodes into engine
+   events, so an adversarial run is a pure function of (schedule,
+   seed) and two same-seed executions are byte-identical.
+
+   The module is deliberately protocol-agnostic: it speaks only peer
+   ids, via a [hooks] record the caller (the workload driver) fills in.
+   Island membership is computed from the live peers *at the instant
+   the fault fires*, in key order, so islands are contiguous in the key
+   space — the hardest case for a range query, which must cross every
+   cut. *)
+
+module Rng = Baton_util.Rng
+
+type spec =
+  | Partition of { at : float; duration : float; k : int; oneway : bool }
+  | Subtree_crash of { at : float; roots : int }
+  | Gray of {
+      at : float;
+      duration : float;
+      peers : int;
+      extra_drop : float;
+      slow : float;
+    }
+
+type schedule = spec list
+
+(* --- Parsing -------------------------------------------------------
+
+   Grammar (";"-separated entries):
+     partition@AT+DUR:k=K[,oneway]
+     subtree@AT[:roots=R]
+     gray@AT+DUR:peers=P[,drop=D][,slow=S]
+   Times in virtual milliseconds. *)
+
+let default_gray_drop = 0.25
+let default_gray_slow = 4.
+
+let spec_error fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let parse_window s =
+  (* "AT+DUR" -> (at, dur); "AT" alone -> (at, 0.) *)
+  match String.split_on_char '+' s with
+  | [ at ] -> (
+    match float_of_string_opt at with
+    | Some at when at >= 0. -> Ok (at, 0.)
+    | _ -> spec_error "bad time %S" s)
+  | [ at; dur ] -> (
+    match (float_of_string_opt at, float_of_string_opt dur) with
+    | Some at, Some dur when at >= 0. && dur > 0. -> Ok (at, dur)
+    | _ -> spec_error "bad window %S" s)
+  | _ -> spec_error "bad window %S" s
+
+let parse_params s =
+  (* "k=2,oneway" -> [("k", "2"); ("oneway", "")] *)
+  if String.equal s "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i ->
+             (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+           | None -> (kv, ""))
+
+let parse_entry entry =
+  let head, params =
+    match String.index_opt entry ':' with
+    | Some i ->
+      ( String.sub entry 0 i,
+        parse_params (String.sub entry (i + 1) (String.length entry - i - 1)) )
+    | None -> (entry, [])
+  in
+  let name, window =
+    match String.index_opt head '@' with
+    | Some i ->
+      (String.sub head 0 i, String.sub head (i + 1) (String.length head - i - 1))
+    | None -> (head, "")
+  in
+  let param key = List.assoc_opt key params in
+  let int_param key ~default =
+    match param key with
+    | None -> Ok default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Ok n
+      | _ -> spec_error "%s: bad %s=%S" name key v)
+  in
+  let float_param key ~default =
+    match param key with
+    | None -> Ok default
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> spec_error "%s: bad %s=%S" name key v)
+  in
+  let ( let* ) = Result.bind in
+  let* at, duration = parse_window window in
+  match name with
+  | "partition" ->
+    if duration <= 0. then spec_error "partition needs a window: partition@AT+DUR"
+    else
+      let* k = int_param "k" ~default:2 in
+      if k < 2 then spec_error "partition: k < 2"
+      else Ok (Partition { at; duration; k; oneway = param "oneway" <> None })
+  | "subtree" ->
+    let* roots = int_param "roots" ~default:1 in
+    Ok (Subtree_crash { at; roots })
+  | "gray" ->
+    if duration <= 0. then spec_error "gray needs a window: gray@AT+DUR"
+    else
+      let* peers = int_param "peers" ~default:3 in
+      let* extra_drop = float_param "drop" ~default:default_gray_drop in
+      let* slow = float_param "slow" ~default:default_gray_slow in
+      if extra_drop < 0. || extra_drop > 1. then spec_error "gray: drop outside [0, 1]"
+      else if slow < 1. then spec_error "gray: slow < 1"
+      else Ok (Gray { at; duration; peers; extra_drop; slow })
+  | other -> spec_error "unknown fault %S (partition|subtree|gray)" other
+
+let parse s =
+  let entries =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun e -> not (String.equal e ""))
+  in
+  if entries = [] then Error "empty fault schedule"
+  else
+    List.fold_right
+      (fun entry acc ->
+        match (parse_entry entry, acc) with
+        | Ok spec, Ok specs -> Ok (spec :: specs)
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e)
+      entries (Ok [])
+
+let float_repr f =
+  (* Shortest lossless decimal, matching Json.Float's convention. *)
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let spec_to_string = function
+  | Partition { at; duration; k; oneway } ->
+    Printf.sprintf "partition@%s+%s:k=%d%s" (float_repr at) (float_repr duration)
+      k
+      (if oneway then ",oneway" else "")
+  | Subtree_crash { at; roots } ->
+    Printf.sprintf "subtree@%s:roots=%d" (float_repr at) roots
+  | Gray { at; duration; peers; extra_drop; slow } ->
+    Printf.sprintf "gray@%s+%s:peers=%d,drop=%s,slow=%s" (float_repr at)
+      (float_repr duration) peers (float_repr extra_drop) (float_repr slow)
+
+let to_string schedule = String.concat ";" (List.map spec_to_string schedule)
+
+(* --- Island assignment --------------------------------------------- *)
+
+let islands ~order ~k =
+  if k < 2 then invalid_arg "Partition.islands: k < 2";
+  let n = Array.length order in
+  (* Contiguous chunks of the key-ordered peer list: ceil-sized heads
+     so every island is populated whenever n >= k. *)
+  List.init n (fun i -> (order.(i), i * k / n))
+
+let blocked_pairs ~k ~oneway =
+  let pairs = ref [] in
+  for i = k - 1 downto 0 do
+    for j = k - 1 downto 0 do
+      if i <> j && ((not oneway) || i > j) then pairs := (i, j) :: !pairs
+    done
+  done;
+  !pairs
+
+(* --- Engine installation ------------------------------------------- *)
+
+type hooks = {
+  peers_in_order : unit -> int array;
+      (* live peer ids, ascending key-space order — must be
+         deterministic for a given network state *)
+  pick_subtree : Rng.t -> int array;
+      (* ids of a correlated victim group: an internal node's whole
+         subtree, sampled with the scenario PRNG *)
+  crash : int -> unit; (* kill one peer, abruptly *)
+  note : string -> unit; (* scenario lifecycle breadcrumb (observer) *)
+}
+
+let install ~bus ~engine ~seed ~hooks schedule =
+  let rng = Rng.create seed in
+  (* Pre-drawn per-spec seeds, in schedule order, so adding one episode
+     never reshuffles the randomness of the others. *)
+  let sub_seed = List.map (fun spec -> (spec, Rng.int rng 0x3FFFFFFF)) schedule in
+  if List.exists (function Gray _ -> true | _ -> false) schedule then
+    Bus.set_gray_model bus ~seed:(Rng.int rng 0x3FFFFFFF);
+  List.iter
+    (fun (spec, seed) ->
+      match spec with
+      | Partition { at; duration; k; oneway } ->
+        Engine.schedule_at engine ~time:at (fun () ->
+            let order = hooks.peers_in_order () in
+            if Array.length order >= k then begin
+              Bus.set_partition bus ~assign:(islands ~order ~k)
+                ~blocked:(blocked_pairs ~k ~oneway);
+              hooks.note
+                (Printf.sprintf "partition: %d islands%s for %s ms" k
+                   (if oneway then " (one-way)" else "")
+                   (float_repr duration))
+            end);
+        Engine.schedule_at engine ~time:(at +. duration) (fun () ->
+            if Bus.partition_active bus then begin
+              Bus.clear_partition bus;
+              hooks.note "partition healed"
+            end)
+      | Subtree_crash { at; roots } ->
+        let srng = Rng.create seed in
+        Engine.schedule_at engine ~time:at (fun () ->
+            for _ = 1 to roots do
+              let victims = hooks.pick_subtree srng in
+              Array.iter hooks.crash victims;
+              hooks.note
+                (Printf.sprintf "subtree crash: %d peers"
+                   (Array.length victims))
+            done)
+      | Gray { at; duration; peers; extra_drop; slow } ->
+        let srng = Rng.create seed in
+        Engine.schedule_at engine ~time:at (fun () ->
+            let order = Array.copy (hooks.peers_in_order ()) in
+            Rng.shuffle srng order;
+            let count = min peers (Array.length order) in
+            let chosen = Array.sub order 0 count in
+            Array.iter
+              (fun id -> Bus.set_gray_peer bus id ~extra_drop ~slow)
+              chosen;
+            hooks.note (Printf.sprintf "gray: %d peers degraded" count);
+            Engine.schedule engine ~delay:duration (fun () ->
+                Array.iter (fun id -> Bus.clear_gray_peer bus id) chosen;
+                hooks.note "gray peers recovered")))
+    sub_seed

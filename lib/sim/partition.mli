@@ -1,0 +1,80 @@
+(** Adversarial scenario engine: scheduled, correlated fault injection.
+
+    {!Bus}'s fault model degrades messages independently; real outages
+    are correlated. This module schedules three such episode shapes on
+    the simulation {!Engine}:
+
+    - {e partitions}: the live peers, in key order, are cut into [k]
+      contiguous islands that cannot exchange messages for a window,
+      then heal. Symmetric by default; [oneway] blocks only
+      higher-island to lower-island traffic (asymmetric reachability,
+      as under unidirectional link failure).
+    - {e subtree crashes}: an internal node is sampled and its entire
+      subtree killed at one instant — the paper's failure model made
+      correlated, as when a rack or site dies.
+    - {e gray failures}: sampled peers get an elevated drop rate and a
+      latency multiplier for a window, without ever being declared
+      dead — the classic slow-node pathology failure detectors miss.
+
+    Everything is driven from a declarative, seeded {!schedule}, so an
+    adversarial run is a pure function of (schedule, seed): two
+    same-seed executions are byte-identical. The module knows nothing
+    about the overlay; the caller supplies {!hooks} that answer
+    membership questions and perform crashes. *)
+
+module Rng := Baton_util.Rng
+
+type spec =
+  | Partition of { at : float; duration : float; k : int; oneway : bool }
+  | Subtree_crash of { at : float; roots : int }
+  | Gray of {
+      at : float;
+      duration : float;
+      peers : int;
+      extra_drop : float;
+      slow : float;
+    }
+
+type schedule = spec list
+
+val parse : string -> (schedule, string) result
+(** Parse the CLI fault-schedule grammar: [";"]-separated entries of
+    [partition@AT+DUR:k=K[,oneway]], [subtree@AT[:roots=R]] and
+    [gray@AT+DUR:peers=P[,drop=D][,slow=S]], times in virtual
+    milliseconds. Example:
+    ["partition@2000+3000:k=2;subtree@6000;gray@1000+5000:peers=5,drop=0.3"]. *)
+
+val to_string : schedule -> string
+(** Canonical textual form; [parse] round-trips it. *)
+
+val default_gray_drop : float
+val default_gray_slow : float
+
+val islands : order:int array -> k:int -> (int * int) list
+(** [(peer, island)] assignment cutting the ordered peer list into [k]
+    contiguous chunks. @raise Invalid_argument if [k < 2]. *)
+
+val blocked_pairs : k:int -> oneway:bool -> (int * int) list
+(** The ordered island pairs a partition blocks: all [(i, j)], [i <> j]
+    when symmetric; only [i > j] when [oneway]. *)
+
+type hooks = {
+  peers_in_order : unit -> int array;
+      (** live peer ids in ascending key-space order; must be a
+          deterministic function of the network state *)
+  pick_subtree : Rng.t -> int array;
+      (** sample one correlated victim group (an internal node's whole
+          subtree) using the supplied scenario PRNG *)
+  crash : int -> unit;  (** abruptly kill one peer *)
+  note : string -> unit;
+      (** lifecycle breadcrumb (pure observer: must not send) *)
+}
+
+val install :
+  bus:Bus.t -> engine:Engine.t -> seed:int -> hooks:hooks -> schedule -> unit
+(** Translate the schedule into engine events. Island membership and
+    victim groups are sampled when each episode {e fires}, from the
+    then-live peers. Installs a gray model on the bus iff the schedule
+    contains a [Gray] spec. Per-spec PRNGs are pre-seeded in schedule
+    order, so extending a schedule does not reshuffle the randomness of
+    existing episodes. *)

@@ -11,6 +11,40 @@ let schedule rng ~joins ~leaves ~fails =
   Rng.shuffle rng events;
   events
 
+(* Correlated failure bursts: the base join/leave traffic is shuffled
+   as in [schedule], but failures arrive in [bursts] runs of
+   [burst_len] consecutive Fail events spliced at random offsets —
+   modelling a rack or site dying at once rather than peers crashing
+   independently. *)
+let bursty rng ~joins ~leaves ~bursts ~burst_len =
+  if joins < 0 || leaves < 0 || bursts < 0 || burst_len < 1 then
+    invalid_arg "Churn.bursty";
+  let base =
+    Array.concat [ Array.make joins Join; Array.make leaves Leave ]
+  in
+  Rng.shuffle rng base;
+  let offsets =
+    Array.init bursts (fun _ -> Rng.int rng (Array.length base + 1))
+  in
+  Array.sort compare offsets;
+  let out = ref [] in
+  let next_burst = ref 0 in
+  let emit_due i =
+    while !next_burst < bursts && offsets.(!next_burst) <= i do
+      for _ = 1 to burst_len do
+        out := Fail :: !out
+      done;
+      incr next_burst
+    done
+  in
+  Array.iteri
+    (fun i ev ->
+      emit_due i;
+      out := ev :: !out)
+    base;
+  emit_due (Array.length base);
+  Array.of_list (List.rev !out)
+
 let alternating ~joins ~leaves =
   if joins < 0 || leaves < 0 then invalid_arg "Churn.alternating";
   let total = joins + leaves in

@@ -10,6 +10,19 @@ val schedule :
 (** A shuffled schedule containing exactly the requested number of each
     event. *)
 
+val bursty :
+  Baton_util.Rng.t ->
+  joins:int ->
+  leaves:int ->
+  bursts:int ->
+  burst_len:int ->
+  event array
+(** Joins and leaves shuffled as in {!schedule}, with failures arriving
+    in [bursts] runs of [burst_len] {e consecutive} [Fail] events
+    spliced at seeded offsets — correlated crashes (a rack dying at
+    once) rather than independent ones.
+    @raise Invalid_argument on negative counts or [burst_len < 1]. *)
+
 val alternating : joins:int -> leaves:int -> event array
 (** Joins and leaves interleaved round-robin — the steady-state churn
     pattern. *)

@@ -134,6 +134,19 @@ let test_churn_sweep_table () =
   let last = float_cell (List.nth t.Table.rows 4) 2 in
   Alcotest.(check bool) "flat query cost" true (last < (2. *. base) +. 2.)
 
+let test_adversarial_table () =
+  let t = Baton_experiments.Exp_adversarial.run tiny in
+  Alcotest.(check string) "id" "adversarial" t.Table.id;
+  Alcotest.(check int) "six scenarios" 6 (List.length t.Table.rows);
+  (* The reproduction's claim: no schedule produces a wrong answer
+     presented as right. *)
+  List.iter
+    (fun row ->
+      Alcotest.(check string)
+        (Printf.sprintf "zero violations in %s" (List.hd row))
+        "0" (List.nth row 4))
+    t.Table.rows
+
 let test_runner_covers_all_figures () =
   let ids =
     List.concat_map
@@ -167,6 +180,7 @@ let suite =
     Alcotest.test_case "fault table" `Slow test_fault_table;
     Alcotest.test_case "resilience table" `Slow test_resilience_table;
     Alcotest.test_case "churn sweep table" `Slow test_churn_sweep_table;
+    Alcotest.test_case "adversarial table" `Slow test_adversarial_table;
     Alcotest.test_case "runner covers figures" `Quick test_runner_covers_all_figures;
     Alcotest.test_case "run_one" `Slow test_run_one;
     Alcotest.test_case "determinism" `Slow test_determinism;
