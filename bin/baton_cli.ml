@@ -14,6 +14,7 @@ module Stats = Baton_util.Stats
 module Datagen = Baton_workload.Datagen
 module Churn = Baton_workload.Churn
 module Driver = Baton_runtime.Driver
+module Bench_diff = Baton_runtime.Bench_diff
 
 open Cmdliner
 
@@ -394,7 +395,8 @@ let compare_overlays nodes seed ops =
    interleaved fibers on the discrete-event runtime and emit the
    BENCH_runtime.json document. *)
 let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_ms
-    route_cache monitor_every faults oracle out =
+    route_cache monitor_every series_every profile faults oracle out
+    timeseries_out =
   let fault_schedule =
     match faults with
     | None -> []
@@ -437,8 +439,9 @@ let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_
       (fun mix ->
         let cfg =
           Driver.config ~seed ~keys_per_node ~clients ~ops ~arrival
-            ~route_cache ~monitor_every_ms:monitor_every ~fault_schedule
-            ~oracle ~n:nodes ~mix ()
+            ~route_cache ~monitor_every_ms:monitor_every
+            ~series_every_ms:series_every ~profile ~fault_schedule ~oracle
+            ~n:nodes ~mix ()
         in
         Printf.eprintf "running %s (n=%d, %d ops)...\n%!" mix.Driver.mix_name
           nodes ops;
@@ -447,12 +450,42 @@ let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_
         r)
       mixes
   in
+  (match timeseries_out with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Driver.timeseries_jsonl reports));
+    Printf.eprintf "wrote %s\n" path);
   let doc = Baton_obs.Json.to_pretty_string (Driver.bench_json reports) ^ "\n" in
   match out with
   | None -> print_string doc
   | Some path ->
     Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc doc);
     Printf.eprintf "wrote %s\n" path
+
+(* Bench regression gate: exact on the simulated sections, tolerance on
+   the wall-clock throughput. Exit 0 pass, 1 simulated/schema mismatch
+   (behaviour change), 2 throughput regression, 3 unreadable input. *)
+let bench_diff old_path new_path max_regress =
+  let read path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> (
+      match Baton_obs.Json.parse contents with
+      | Ok doc -> doc
+      | Error msg ->
+        Printf.eprintf "%s: JSON parse error: %s\n" path msg;
+        exit 3)
+    | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 3
+  in
+  let old_doc = read old_path in
+  let new_doc = read new_path in
+  let verdict =
+    Bench_diff.compare ~max_regress_pct:max_regress ~old_doc ~new_doc
+  in
+  print_endline (Bench_diff.render verdict);
+  exit (Bench_diff.exit_code verdict)
 
 (* Route-cache benchmark: sweep Zipf skew and churn, replaying each
    cell's schedule with the cache off then on, and emit the
@@ -629,13 +662,44 @@ let out_arg =
 
 let monitor_every_arg =
   Arg.(
-    value & opt float 0.
+    value & opt float 2000.
     & info [ "monitor-every" ] ~docv:"MS"
         ~doc:
           "Health-monitor sampling period in virtual milliseconds; the \
            report's $(b,health) section carries the resulting invariant \
-           time series and ok/degraded/violated events. 0 (the default) \
-           disables monitoring and leaves $(b,health) null.")
+           time series and ok/degraded/violated events. 0 disables \
+           monitoring and leaves $(b,health) null. On by default (2000).")
+
+let series_every_arg =
+  Arg.(
+    value & opt float 1000.
+    & info [ "series-every" ] ~docv:"MS"
+        ~doc:
+          "Time-series sampling period in virtual milliseconds; each tick \
+           records deterministic progress counters (completed ops, message \
+           deltas, fiber/queue gauges, monitor rank) into the report's \
+           $(b,timeseries) section. 0 disables sampling and leaves \
+           $(b,timeseries) null. On by default (1000).")
+
+let profile_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "profile" ] ~docv:"BOOL"
+        ~doc:
+          "Meter the simulator process itself during the measured phase: \
+           per-subsystem wall-clock, GC deltas and raw engine-event \
+           throughput land in the report's $(b,profile) section. \
+           Metrics-neutral but inherently non-deterministic — pass \
+           $(b,--profile=false) for byte-comparable same-seed output \
+           ($(b,profile) becomes null).")
+
+let timeseries_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "timeseries-out" ] ~docv:"FILE"
+        ~doc:
+          "Also write the sampled time series as JSONL (one mix-tagged \
+           sample object per line) to FILE — the artifact CI uploads.")
 
 let faults_arg =
   Arg.(
@@ -671,8 +735,43 @@ let bench_run_cmd =
     Term.(
       const bench_run $ nodes_arg $ seed_arg $ keys_arg $ bench_ops_arg
       $ clients_arg $ mix_arg $ arrival_arg $ rate_arg $ think_arg
-      $ route_cache_arg $ monitor_every_arg $ faults_arg $ oracle_arg
-      $ out_arg)
+      $ route_cache_arg $ monitor_every_arg $ series_every_arg $ profile_arg
+      $ faults_arg $ oracle_arg $ out_arg $ timeseries_out_arg)
+
+let bench_diff_old_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"OLD.json" ~doc:"Baseline bench document.")
+
+let bench_diff_new_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"NEW.json" ~doc:"Candidate bench document.")
+
+let max_regress_arg =
+  Arg.(
+    value & opt float 50.
+    & info [ "max-regress" ] ~docv:"PCT"
+        ~doc:
+          "Allowed drop in each run's $(b,profile.events_per_s) relative to \
+           the baseline, in percent. Simulated metrics are never subject to \
+           a tolerance — they must match exactly.")
+
+let bench_diff_cmd =
+  let doc =
+    "Compare two bench-run documents as a regression gate: every simulated \
+     (seed-deterministic) field must match byte-exactly — any drift is a \
+     behaviour change — while wall-clock event throughput inside the \
+     $(b,profile) sections may regress up to $(b,--max-regress) percent. \
+     Exit status: 0 pass, 1 schema/simulated mismatch, 2 throughput \
+     regression, 3 unreadable input."
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc)
+    Term.(
+      const bench_diff $ bench_diff_old_arg $ bench_diff_new_arg
+      $ max_regress_arg)
 
 let cache_nodes_arg =
   Arg.(
@@ -715,7 +814,7 @@ let main =
   Cmd.group (Cmd.info "baton" ~doc)
     [
       simulate_cmd; churn_cmd; inspect_cmd; trace_cmd; stats_cmd; compare_cmd;
-      bench_run_cmd; bench_cache_cmd;
+      bench_run_cmd; bench_cache_cmd; bench_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main)

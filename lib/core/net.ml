@@ -2,6 +2,7 @@ module Bus = Baton_sim.Bus
 module Metrics = Baton_sim.Metrics
 module Recorder = Baton_obs.Recorder
 module Trace = Baton_obs.Trace
+module Profile = Baton_obs.Profile
 module Rng = Baton_util.Rng
 module Histogram = Baton_util.Histogram
 
@@ -38,6 +39,13 @@ type t = {
      [Metrics.total] — no message is sent and no protocol PRNG is
      consulted on its behalf. *)
   mutable tracer : Trace.t option;
+  (* Optional simulator self-profiler. A third pure observer, but
+     pointed the other way: it meters the *process* (wall-clock cost of
+     hot regions, GC pressure), never the simulated world. Installing
+     it wires a delivery probe into the bus and lets the protocol hot
+     paths time themselves via [profile]; removing it restores the
+     probe-free fast path. *)
+  mutable profiler : Profile.t option;
   (* Hop-suspension hook for the concurrent runtime: called after every
      transmitted protocol message so the runtime can suspend the
      running operation until the simulated delivery (or timeout)
@@ -88,6 +96,7 @@ let create ?(seed = 42) ~domain () =
     suspicion_repair = false;
     recorder = None;
     tracer = None;
+    profiler = None;
     hop_wait = None;
     repair_serializer = None;
     cache_capacity = None;
@@ -193,6 +202,29 @@ let recorder t = t.recorder
 
 let set_tracer t tr = t.tracer <- tr
 let tracer t = t.tracer
+
+(* --- Self-profiling ------------------------------------------------ *)
+
+let set_profiler t p =
+  t.profiler <- p;
+  Bus.set_probe t.bus
+    (match p with
+    | None -> None
+    | Some prof ->
+      Some
+        {
+          Bus.before = (fun () -> Profile.enter prof Profile.s_delivery);
+          after = (fun () -> Profile.leave prof Profile.s_delivery);
+        })
+
+let profiler t = t.profiler
+
+(* Time a protocol hot region when a profiler is installed; otherwise
+   one match and straight into [f]. Regions that suspend under the
+   concurrent runtime accumulate inclusive wall time (see
+   [Profile]) — still a pure observation either way. *)
+let profile t name f =
+  match t.profiler with None -> f () | Some p -> Profile.wrap p name f
 
 (* Ambient-causality snapshot for the concurrent runtime: opaque, and
    free when no tracer is installed. The runtime captures a mark at
@@ -446,7 +478,7 @@ let shift_histogram t = t.shifts
 (* Snapshot format: a magic string (to fail fast on foreign files)
    followed by the marshalled record. The record holds no closures once
    the deferred queue is empty and the bus trace hook is cleared. *)
-let snapshot_magic = "BATON-NET-v4"
+let snapshot_magic = "BATON-NET-v5"
 
 let save t path =
   if not (Baton_util.Dyn_array.is_empty t.deferred) then
@@ -459,10 +491,12 @@ let save t path =
      silently blinds telemetry on a network that keeps running. *)
   let recorder0 = t.recorder
   and tracer0 = t.tracer
+  and profiler0 = t.profiler
   and hop_wait0 = t.hop_wait
   and serializer0 = t.repair_serializer in
   set_recorder t None;
   set_tracer t None;
+  set_profiler t None;
   set_hop_wait t None;
   set_repair_serializer t None;
   Bus.clear_subscribers t.bus;
@@ -477,6 +511,7 @@ let save t path =
     let bt = Printexc.get_raw_backtrace () in
     set_recorder t recorder0;
     set_tracer t tracer0;
+    set_profiler t profiler0;
     set_hop_wait t hop_wait0;
     set_repair_serializer t serializer0;
     Printexc.raise_with_backtrace e bt

@@ -104,6 +104,30 @@ val with_op : t -> kind:string -> (unit -> 'a) -> 'a
 val set_tracer : t -> Baton_obs.Trace.t option -> unit
 val tracer : t -> Baton_obs.Trace.t option
 
+(** {1 Self-profiling}
+
+    An optional {!Baton_obs.Profile} meters the {e simulator process}:
+    wall-clock cost of the protocol hot regions and of bus delivery
+    (via a {!Baton_sim.Bus.probe} this installs), GC pressure, raw
+    event throughput. The mirror image of the recorder/tracer — it
+    observes the machine, never the simulated world: probes send
+    nothing, consult no PRNG and read no virtual clock, so same-seed
+    runs count byte-identical [Metrics] and latency digests with
+    profiling on or off (guard-tested). Its numbers are inherently
+    non-deterministic and must stay out of seeded byte comparisons. *)
+
+val set_profiler : t -> Baton_obs.Profile.t option -> unit
+(** Install the profiler (wiring the bus delivery probe) or remove it
+    (restoring the probe-free fast path). Detached by {!save} like
+    every observer. *)
+
+val profiler : t -> Baton_obs.Profile.t option
+
+val profile : t -> string -> (unit -> 'a) -> 'a
+(** [profile t name f] times [f] under the installed profiler's [name]
+    region — just [f ()] when no profiler is installed. Used by the
+    protocol hot paths ({!Search}, {!Restructure}, {!Failure}). *)
+
 type trace_mark
 (** Snapshot of the tracer's ambient causal state (open episode +
     current parent span). The concurrent runtime captures one at every
@@ -239,7 +263,7 @@ val save : t -> string -> unit
     state) to a file, so an expensive build can be reused across runs.
     The network must be quiescent: deferred notifications pending from
     {!set_defer} cannot be serialised. Observers (recorder, tracer,
-    hop-wait hook, bus subscribers) hold closures and are detached
+    profiler, hop-wait hook, bus subscribers) hold closures and are detached
     before marshalling; on success they stay detached, but if the save
     fails they are all reattached before the exception escapes.
     @raise Invalid_argument if deferred notifications are pending. *)

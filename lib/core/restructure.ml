@@ -120,7 +120,8 @@ let split_with (x : Node.t) (y : Node.t) =
 
 let rec forced_join net ~parent:(x : Node.t) new_id =
   Net.with_op net ~kind:Baton_obs.Span.restructure (fun () ->
-      forced_join_run net ~parent:x new_id)
+      Net.profile net Baton_obs.Profile.s_restructure (fun () ->
+          forced_join_run net ~parent:x new_id))
 
 and forced_join_run net ~parent:(x : Node.t) new_id =
   if Option.is_none x.Node.left_child && Node.tables_full x then begin
@@ -154,7 +155,8 @@ and forced_join_run net ~parent:(x : Node.t) new_id =
 
 let rec forced_leave net (x : Node.t) =
   Net.with_op net ~kind:Baton_obs.Span.restructure (fun () ->
-      forced_leave_run net x)
+      Net.profile net Baton_obs.Profile.s_restructure (fun () ->
+          forced_leave_run net x))
 
 and forced_leave_run net (x : Node.t) =
   let pos = x.Node.pos in

@@ -112,3 +112,201 @@ let to_pretty_string v =
   let buf = Buffer.create 512 in
   write_pretty buf 0 v;
   Buffer.contents buf
+
+(* --- Parsing --------------------------------------------------------
+
+   A recursive-descent reader for the documents this module writes
+   (bench reports, traces, series) so the regression gate can diff two
+   reports without an external JSON dependency. Covers standard JSON;
+   numbers parse to [Int] when they are integral with no '.', 'e' or
+   leading-zero baggage, else to [Float] — matching what the writer
+   emits. *)
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let parse_fail c msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" c.pos msg))
+
+let peek_char c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let skip_ws c =
+  let n = String.length c.text in
+  while
+    c.pos < n
+    && (match c.text.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek_char c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> parse_fail c (Printf.sprintf "expected %C, found %C" ch x)
+  | None -> parse_fail c (Printf.sprintf "expected %C, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_fail c (Printf.sprintf "expected %s" word)
+
+(* Encode one Unicode scalar value as UTF-8 (for \uXXXX escapes). *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char c with
+    | None -> parse_fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+      c.pos <- c.pos + 1;
+      match peek_char c with
+      | None -> parse_fail c "unterminated escape"
+      | Some e ->
+        c.pos <- c.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if c.pos + 4 > String.length c.text then
+            parse_fail c "truncated \\u escape";
+          let hex = String.sub c.text c.pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> parse_fail c "bad \\u escape"
+          in
+          c.pos <- c.pos + 4;
+          add_utf8 buf code
+        | _ -> parse_fail c (Printf.sprintf "bad escape \\%C" e));
+        go ())
+    | Some ch ->
+      c.pos <- c.pos + 1;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let n = String.length c.text in
+  let is_float = ref false in
+  if peek_char c = Some '-' then c.pos <- c.pos + 1;
+  while
+    c.pos < n
+    &&
+    match c.text.[c.pos] with
+    | '0' .. '9' -> true
+    | '.' | 'e' | 'E' | '+' | '-' ->
+      is_float := true;
+      true
+    | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.text start (c.pos - start) in
+  if s = "" || s = "-" then parse_fail c "expected a number";
+  if !is_float then Float (float_of_string s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> Float (float_of_string s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek_char c with
+  | None -> parse_fail c "expected a value, found end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_body c)
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek_char c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek_char c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          c.pos <- c.pos + 1;
+          List.rev (v :: acc)
+        | _ -> parse_fail c "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek_char c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        (k, parse_value c)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws c;
+        match peek_char c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          fields (kv :: acc)
+        | Some '}' ->
+          c.pos <- c.pos + 1;
+          List.rev (kv :: acc)
+        | _ -> parse_fail c "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_fail c (Printf.sprintf "unexpected %C" ch)
+
+let parse text =
+  let c = { text; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length text then
+      Error (Printf.sprintf "at offset %d: trailing garbage" c.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* Field access helpers for consumers of parsed documents. *)
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

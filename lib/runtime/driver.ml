@@ -17,6 +17,8 @@ module Timing = Baton_obs.Timing
 module Json = Baton_obs.Json
 module Trace = Baton_obs.Trace
 module Oracle = Baton_obs.Oracle
+module Profile = Baton_obs.Profile
+module Series = Baton_obs.Series
 module Metrics = Baton_sim.Metrics
 module Bus = Baton_sim.Bus
 module Engine = Baton_sim.Engine
@@ -71,6 +73,8 @@ type config = {
   timeout_ms : float;
   route_cache : bool;
   monitor_every_ms : float;  (* 0. = health monitoring off *)
+  series_every_ms : float;  (* 0. = time-series sampling off *)
+  profile : bool;  (* meter the simulator process (wall clock + GC) *)
   fault_schedule : Partition.schedule;  (* [] = no injected scenario *)
   oracle : bool;  (* check every completed op against the oracle *)
 }
@@ -78,13 +82,15 @@ type config = {
 let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
     ?(arrival = Closed { think_ms = 0. }) ?(range_span = 2_000_000)
     ?(theta = 1.0) ?(timeout_ms = Runtime.default_timeout_ms)
-    ?(route_cache = false) ?(monitor_every_ms = 0.) ?(fault_schedule = [])
-    ?(oracle = false) ~n ~mix () =
+    ?(route_cache = false) ?(monitor_every_ms = 0.) ?(series_every_ms = 0.)
+    ?(profile = false) ?(fault_schedule = []) ?(oracle = false) ~n ~mix () =
   if n < 2 then invalid_arg "Driver.config: n < 2";
   if clients < 1 then invalid_arg "Driver.config: clients < 1";
   if ops < 1 then invalid_arg "Driver.config: ops < 1";
   if monitor_every_ms < 0. then
     invalid_arg "Driver.config: negative monitor_every_ms";
+  if series_every_ms < 0. then
+    invalid_arg "Driver.config: negative series_every_ms";
   {
     n;
     seed;
@@ -98,6 +104,8 @@ let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
     timeout_ms;
     route_cache;
     monitor_every_ms;
+    series_every_ms;
+    profile;
     fault_schedule;
     oracle;
   }
@@ -159,12 +167,16 @@ type report = {
   cache_hits : int;
   cache_misses : int;
   cache_stale : int;
-  duration_ms : float;
+  duration_ms : float;  (* simulated completion of the last finished op *)
+  wall_ms : float;  (* host wall clock of the measured phase; 0 unprofiled *)
+  events_per_s : float;  (* raw engine throughput; 0 unprofiled *)
   throughput_ops_s : float;
   latencies : (string * Timing.t) list;  (** in {!kind_order} *)
   depth_max : int;
   depth_mean : float;
   health : Json.t;  (** Monitor.json time series, [Json.Null] when off *)
+  profile_json : Json.t;  (** Profile.json, [Json.Null] when off *)
+  series : Series.t option;  (** periodic telemetry samples, when on *)
   partition_timeouts : int;  (** messages blocked by an active partition *)
   gray_drops : int;  (** messages dropped by a gray endpoint *)
   scenario : (float * string) list;  (** fault lifecycle, chronological *)
@@ -409,9 +421,82 @@ let run cfg =
       Some mon
     end
   in
+  (* The measurement checkpoint: everything below counts only the
+     measured phase, not setup. Taken before the samplers are installed
+     so the first time-series sample already reads measured-phase
+     deltas; nothing between here and [Runtime.run] sends a message. *)
   let metrics = Net.metrics net in
   let cp = Metrics.checkpoint metrics in
+  (* Time-series sampler: like the monitor, a self-rescheduling pure
+     observer on the virtual clock. Every sampled quantity is
+     deterministic (counters, fiber counts, queue high-water, monitor
+     rank) — wall-clock numbers live only in the profile section — so
+     the exported series is byte-identical across same-seed runs. It is
+     installed after the monitor: at a shared virtual instant the
+     engine pops ties in schedule order, so the sample sees the
+     monitor's tick from the same instant. *)
+  let series =
+    if cfg.series_every_ms <= 0. then None
+    else begin
+      let s = Series.create () in
+      Engine.every engine ~period:cfg.series_every_ms (fun () ->
+          let health_rank =
+            match monitor with
+            | None -> -1.
+            | Some mon -> (
+              match Baton.Monitor.latest mon with
+              | None -> -1.
+              | Some smp ->
+                float_of_int (Baton.Monitor.level_rank smp.Baton.Monitor.overall))
+          in
+          Series.record s ~time:(Engine.now engine)
+            [
+              ("completed", float_of_int !completed);
+              ("failed", float_of_int !failed);
+              ("messages", float_of_int (Metrics.since metrics cp));
+              ("cache_messages", float_of_int (Metrics.aux_since metrics cp));
+              ( "cache_hits",
+                float_of_int
+                  (Metrics.event_since metrics cp Baton.Msg.ev_cache_hit) );
+              ( "retries",
+                float_of_int (Metrics.event_since metrics cp Baton.Msg.ev_retry)
+              );
+              ("live_fibers", float_of_int (Runtime.live_fibers rt));
+              ("pending_events", float_of_int (Engine.pending engine));
+              ("queue_depth_max", float_of_int (Runtime.queue_depth_max rt));
+              ("health_rank", health_rank);
+            ];
+          Runtime.live_fibers rt > 0);
+      Some s
+    end
+  in
+  (* Self-profiler: meters the host process around the measured phase
+     only (setup is excluded, like every other measurement). The engine
+     probe times event dispatch — the ground-truth busy meter — and
+     [Net.set_profiler] wires the bus-delivery probe plus the protocol
+     regions. Detached right after the drain so the report holds a
+     closed interval. *)
+  let profiler =
+    if not cfg.profile then None
+    else begin
+      let p = Profile.create () in
+      Net.set_profiler net (Some p);
+      Engine.set_probe engine
+        (Some
+           {
+             Engine.before = (fun () -> Profile.enter p Profile.s_dispatch);
+             after = (fun () -> Profile.leave p Profile.s_dispatch);
+           });
+      Some p
+    end
+  in
   Runtime.run rt;
+  (match profiler with
+  | None -> ()
+  | Some p ->
+    Profile.stop p;
+    Engine.set_probe engine None;
+    Net.set_profiler net None);
   let duration_ms = !last_done in
   {
     cfg;
@@ -425,6 +510,9 @@ let run cfg =
     cache_misses = Metrics.event_since metrics cp Baton.Msg.ev_cache_miss;
     cache_stale = Metrics.event_since metrics cp Baton.Msg.ev_cache_stale;
     duration_ms;
+    wall_ms = (match profiler with Some p -> Profile.elapsed_ms p | None -> 0.);
+    events_per_s =
+      (match profiler with Some p -> Profile.events_per_s p | None -> 0.);
     throughput_ops_s =
       (if duration_ms > 0. then float_of_int !completed /. duration_ms *. 1000.
        else 0.);
@@ -435,6 +523,9 @@ let run cfg =
       (match monitor with
       | None -> Json.Null
       | Some mon -> Baton.Monitor.json mon);
+    profile_json =
+      (match profiler with Some p -> Profile.json p | None -> Json.Null);
+    series;
     partition_timeouts = Metrics.event_since metrics cp Bus.partition_event;
     gray_drops = Metrics.event_since metrics cp Bus.gray_event;
     scenario = List.rev !scenario_notes;
@@ -486,6 +577,19 @@ let report_json r =
           ] );
       ("monitor_every_ms", Json.Float r.cfg.monitor_every_ms);
       ("health", r.health);
+      ("series_every_ms", Json.Float r.cfg.series_every_ms);
+      ( "timeseries",
+        match r.series with
+        | None -> Json.Null
+        | Some s ->
+          Json.Obj
+            (("every_ms", Json.Float r.cfg.series_every_ms)
+            :: Series.json_fields s) );
+      (* Host wall-clock / GC numbers — inherently non-deterministic.
+         Everything above this field is a pure function of the seed;
+         seeded byte-comparisons must run unprofiled (profile = Null)
+         or strip this subtree ({!Bench_diff} does the latter). *)
+      ("profile", r.profile_json);
       ( "faults",
         Json.Obj
           [
@@ -506,7 +610,7 @@ let report_json r =
         match r.oracle with None -> Json.Null | Some o -> Oracle.json o );
     ]
 
-let schema_version = "baton-bench-runtime-v4"
+let schema_version = "baton-bench-runtime-v5"
 
 let bench_json reports =
   Json.Obj
@@ -530,8 +634,40 @@ let summary r =
       r.cfg.mix.mix_name r.ops_issued r.completed r.failed r.throughput_ops_s
       (digest "exact") (digest "range")
   in
+  let base =
+    if r.wall_ms <= 0. then base
+    else
+      Printf.sprintf "%s  wall %.0f ms  %.0f ev/s" base r.wall_ms
+        r.events_per_s
+  in
   match r.oracle with
   | None -> base
   | Some o ->
     Printf.sprintf "%s  oracle %d checked / %d violations" base
       (Oracle.checked o) (Oracle.violation_count o)
+
+(* One JSON object per line per retained sample, tagged with the mix it
+   came from — the artifact format CI uploads. Deterministic: only
+   virtual-clock timestamps and counter values appear. *)
+let timeseries_jsonl reports =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      match r.series with
+      | None -> ()
+      | Some s ->
+        List.iter
+          (fun smp ->
+            let fields =
+              match Series.sample_json smp with
+              | Json.Obj fields -> fields
+              | _ -> assert false
+            in
+            Buffer.add_string buf
+              (Json.to_string
+                 (Json.Obj
+                    (("mix", Json.String r.cfg.mix.mix_name) :: fields)));
+            Buffer.add_char buf '\n')
+          (Series.samples s))
+    reports;
+  Buffer.contents buf

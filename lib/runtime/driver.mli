@@ -53,6 +53,19 @@ type config = {
   monitor_every_ms : float;
       (** health-monitor sampling period in virtual ms; [0.] (the
           default) disables monitoring *)
+  series_every_ms : float;
+      (** time-series sampling period in virtual ms; [0.] (the default)
+          disables sampling. Each tick records deterministic progress
+          counters (completed, failed, message deltas, fiber and queue
+          gauges, monitor rank) into a bounded {!Baton_obs.Series}
+          ring. *)
+  profile : bool;
+      (** meter the simulator process itself during the measured phase
+          ({!Baton_obs.Profile}): wall-clock per hot region, GC deltas,
+          raw engine-event throughput. Metrics-neutral — the probes
+          observe the machine, never the simulated world — but its
+          numbers are inherently non-deterministic and appear only
+          inside the report's ["profile"] subtree. *)
   fault_schedule : Baton_sim.Partition.schedule;
       (** adversarial scenario injected into the measured phase
           (partitions, subtree crashes, gray peers); [[]] (the default)
@@ -76,6 +89,8 @@ val config :
   ?timeout_ms:float ->
   ?route_cache:bool ->
   ?monitor_every_ms:float ->
+  ?series_every_ms:float ->
+  ?profile:bool ->
   ?fault_schedule:Baton_sim.Partition.schedule ->
   ?oracle:bool ->
   n:int ->
@@ -85,9 +100,9 @@ val config :
 (** Defaults: seed 2005, 5 keys/node, 32 clients, 2000 ops, closed
     loop with zero think time, span 2·10⁶, theta 1.0 (the paper's Zipf
     parameter), timeout {!Runtime.default_timeout_ms}, monitoring off,
-    no fault schedule, oracle off.
+    time series off, profiling off, no fault schedule, oracle off.
     @raise Invalid_argument on non-positive sizes or a negative
-    monitoring period. *)
+    sampling period. *)
 
 val kind_order : string list
 (** Operation kinds in report order:
@@ -109,9 +124,19 @@ type report = {
   cache_misses : int;  (** cache consulted, no covering entry *)
   cache_stale : int;  (** shortcut evicted after a failed validation *)
   duration_ms : float;
-      (** completion instant of the last finished operation — trailing
-          non-workload events (a final monitor tick, a last think-time
-          sleep) are not work and are excluded *)
+      (** {e simulated} completion instant of the last finished
+          operation, in virtual ms — {b not} host wall time (see
+          [wall_ms] for that). Trailing non-workload events (a final
+          monitor tick, a last think-time sleep) are not work and are
+          excluded. *)
+  wall_ms : float;
+      (** host wall-clock duration of the measured phase; [0.] when
+          [cfg.profile] is off. Non-deterministic — serialized only
+          inside the ["profile"] subtree, never among seeded fields. *)
+  events_per_s : float;
+      (** raw engine events dispatched per host wall-clock second; [0.]
+          when [cfg.profile] is off. The throughput number the bench
+          regression gate compares (within a tolerance). *)
   throughput_ops_s : float;
   latencies : (string * Baton_obs.Timing.t) list;
       (** completed-operation latency digests, in {!kind_order} *)
@@ -123,6 +148,13 @@ type report = {
           Sampling is a pure observation: the same seed with monitoring
           on and off counts identical messages and finishes at the same
           virtual instant. *)
+  profile_json : Baton_obs.Json.t;
+      (** {!Baton_obs.Profile.json} snapshot taken when the drain
+          finished; [Json.Null] when [cfg.profile] is off *)
+  series : Baton_obs.Series.t option;
+      (** the time-series ring sampled every [series_every_ms]; [None]
+          when sampling is off. Deterministic — only virtual-clock
+          timestamps and counter values are recorded. *)
   partition_timeouts : int;
       (** messages blocked by an active partition during the measured
           phase ({!Baton_sim.Bus.partition_event}) *)
@@ -143,13 +175,24 @@ val run : config -> report
     concurrently and report. *)
 
 val report_json : report -> Baton_obs.Json.t
+(** Every field except the ["profile"] subtree is a pure function of
+    the config — same-seed byte-identical. ["profile"] holds the host's
+    wall-clock/GC numbers ([Json.Null] when profiling is off); seeded
+    byte-comparisons must either run unprofiled or strip it
+    ({!Bench_diff} strips). *)
 
 val schema_version : string
 (** Value of the ["schema"] field of {!bench_json}:
-    ["baton-bench-runtime-v4"]. *)
+    ["baton-bench-runtime-v5"]. *)
 
 val bench_json : report list -> Baton_obs.Json.t
 (** The BENCH_runtime.json document: [{schema; runs: [...]}]. *)
 
 val summary : report -> string
-(** One human-readable line per run. *)
+(** One human-readable line per run (wall/event throughput appended
+    when profiled). *)
+
+val timeseries_jsonl : report list -> string
+(** The telemetry artifact: one JSON object per line per retained
+    sample, each tagged with its run's mix name. Empty string when no
+    run sampled a series. Deterministic. *)

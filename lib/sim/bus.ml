@@ -37,6 +37,11 @@ type gray_state = {
 
 type hop_hook = src:int -> dst:int -> kind:string -> unit
 
+(* Delivery probe: a pure wall-clock observer bracketing every message
+   transit. Holds closures, so it is cleared (like subscribers) before
+   the bus is marshalled. *)
+type probe = { before : unit -> unit; after : unit -> unit }
+
 (* Causal trace context carried by a message: which trace (operation
    episode) it belongs to, its own span id, the span that caused it and
    the kind of operation that originated the episode. The bus only
@@ -62,6 +67,7 @@ type t = {
   mutable subs_fwd : (int * hop_hook) list;
   mutable subs_dirty : bool;
   mutable next_subscriber : int;
+  mutable probe : probe option;
 }
 
 exception Unreachable of int
@@ -84,7 +90,11 @@ let create () =
     subs_fwd = [];
     subs_dirty = false;
     next_subscriber = 0;
+    probe = None;
   }
+
+let set_probe t p = t.probe <- p
+let probe t = t.probe
 
 (* --- Hop-trace subscriptions --------------------------------------
 
@@ -250,8 +260,8 @@ let gray_dropped t ~src ~dst =
 
 let sending_ctx t = t.in_flight
 
-let send ?ctx t ~src ~dst ~kind =
-  if src <> dst then begin
+let deliver ?ctx t ~src ~dst ~kind =
+  begin
     (* The message is transmitted — and therefore counted — whether or
        not the destination is alive or the network loses it; a missing
        answer is how the sender discovers the problem (Section III-C). *)
@@ -281,6 +291,16 @@ let send ?ctx t ~src ~dst ~kind =
       Metrics.event t.metrics transient_event;
       raise (Timeout dst)
   end
+
+let send ?ctx t ~src ~dst ~kind =
+  if src <> dst then
+    match t.probe with
+    | None -> deliver ?ctx t ~src ~dst ~kind
+    | Some p ->
+      (* Timeouts and unreachables are ordinary outcomes here, so the
+         probe's closing half must survive them. *)
+      p.before ();
+      Fun.protect ~finally:p.after (fun () -> deliver ?ctx t ~src ~dst ~kind)
 
 let clear_stun t id =
   match t.faults with None -> () | Some f -> Hashtbl.remove f.stunned id

@@ -205,3 +205,17 @@ val subscriber_count : t -> int
 val clear_subscribers : t -> unit
 (** Remove every hook — required before marshalling the bus, since
     closures cannot be serialized. *)
+
+(** {1 Delivery probe}
+
+    One wall-clock probe bracketing every transit of {!send} (metrics
+    accounting, subscriber hooks, fault layers) — the self-profiler's
+    ["bus.delivery"] meter. Unlike subscribers it also wraps the
+    failure outcomes: [after] runs whether the send delivers, times
+    out, or finds the peer dead. Must be a pure observer, and — like
+    subscribers — must be removed before the bus is marshalled. *)
+
+type probe = { before : unit -> unit; after : unit -> unit }
+
+val set_probe : t -> probe option -> unit
+val probe : t -> probe option

@@ -1,7 +1,16 @@
-type t = { queue : (unit -> unit) Event_queue.t; mutable clock : float }
+type probe = { before : unit -> unit; after : unit -> unit }
 
-let create () = { queue = Event_queue.create (); clock = 0. }
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : float;
+  mutable probe : probe option;
+}
+
+let create () = { queue = Event_queue.create (); clock = 0.; probe = None }
 let now t = t.clock
+
+let set_probe t p = t.probe <- p
+let probe t = t.probe
 
 let schedule t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
@@ -23,7 +32,13 @@ let step t =
   | None -> false
   | Some (time, f) ->
     t.clock <- time;
-    f ();
+    (match t.probe with
+    | None -> f ()
+    | Some p ->
+      (* The probe observes dispatch cost; it must never lose its
+         closing half to an escaping event exception. *)
+      p.before ();
+      Fun.protect ~finally:p.after f);
     true
 
 let run t = while step t do () done

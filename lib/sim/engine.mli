@@ -13,6 +13,19 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time. *)
 
+type probe = { before : unit -> unit; after : unit -> unit }
+(** Dispatch probe: [before] runs as an event is popped, [after] when
+    its callback returns (or raises). Installed by the self-profiler to
+    meter wall-clock dispatch cost and event throughput; must be a pure
+    observer — it runs inside the hot loop and anything it does to the
+    simulated world perturbs every seeded comparison. *)
+
+val set_probe : t -> probe option -> unit
+(** Install or remove the dispatch probe ([None] — the default — costs
+    one match per event). *)
+
+val probe : t -> probe option
+
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at virtual time [now t +. delay].
     [delay] must be non-negative. *)

@@ -41,6 +41,7 @@ let () =
       ("overlay", Test_overlay.suite);
       ("workload", Test_workload.suite);
       ("runtime", Test_runtime.suite);
+      ("profiling", Test_profiling.suite);
       ("adversarial", Test_adversarial.suite);
       ("experiments", Test_experiments.suite);
       ("edge_cases", Test_edge_cases.suite);
