@@ -48,6 +48,16 @@ let multiway_net =
      done;
      t)
 
+let skip_graph_net =
+  lazy
+    (let t =
+       Skip_graph.create ~seed:104 ~domain_lo:1 ~domain_hi:1_000_000_000 ()
+     in
+     for _ = 1 to 1000 do
+       ignore (Skip_graph.join t)
+     done;
+     t)
+
 let bench_rng = Rng.create 999
 
 let tests =
@@ -78,6 +88,15 @@ let tests =
       (Staged.stage (fun () -> ignore (Chord.lookup (Lazy.force chord_net) (key ()))));
     Test.make ~name:"mtree/lookup"
       (Staged.stage (fun () -> ignore (Multiway.lookup (Lazy.force multiway_net) (key ()))));
+    Test.make ~name:"skip-graph/lookup"
+      (Staged.stage (fun () ->
+           ignore (Skip_graph.lookup (Lazy.force skip_graph_net) (key ()))));
+    Test.make ~name:"skip-graph/range-query"
+      (Staged.stage (fun () ->
+           let lo = key () in
+           ignore
+             (Skip_graph.range_query (Lazy.force skip_graph_net) ~lo
+                ~hi:(lo + 1_000_000))));
   ]
 
 let run_timings () =

@@ -391,12 +391,51 @@ let compare_overlays nodes seed ops =
     P2p_overlay.Overlay.all;
   print_endline "\nall overlays pass their structural checks"
 
-(* Concurrent workload driver: execute a seeded operation mix as
-   interleaved fibers on the discrete-event runtime and emit the
-   BENCH_runtime.json document. *)
-let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_ms
-    route_cache monitor_every series_every profile faults oracle out
-    timeseries_out =
+(* Concurrent workload driver: execute a seeded operation mix per
+   selected overlay and emit the BENCH_runtime.json document (baton runs
+   as interleaved fibers on the discrete-event runtime; comparison
+   overlays run the same plan sequentially). *)
+let bench_run nodes seed keys_per_node ops clients overlay_names mix_names
+    arrival rate think_ms route_cache monitor_every series_every profile
+    faults oracle out timeseries_out =
+  let overlays =
+    let names = match overlay_names with [] -> [ "baton" ] | ns -> ns in
+    let names =
+      if
+        List.exists
+          (fun n -> String.equal (String.lowercase_ascii n) "all")
+          names
+      then P2p_overlay.Overlay.names
+      else names
+    in
+    (* Canonicalize (resolving aliases), then dedupe keeping order. *)
+    List.fold_left
+      (fun acc name ->
+        let canonical =
+          match P2p_overlay.Overlay.of_name name with
+          | (module O : P2p_overlay.Overlay.S) -> O.name
+          | exception P2p_overlay.Overlay.Unknown_overlay { name; valid } ->
+            Printf.eprintf "unknown overlay %S (valid: %s)\n" name
+              (String.concat ", " valid);
+            exit 1
+        in
+        if List.mem canonical acc then acc else acc @ [ canonical ])
+      [] names
+  in
+  let has_non_baton =
+    List.exists (fun o -> not (String.equal o "baton")) overlays
+  in
+  if has_non_baton && (route_cache || faults <> None) then begin
+    Printf.eprintf
+      "--route-cache and --faults require the baton runtime; drop them or \
+       keep --overlay baton\n";
+    exit 2
+  end;
+  if has_non_baton && (monitor_every > 0. || series_every > 0. || profile)
+  then
+    Printf.eprintf
+      "note: monitoring, time series and profiling apply to the baton \
+       runtime only; disabled for the other overlays\n";
   let fault_schedule =
     match faults with
     | None -> []
@@ -434,29 +473,43 @@ let bench_run nodes seed keys_per_node ops clients mix_names arrival rate think_
       Printf.eprintf "unknown arrival model %S (closed|open)\n" other;
       exit 2
   in
-  let reports =
+  let sections =
     List.map
-      (fun mix ->
-        let cfg =
-          Driver.config ~seed ~keys_per_node ~clients ~ops ~arrival
-            ~route_cache ~monitor_every_ms:monitor_every
-            ~series_every_ms:series_every ~profile ~fault_schedule ~oracle
-            ~n:nodes ~mix ()
+      (fun overlay ->
+        let baton = String.equal overlay "baton" in
+        let reports =
+          List.map
+            (fun mix ->
+              let cfg =
+                Driver.config ~overlay ~seed ~keys_per_node ~clients ~ops
+                  ~arrival ~route_cache
+                  ~monitor_every_ms:(if baton then monitor_every else 0.)
+                  ~series_every_ms:(if baton then series_every else 0.)
+                  ~profile:(baton && profile) ~fault_schedule ~oracle ~n:nodes
+                  ~mix ()
+              in
+              Printf.eprintf "running %s/%s (n=%d, %d ops)...\n%!" overlay
+                mix.Driver.mix_name nodes ops;
+              let r = Driver.run cfg in
+              print_endline
+                (if List.length overlays > 1 then
+                   Printf.sprintf "%-10s %s" overlay (Driver.summary r)
+                 else Driver.summary r);
+              r)
+            mixes
         in
-        Printf.eprintf "running %s (n=%d, %d ops)...\n%!" mix.Driver.mix_name
-          nodes ops;
-        let r = Driver.run cfg in
-        print_endline (Driver.summary r);
-        r)
-      mixes
+        (overlay, reports))
+      overlays
   in
   (match timeseries_out with
   | None -> ()
   | Some path ->
     Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc (Driver.timeseries_jsonl reports));
+        Out_channel.output_string oc (Driver.timeseries_jsonl sections));
     Printf.eprintf "wrote %s\n" path);
-  let doc = Baton_obs.Json.to_pretty_string (Driver.bench_json reports) ^ "\n" in
+  let doc =
+    Baton_obs.Json.to_pretty_string (Driver.bench_json sections) ^ "\n"
+  in
   match out with
   | None -> print_string doc
   | Some path ->
@@ -521,7 +574,7 @@ let ops_arg =
   Arg.(value & opt int 500 & info [ "ops" ] ~docv:"K" ~doc:"Operations per phase.")
 
 let compare_cmd =
-  let doc = "Run the same workload on BATON, Chord and the multiway tree." in
+  let doc = "Run the same workload on every registered overlay." in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const compare_overlays $ nodes_arg $ seed_arg $ ops_arg)
 
@@ -620,6 +673,20 @@ let clients_arg =
     value & opt int 32
     & info [ "clients" ] ~docv:"C" ~doc:"Closed-loop client fibers.")
 
+let overlay_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "overlay" ] ~docv:"NAME"
+        ~doc:
+          "Overlay to drive (baton, chord, multiway, skip-graph) or \
+           $(b,all); repeatable — the report carries one section per \
+           overlay, same seeded plan and message accounting for each. \
+           Default: baton. Non-baton overlays execute sequentially with \
+           the message count as virtual time; monitoring, time series, \
+           profiling, $(b,--route-cache) and $(b,--faults) are \
+           baton-runtime-only. Unknown names exit 1 listing the valid \
+           ones.")
+
 let mix_arg =
   Arg.(
     value & opt_all string []
@@ -698,8 +765,9 @@ let timeseries_out_arg =
     value & opt (some string) None
     & info [ "timeseries-out" ] ~docv:"FILE"
         ~doc:
-          "Also write the sampled time series as JSONL (one mix-tagged \
-           sample object per line) to FILE — the artifact CI uploads.")
+          "Also write the sampled time series as JSONL (one overlay- and \
+           mix-tagged sample object per line) to FILE — the artifact CI \
+           uploads.")
 
 let faults_arg =
   Arg.(
@@ -725,18 +793,20 @@ let oracle_arg =
 
 let bench_run_cmd =
   let doc =
-    "Run the concurrent workload driver: seeded operation mixes execute as \
-     interleaved fibers on the discrete-event runtime; reports virtual-time \
-     throughput, per-kind latency percentiles and queue depths as JSON — \
-     plus oracle verdicts and fault-scenario accounting when enabled. \
-     Deterministic: same seed, byte-identical output."
+    "Run the workload driver: seeded operation mixes execute as interleaved \
+     fibers on the discrete-event runtime (baton) or sequentially on any \
+     registered comparison overlay ($(b,--overlay)); reports per-overlay \
+     sections of virtual-time throughput, per-kind latency percentiles and \
+     queue depths as JSON — plus oracle verdicts and fault-scenario \
+     accounting when enabled. Deterministic: same seed, byte-identical \
+     output."
   in
   Cmd.v (Cmd.info "bench-run" ~doc)
     Term.(
       const bench_run $ nodes_arg $ seed_arg $ keys_arg $ bench_ops_arg
-      $ clients_arg $ mix_arg $ arrival_arg $ rate_arg $ think_arg
-      $ route_cache_arg $ monitor_every_arg $ series_every_arg $ profile_arg
-      $ faults_arg $ oracle_arg $ out_arg $ timeseries_out_arg)
+      $ clients_arg $ overlay_arg $ mix_arg $ arrival_arg $ rate_arg
+      $ think_arg $ route_cache_arg $ monitor_every_arg $ series_every_arg
+      $ profile_arg $ faults_arg $ oracle_arg $ out_arg $ timeseries_out_arg)
 
 let bench_diff_old_arg =
   Arg.(

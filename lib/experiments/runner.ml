@@ -25,6 +25,7 @@ let experiments =
     ("route-cache", fun p -> [ Exp_cache.run p ]);
     ("concurrency", fun p -> Exp_concurrency.run p);
     ("adversarial", fun p -> [ Exp_adversarial.run p ]);
+    ("overlay-matrix", fun p -> Exp_overlay_matrix.run p);
   ]
 
 let run_all ?(on_table = fun _ -> ()) params =

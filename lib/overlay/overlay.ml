@@ -127,14 +127,62 @@ module Multiway_overlay : S = struct
   let check = Multiway.check
 end
 
+module Skip_graph_overlay : S = struct
+  type t = Skip_graph.t
+
+  let name = "skip-graph"
+
+  let create ~seed ~n =
+    let t =
+      Skip_graph.create ~seed
+        ~domain_lo:Baton.Network.default_domain.Baton.Range.lo
+        ~domain_hi:Baton.Network.default_domain.Baton.Range.hi ()
+    in
+    for _ = 1 to n do
+      ignore (Skip_graph.join t)
+    done;
+    t
+
+  let size = Skip_graph.size
+  let messages t = Baton_sim.Metrics.total (Skip_graph.metrics t)
+  let stats t = stats_of_metrics (Skip_graph.metrics t)
+  let supports_range = true
+  let insert t k = ignore (Skip_graph.insert t k)
+  let bulk_load t keys = ignore (Skip_graph.bulk_insert t keys)
+  let delete t k = fst (Skip_graph.delete t k)
+  let lookup t k = fst (Skip_graph.lookup t k)
+  let range_query t ~lo ~hi = fst (Skip_graph.range_query t ~lo ~hi)
+  let join t = ignore (Skip_graph.join t)
+
+  let leave_random t rng =
+    if Skip_graph.size t > 1 then
+      ignore
+        (Skip_graph.leave t (Baton_util.Rng.pick rng (Skip_graph.peer_ids t)))
+
+  let check = Skip_graph.check
+end
+
 let baton : (module S) = (module Baton_overlay)
 let chord : (module S) = (module Chord_overlay)
 let multiway : (module S) = (module Multiway_overlay)
-let all = [ baton; chord; multiway ]
+let skip_graph : (module S) = (module Skip_graph_overlay)
+let all = [ baton; chord; multiway; skip_graph ]
 
-let by_name name =
+let names =
+  List.map
+    (fun o ->
+      let module O = (val o : S) in
+      O.name)
+    all
+
+exception Unknown_overlay of { name : string; valid : string list }
+
+let of_name name =
   match String.lowercase_ascii name with
   | "baton" -> baton
   | "chord" -> chord
   | "multiway" | "mtree" -> multiway
-  | _ -> raise Not_found
+  | "skip-graph" | "skip_graph" | "skipgraph" -> skip_graph
+  | other -> raise (Unknown_overlay { name = other; valid = names })
+
+let by_name = of_name

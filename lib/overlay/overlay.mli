@@ -1,6 +1,6 @@
-(** A common interface over the three overlay networks.
+(** A common interface over the registered overlay networks.
 
-    BATON and its two comparison systems expose different native APIs;
+    BATON and its comparison systems expose different native APIs;
     this module erases the differences behind one signature so that
     drivers (the CLI's [compare] command, generic tests, ad-hoc
     scripts) can run the same workload against any of them and read the
@@ -69,9 +69,23 @@ end
 val baton : (module S)
 val chord : (module S)
 val multiway : (module S)
+val skip_graph : (module S)
 
 val all : (module S) list
-(** The three overlays, BATON first. *)
+(** The registered overlays, BATON first. *)
+
+val names : string list
+(** Canonical names of {!all}, in the same order. *)
+
+exception Unknown_overlay of { name : string; valid : string list }
+(** Raised by {!of_name} for an unregistered name; carries the
+    (lowercased) offending name and the list of valid ones, so callers
+    can print an actionable message. *)
+
+val of_name : string -> (module S)
+(** Case-insensitive; accepts the canonical names plus the aliases
+    "mtree" (multiway) and "skip_graph"/"skipgraph" (skip-graph).
+    @raise Unknown_overlay for anything else. *)
 
 val by_name : string -> (module S)
-(** @raise Not_found for unknown names ("baton", "chord", "multiway"). *)
+(** Alias of {!of_name}. *)

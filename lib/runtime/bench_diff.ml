@@ -82,13 +82,35 @@ let schema_of doc =
   | Some (Json.String s) -> s
   | Some _ | None -> "<missing>"
 
-let runs_of doc =
-  match Json.member "runs" doc with Some (Json.List l) -> l | _ -> []
-
 let mix_of i run =
   match Json.member "mix" run with
   | Some (Json.String s) -> s
   | _ -> Printf.sprintf "run %d" i
+
+(* Every run in the document, labeled "overlay/mix". Reads the v6
+   layout (runs grouped in per-overlay sections) and falls back to a
+   v5-style top-level "runs" list (label = mix alone) so the gate can
+   still compare two pre-v6 baselines. *)
+let labeled_runs doc =
+  match Json.member "overlays" doc with
+  | Some (Json.List sections) ->
+    List.concat_map
+      (fun section ->
+        let overlay =
+          match Json.member "overlay" section with
+          | Some (Json.String s) -> s
+          | _ -> "<overlay>"
+        in
+        match Json.member "runs" section with
+        | Some (Json.List runs) ->
+          List.mapi (fun i run -> (overlay ^ "/" ^ mix_of i run, run)) runs
+        | _ -> [])
+      sections
+  | _ -> (
+    match Json.member "runs" doc with
+    | Some (Json.List runs) ->
+      List.mapi (fun i run -> (mix_of i run, run)) runs
+    | _ -> [])
 
 let events_per_s_of run =
   match Option.bind (Json.member "profile" run) (Json.member "events_per_s") with
@@ -119,23 +141,22 @@ let compare ~max_regress_pct ~old_doc ~new_doc =
       (* Simulated sections are identical, so the run lists pair up
          one-to-one; only the wall-clock throughput can still differ. *)
       let details = ref [] and regressions = ref [] in
-      List.iteri
-        (fun i (old_run, new_run) ->
-          let mix = mix_of i old_run in
+      List.iter
+        (fun ((label, old_run), (_, new_run)) ->
           match (events_per_s_of old_run, events_per_s_of new_run) with
           | Some old_eps, Some new_eps when old_eps > 0. ->
             let floor = old_eps *. (1. -. (max_regress_pct /. 100.)) in
             let line =
-              Printf.sprintf "%s: %.0f -> %.0f events/s (floor %.0f)" mix
+              Printf.sprintf "%s: %.0f -> %.0f events/s (floor %.0f)" label
                 old_eps new_eps floor
             in
             if new_eps < floor then regressions := line :: !regressions
             else details := line :: !details
           | _, _ ->
             details :=
-              (mix ^ ": no throughput sample on one side, check skipped")
+              (label ^ ": no throughput sample on one side, check skipped")
               :: !details)
-        (List.combine (runs_of old_doc) (runs_of new_doc));
+        (List.combine (labeled_runs old_doc) (labeled_runs new_doc));
       if !regressions <> [] then Throughput_regress (List.rev !regressions)
       else Pass { details = List.rev !details }
     end

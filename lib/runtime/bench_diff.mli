@@ -46,8 +46,12 @@ val compare :
     matching ["schema"] fields; byte-exact simulated sections (after
     {!strip_profile}); then, for each run pair where both sides carry a
     profile, [new events_per_s >= old * (1 - max_regress_pct / 100)].
-    Runs without a profile on either side skip the throughput check
-    (noted in [Pass.details]) — simulated equality was still enforced.
+    Runs are gathered from the v6 per-overlay sections (labeled
+    ["overlay/mix"] in every detail line), falling back to a v5-style
+    top-level run list (labeled by mix) so two pre-v6 baselines still
+    compare. Runs without a profile on either side skip the throughput
+    check (noted in [Pass.details]) — simulated equality was still
+    enforced.
     @raise Invalid_argument if [max_regress_pct] is negative. *)
 
 val exit_code : verdict -> int

@@ -25,6 +25,7 @@ module Engine = Baton_sim.Engine
 module Partition = Baton_sim.Partition
 module Datagen = Baton_workload.Datagen
 module Net = Baton.Net
+module Overlay = P2p_overlay.Overlay
 
 type arrival =
   | Closed of { think_ms : float }
@@ -61,6 +62,7 @@ let mix_named name =
   List.find_opt (fun m -> String.equal m.mix_name name) (mixes @ [ adversarial ])
 
 type config = {
+  overlay : string;  (* canonical Overlay.S name; "baton" = runtime path *)
   n : int;
   seed : int;
   keys_per_node : int;
@@ -79,11 +81,18 @@ type config = {
   oracle : bool;  (* check every completed op against the oracle *)
 }
 
-let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
-    ?(arrival = Closed { think_ms = 0. }) ?(range_span = 2_000_000)
-    ?(theta = 1.0) ?(timeout_ms = Runtime.default_timeout_ms)
-    ?(route_cache = false) ?(monitor_every_ms = 0.) ?(series_every_ms = 0.)
-    ?(profile = false) ?(fault_schedule = []) ?(oracle = false) ~n ~mix () =
+let config ?(overlay = "baton") ?(seed = 2005) ?(keys_per_node = 5)
+    ?(clients = 32) ?(ops = 2000) ?(arrival = Closed { think_ms = 0. })
+    ?(range_span = 2_000_000) ?(theta = 1.0)
+    ?(timeout_ms = Runtime.default_timeout_ms) ?(route_cache = false)
+    ?(monitor_every_ms = 0.) ?(series_every_ms = 0.) ?(profile = false)
+    ?(fault_schedule = []) ?(oracle = false) ~n ~mix () =
+  (* Canonicalize eagerly so an unknown name fails here, with the valid
+     list in the exception, not deep inside [run]. *)
+  let overlay =
+    let module O = (val Overlay.of_name overlay : Overlay.S) in
+    O.name
+  in
   if n < 2 then invalid_arg "Driver.config: n < 2";
   if clients < 1 then invalid_arg "Driver.config: clients < 1";
   if ops < 1 then invalid_arg "Driver.config: ops < 1";
@@ -91,7 +100,17 @@ let config ?(seed = 2005) ?(keys_per_node = 5) ?(clients = 32) ?(ops = 2000)
     invalid_arg "Driver.config: negative monitor_every_ms";
   if series_every_ms < 0. then
     invalid_arg "Driver.config: negative series_every_ms";
+  if not (String.equal overlay "baton") then begin
+    if fault_schedule <> [] then
+      invalid_arg "Driver.config: fault schedules require the baton runtime";
+    if route_cache then
+      invalid_arg "Driver.config: the route cache is baton-only";
+    if monitor_every_ms > 0. || series_every_ms > 0. || profile then
+      invalid_arg
+        "Driver.config: monitor/series/profile require the baton runtime"
+  end;
   {
+    overlay;
     n;
     seed;
     keys_per_node;
@@ -183,7 +202,7 @@ type report = {
   oracle : Oracle.t option;  (** consistency verdicts, when enabled *)
 }
 
-let run cfg =
+let run_baton cfg =
   (* Phase 1 — synchronous setup (excluded from all measurements):
      build the tree, load the data. *)
   let net = Baton.Network.build ~seed:cfg.seed cfg.n in
@@ -532,6 +551,121 @@ let run cfg =
     oracle;
   }
 
+(* Comparison-overlay path: the same seeded plan, executed sequentially
+   against an [Overlay.S] implementation. These overlays are synchronous
+   (no fiber runtime), so the virtual clock is the paper's own metric —
+   one protocol message = one virtual millisecond. Per-op latency is the
+   op's message bill, [duration_ms] the measured phase's total, and the
+   oracle judges reads over the same message clock (ops never overlap,
+   so every window is definite). Equal accounting with the baton path:
+   identical op plan, identical key load, setup excluded. *)
+let run_overlay cfg (module O : Overlay.S) =
+  let t = O.create ~seed:cfg.seed ~n:cfg.n in
+  let gen = Datagen.uniform (Rng.create ((cfg.seed * 31) + 7)) in
+  let keys = Datagen.take gen (cfg.keys_per_node * cfg.n) in
+  O.bulk_load t (Array.to_list keys);
+  let plan = plan_ops cfg ~keys in
+  let crng = Rng.create ((cfg.seed * 17) + 23) in
+  let oracle =
+    if not cfg.oracle then None
+    else begin
+      let o = Oracle.create () in
+      Oracle.seed_keys o (Array.to_list keys);
+      Some o
+    end
+  in
+  let base = O.stats t in
+  let clock () = float_of_int ((O.stats t).Overlay.total - base.Overlay.total) in
+  let completed = ref 0 and failed = ref 0 in
+  let last_done = ref 0. in
+  let latencies = List.map (fun k -> (k, Timing.create ())) kind_order in
+  Array.iter
+    (fun op ->
+      let digest = List.assoc (op_kind op) latencies in
+      let started = clock () in
+      (match (oracle, op) with
+      | Some o, Insert k -> Oracle.begin_mutation o k
+      | _ -> ());
+      match
+        match op with
+        | Exact k -> `Lookup (k, O.lookup t k)
+        | Range (lo, hi) -> `Ranged (lo, hi, O.range_query t ~lo ~hi)
+        | Insert k ->
+          O.insert t k;
+          `Inserted k
+        | Join ->
+          O.join t;
+          `Membership
+        | Leave ->
+          O.leave_random t crng;
+          `Membership
+      with
+      | outcome ->
+        incr completed;
+        let finished = clock () in
+        last_done := finished;
+        Timing.add digest (finished -. started);
+        (match oracle with
+        | None -> ()
+        | Some o -> (
+          match outcome with
+          | `Lookup (k, found) ->
+            ignore
+              (Oracle.check_exact o ~started ~finished ~key:k ~found
+                 ~complete:true ()
+                : Oracle.verdict)
+          | `Ranged (lo, hi, ks) ->
+            ignore
+              (Oracle.check_range o ~started ~finished ~lo ~hi ~keys:ks
+                 ~complete:true ~holes:[] ()
+                : Oracle.verdict)
+          | `Inserted k -> Oracle.commit_insert o k ~started ~finished
+          | `Membership -> ()))
+      | exception _ ->
+        (* E.g. [Overlay.Unsupported] for a range query on chord: the
+           op was issued, the overlay cannot serve it — a counted
+           failure, exactly like a casualty on the runtime path. *)
+        (match (oracle, op) with
+        | Some o, Insert k -> Oracle.abort_mutation o k
+        | _ -> ());
+        incr failed;
+        last_done := clock ())
+    plan;
+  let duration_ms = !last_done in
+  let stats = O.stats t in
+  {
+    cfg;
+    ops_issued = Array.length plan;
+    completed = !completed;
+    failed = !failed;
+    retries = 0;
+    messages = stats.Overlay.total - base.Overlay.total;
+    cache_messages = stats.Overlay.cache - base.Overlay.cache;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_stale = 0;
+    duration_ms;
+    wall_ms = 0.;
+    events_per_s = 0.;
+    throughput_ops_s =
+      (if duration_ms > 0. then float_of_int !completed /. duration_ms *. 1000.
+       else 0.);
+    latencies;
+    depth_max = 0;
+    depth_mean = 0.;
+    health = Json.Null;
+    profile_json = Json.Null;
+    series = None;
+    partition_timeouts = 0;
+    gray_drops = 0;
+    scenario = [];
+    oracle;
+  }
+
+let run cfg =
+  if String.equal cfg.overlay "baton" then run_baton cfg
+  else run_overlay cfg (Overlay.of_name cfg.overlay)
+
 (* --- Serialization -------------------------------------------------- *)
 
 let arrival_json = function
@@ -610,13 +744,25 @@ let report_json r =
         match r.oracle with None -> Json.Null | Some o -> Oracle.json o );
     ]
 
-let schema_version = "baton-bench-runtime-v5"
+let schema_version = "baton-bench-runtime-v6"
 
-let bench_json reports =
+(* v6: runs grouped per overlay. A run object is unchanged from v5, so
+   a baton-only document differs from its v5 counterpart only by this
+   wrapper (schema string + one level of nesting). *)
+let bench_json sections =
   Json.Obj
     [
       ("schema", Json.String schema_version);
-      ("runs", Json.List (List.map report_json reports));
+      ( "overlays",
+        Json.List
+          (List.map
+             (fun (overlay, reports) ->
+               Json.Obj
+                 [
+                   ("overlay", Json.String overlay);
+                   ("runs", Json.List (List.map report_json reports));
+                 ])
+             sections) );
     ]
 
 let summary r =
@@ -646,28 +792,35 @@ let summary r =
     Printf.sprintf "%s  oracle %d checked / %d violations" base
       (Oracle.checked o) (Oracle.violation_count o)
 
-(* One JSON object per line per retained sample, tagged with the mix it
-   came from — the artifact format CI uploads. Deterministic: only
-   virtual-clock timestamps and counter values appear. *)
-let timeseries_jsonl reports =
+(* One JSON object per line per retained sample, tagged with the
+   overlay and mix it came from — the artifact format CI uploads.
+   Deterministic: only virtual-clock timestamps and counter values
+   appear. (Only the baton runtime samples series, but the tag keeps
+   lines self-describing in a mixed artifact.) *)
+let timeseries_jsonl sections =
   let buf = Buffer.create 1024 in
   List.iter
-    (fun r ->
-      match r.series with
-      | None -> ()
-      | Some s ->
-        List.iter
-          (fun smp ->
-            let fields =
-              match Series.sample_json smp with
-              | Json.Obj fields -> fields
-              | _ -> assert false
-            in
-            Buffer.add_string buf
-              (Json.to_string
-                 (Json.Obj
-                    (("mix", Json.String r.cfg.mix.mix_name) :: fields)));
-            Buffer.add_char buf '\n')
-          (Series.samples s))
-    reports;
+    (fun (overlay, reports) ->
+      List.iter
+        (fun r ->
+          match r.series with
+          | None -> ()
+          | Some s ->
+            List.iter
+              (fun smp ->
+                let fields =
+                  match Series.sample_json smp with
+                  | Json.Obj fields -> fields
+                  | _ -> assert false
+                in
+                Buffer.add_string buf
+                  (Json.to_string
+                     (Json.Obj
+                        (("overlay", Json.String overlay)
+                        :: ("mix", Json.String r.cfg.mix.mix_name)
+                        :: fields)));
+                Buffer.add_char buf '\n')
+              (Series.samples s))
+        reports)
+    sections;
   Buffer.contents buf

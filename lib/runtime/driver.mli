@@ -5,7 +5,17 @@
     join/leave churn), executes it as interleaved fibers — open- or
     closed-loop — and reports throughput, per-kind latency percentiles
     and queue-depth statistics. Two runs of the same config serialize
-    to byte-identical JSON. *)
+    to byte-identical JSON.
+
+    The same plan can instead be executed against any registered
+    comparison overlay ({!P2p_overlay.Overlay.S}) by naming it in
+    [config ~overlay]. Those overlays are synchronous, so the driver
+    runs their plan sequentially and the virtual clock becomes the
+    paper's own cost metric: one protocol message = one virtual
+    millisecond (latencies are per-op message bills, [duration_ms] the
+    measured phase's message total). Key load, op plan and message
+    accounting are identical across overlays — the basis of the
+    per-overlay bench matrix. *)
 
 type arrival =
   | Closed of { think_ms : float }
@@ -38,6 +48,12 @@ val mixes : mix list
 val mix_named : string -> mix option
 
 type config = {
+  overlay : string;
+      (** canonical {!P2p_overlay.Overlay.S} name. ["baton"] (the
+          default) runs on the concurrent fiber runtime with every
+          feature available; any other registered overlay runs the same
+          plan sequentially, and requires [route_cache], [monitor],
+          [series], [profile] off and an empty [fault_schedule]. *)
   n : int;
   seed : int;
   keys_per_node : int;
@@ -79,6 +95,7 @@ type config = {
 }
 
 val config :
+  ?overlay:string ->
   ?seed:int ->
   ?keys_per_node:int ->
   ?clients:int ->
@@ -97,12 +114,15 @@ val config :
   mix:mix ->
   unit ->
   config
-(** Defaults: seed 2005, 5 keys/node, 32 clients, 2000 ops, closed
-    loop with zero think time, span 2·10⁶, theta 1.0 (the paper's Zipf
-    parameter), timeout {!Runtime.default_timeout_ms}, monitoring off,
-    time series off, profiling off, no fault schedule, oracle off.
-    @raise Invalid_argument on non-positive sizes or a negative
-    sampling period. *)
+(** Defaults: overlay "baton", seed 2005, 5 keys/node, 32 clients,
+    2000 ops, closed loop with zero think time, span 2·10⁶, theta 1.0
+    (the paper's Zipf parameter), timeout {!Runtime.default_timeout_ms},
+    monitoring off, time series off, profiling off, no fault schedule,
+    oracle off. The overlay name is canonicalized (aliases resolve).
+    @raise Invalid_argument on non-positive sizes, a negative sampling
+    period, or a baton-only feature requested for another overlay.
+    @raise P2p_overlay.Overlay.Unknown_overlay for an unregistered
+    overlay name. *)
 
 val kind_order : string list
 (** Operation kinds in report order:
@@ -171,8 +191,12 @@ type report = {
 
 val run : config -> report
 (** Build the network and bulk-load data synchronously (unmeasured),
-    enable the route cache when configured, then execute the plan
-    concurrently and report. *)
+    enable the route cache when configured, then execute the plan and
+    report. [overlay = "baton"] interleaves the plan concurrently on
+    the fiber runtime; any other overlay executes it sequentially with
+    the message clock as virtual time (runtime-only fields — retries,
+    cache event counts, queue depths, health, profile, series — are
+    zero/[Null]/[None] there). *)
 
 val report_json : report -> Baton_obs.Json.t
 (** Every field except the ["profile"] subtree is a pure function of
@@ -183,16 +207,19 @@ val report_json : report -> Baton_obs.Json.t
 
 val schema_version : string
 (** Value of the ["schema"] field of {!bench_json}:
-    ["baton-bench-runtime-v5"]. *)
+    ["baton-bench-runtime-v6"]. *)
 
-val bench_json : report list -> Baton_obs.Json.t
-(** The BENCH_runtime.json document: [{schema; runs: [...]}]. *)
+val bench_json : (string * report list) list -> Baton_obs.Json.t
+(** The BENCH_runtime.json document, one section per overlay:
+    [{schema; overlays: [{overlay; runs: [...]}; ...]}]. Run objects
+    are unchanged from the v5 schema, so a baton-only document differs
+    from its v5 counterpart only by the wrapper. *)
 
 val summary : report -> string
 (** One human-readable line per run (wall/event throughput appended
     when profiled). *)
 
-val timeseries_jsonl : report list -> string
+val timeseries_jsonl : (string * report list) list -> string
 (** The telemetry artifact: one JSON object per line per retained
-    sample, each tagged with its run's mix name. Empty string when no
-    run sampled a series. Deterministic. *)
+    sample, each tagged with its overlay and its run's mix name. Empty
+    string when no run sampled a series. Deterministic. *)

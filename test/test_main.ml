@@ -38,6 +38,7 @@ let () =
       ("baton.monitor", Test_monitor.suite);
       ("chord", Test_chord.suite);
       ("multiway", Test_multiway.suite);
+      ("skip_graph", Test_skip_graph.suite);
       ("overlay", Test_overlay.suite);
       ("workload", Test_workload.suite);
       ("runtime", Test_runtime.suite);

@@ -1,5 +1,5 @@
 (* The common overlay interface: one parametric test battery executed
-   against all three systems, plus interface-specific behaviour. *)
+   against every registered system, plus interface-specific behaviour. *)
 
 module O = P2p_overlay.Overlay
 module Rng = Baton_util.Rng
@@ -50,6 +50,8 @@ let test_range_support_matrix () =
   let supports (module M : O.S) = M.supports_range in
   Alcotest.(check bool) "baton supports ranges" true (supports O.baton);
   Alcotest.(check bool) "multiway supports ranges" true (supports O.multiway);
+  Alcotest.(check bool) "skip graph supports ranges" true
+    (supports O.skip_graph);
   Alcotest.(check bool) "chord cannot" false (supports O.chord);
   (* The capability flag is honest: querying an unsupporting overlay
      raises rather than silently answering. *)
@@ -60,7 +62,7 @@ let test_range_support_matrix () =
       ignore (C.range_query t ~lo:1 ~hi:1_000))
 
 let test_range_answers_agree () =
-  (* The two range-capable overlays must give identical answers. *)
+  (* Every range-capable overlay must give identical answers. *)
   let answer (module M : O.S) keys lo hi =
     let t = M.create ~seed:6 ~n:40 in
     List.iter (M.insert t) keys;
@@ -70,8 +72,11 @@ let test_range_answers_agree () =
   let keys = List.init 300 (fun _ -> Rng.int_in_range rng ~lo:1 ~hi:999_999_999) in
   let lo = 200_000_000 and hi = 420_000_000 in
   let expect = List.filter (fun k -> k >= lo && k <= hi) keys |> List.sort compare in
-  Alcotest.(check (list int)) "baton" expect (answer O.baton keys lo hi);
-  Alcotest.(check (list int)) "multiway" expect (answer O.multiway keys lo hi)
+  List.iter
+    (fun (module M : O.S) ->
+      if M.supports_range then
+        Alcotest.(check (list int)) M.name expect (answer (module M) keys lo hi))
+    O.all
 
 let test_bulk_load_places_all_keys () =
   for_each_overlay (fun (module M : O.S) ->
@@ -100,13 +105,66 @@ let test_stats_split () =
         (List.fold_left (fun acc (_, n) -> acc + n) 0 s.O.by_kind
         = s.O.total + s.O.cache))
 
-let test_by_name () =
+let test_of_name () =
+  (* Canonical names round-trip; aliases and case are accepted. *)
+  List.iter2
+    (fun name (module M : O.S) ->
+      let (module R : O.S) = O.of_name name in
+      Alcotest.(check string) ("canonical " ^ name) M.name R.name)
+    O.names O.all;
   List.iter
-    (fun name ->
-      let (module M : O.S) = O.by_name name in
-      Alcotest.(check bool) name true (M.name <> ""))
-    [ "baton"; "chord"; "multiway"; "MTREE" ];
-  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (O.by_name "kademlia"))
+    (fun (alias, expect) ->
+      let (module R : O.S) = O.of_name alias in
+      Alcotest.(check string) ("alias " ^ alias) expect R.name)
+    [
+      ("MTREE", "multiway"); ("skip_graph", "skip-graph");
+      ("SkipGraph", "skip-graph"); ("Baton", "baton");
+    ];
+  Alcotest.check_raises "unknown overlay carries the valid names"
+    (O.Unknown_overlay { name = "kademlia"; valid = O.names }) (fun () ->
+      ignore (O.of_name "kademlia"))
+
+let test_registry_covers_four () =
+  Alcotest.(check (list string))
+    "registered overlays, BATON first"
+    [ "baton"; "chord"; "multiway"; "skip-graph" ]
+    O.names
+
+(* Parity: after an identical seeded op sequence, every overlay's stats
+   split must stay internally consistent — total equals [messages],
+   the per-kind breakdown sums to total + cache, and the aux (cache)
+   share never goes negative. The sequence exercises every S operation
+   so no message kind escapes the accounting. *)
+let test_stats_parity_after_identical_ops () =
+  for_each_overlay (fun (module M : O.S) ->
+      let t = M.create ~seed:21 ~n:30 in
+      let rng = Rng.create 77 in
+      let key () = Rng.int_in_range rng ~lo:1 ~hi:999_999_999 in
+      let keys = List.init 120 (fun _ -> key ()) in
+      M.bulk_load t keys;
+      List.iteri (fun i k -> if i mod 3 = 0 then ignore (M.lookup t k)) keys;
+      List.iteri (fun i k -> if i mod 7 = 0 then ignore (M.delete t k)) keys;
+      for _ = 1 to 5 do
+        M.insert t (key ());
+        M.join t;
+        M.leave_random t rng
+      done;
+      if M.supports_range then
+        ignore (M.range_query t ~lo:100_000_000 ~hi:900_000_000);
+      let s = M.stats t in
+      Alcotest.(check int) (M.name ^ " total = messages") (M.messages t)
+        s.O.total;
+      Alcotest.(check bool) (M.name ^ " aux non-negative") true (s.O.cache >= 0);
+      Alcotest.(check int)
+        (M.name ^ " per-kind sums to total + aux")
+        (s.O.total + s.O.cache)
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 s.O.by_kind);
+      List.iter
+        (fun (kind, n) ->
+          Alcotest.(check bool) (M.name ^ " kind " ^ kind ^ " positive") true
+            (n > 0))
+        s.O.by_kind;
+      M.check t)
 
 let suite =
   [
@@ -118,5 +176,8 @@ let suite =
     Alcotest.test_case "range answers agree" `Quick test_range_answers_agree;
     Alcotest.test_case "bulk load" `Quick test_bulk_load_places_all_keys;
     Alcotest.test_case "stats split" `Quick test_stats_split;
-    Alcotest.test_case "by_name" `Quick test_by_name;
+    Alcotest.test_case "of_name" `Quick test_of_name;
+    Alcotest.test_case "registry covers four" `Quick test_registry_covers_four;
+    Alcotest.test_case "stats parity after identical ops" `Quick
+      test_stats_parity_after_identical_ops;
   ]

@@ -222,7 +222,7 @@ let test_series_deterministic () =
       Driver.config ~seed:7 ~keys_per_node:3 ~clients:6 ~ops:60 ~n:40
         ~series_every_ms:150. ~mix:Driver.read_heavy ()
     in
-    Driver.timeseries_jsonl [ Driver.run cfg ]
+    Driver.timeseries_jsonl [ ("baton", [ Driver.run cfg ]) ]
   in
   let a = run () in
   Alcotest.(check bool) "non-empty artifact" true (String.length a > 0);
@@ -252,7 +252,8 @@ let bench_doc ~profile =
       ~monitor_every_ms:500. ~series_every_ms:250. ~profile
       ~mix:Driver.read_heavy ()
   in
-  parse_exn (Json.to_pretty_string (Driver.bench_json [ Driver.run cfg ]))
+  parse_exn
+    (Json.to_pretty_string (Driver.bench_json [ ("baton", [ Driver.run cfg ]) ]))
 
 let test_bench_diff_pass () =
   let old_doc = bench_doc ~profile:true in

@@ -204,7 +204,7 @@ let test_bench_json_schema () =
     Driver.config ~seed:5 ~keys_per_node:2 ~clients:4 ~ops:40 ~n:20
       ~mix:Driver.read_heavy ()
   in
-  let doc = Json.to_string (Driver.bench_json [ Driver.run cfg ]) in
+  let doc = Json.to_string (Driver.bench_json [ ("baton", [ Driver.run cfg ]) ]) in
   let contains s =
     let re = Str.regexp_string s in
     match Str.search_forward re doc 0 with
@@ -216,8 +216,8 @@ let test_bench_json_schema () =
   List.iter
     (fun field -> Alcotest.(check bool) field true (contains field))
     [
-      "\"runs\""; "\"throughput_ops_per_s\""; "\"latency_ms\"";
-      "\"queue_depth\""; "\"p99_ms\"";
+      "\"overlays\""; "\"overlay\""; "\"runs\""; "\"throughput_ops_per_s\"";
+      "\"latency_ms\""; "\"queue_depth\""; "\"p99_ms\"";
     ]
 
 (* The monitor is a pure observer: switching it on must not move the
