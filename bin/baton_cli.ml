@@ -362,22 +362,23 @@ let compare_overlays nodes seed ops =
   List.iter
     (fun (module O : P2p_overlay.Overlay.S) ->
       let t = O.create ~seed ~n:nodes in
-      let build = O.messages t in
-      let before = O.messages t in
+      let msgs () = (O.stats t).P2p_overlay.Overlay.total in
+      let build = msgs () in
+      let before = msgs () in
       (* The batched path: one bulk load instead of [ops] routed
          inserts; per-key cost shows the amortization. *)
       O.bulk_load t (Array.to_list keys);
-      let load_cost = float_of_int (O.messages t - before) /. float_of_int ops in
-      let before = O.messages t in
+      let load_cost = float_of_int (msgs () - before) /. float_of_int ops in
+      let before = msgs () in
       Array.iter (fun k -> assert (O.lookup t k)) keys;
-      let lookup_cost = float_of_int (O.messages t - before) /. float_of_int ops in
-      let before = O.messages t in
+      let lookup_cost = float_of_int (msgs () - before) /. float_of_int ops in
+      let before = msgs () in
       let churn_rng = Rng.create (seed + 11) in
       for _ = 1 to 20 do
         O.join t;
         O.leave_random t churn_rng
       done;
-      let churn_cost = float_of_int (O.messages t - before) /. 40. in
+      let churn_cost = float_of_int (msgs () - before) /. 40. in
       let range =
         if O.supports_range then
           let answer = O.range_query t ~lo:1 ~hi:50_000_000 in
@@ -501,6 +502,30 @@ let bench_run nodes seed keys_per_node ops clients overlay_names mix_names
         (overlay, reports))
       overlays
   in
+  (* One stderr line for the whole invocation — aggregate wall clock
+     and engine throughput over the profiled runs — so scale runs are
+     legible without parsing the JSON report. *)
+  (let profiled =
+     List.concat_map
+       (fun (_, rs) ->
+         List.filter (fun (r : Driver.report) -> r.Driver.wall_ms > 0.) rs)
+       sections
+   in
+   match profiled with
+   | [] -> ()
+   | rs ->
+     let wall =
+       List.fold_left (fun a (r : Driver.report) -> a +. r.Driver.wall_ms) 0. rs
+     in
+     let events =
+       List.fold_left
+         (fun a (r : Driver.report) ->
+           a +. (r.Driver.events_per_s *. r.Driver.wall_ms /. 1000.))
+         0. rs
+     in
+     Printf.eprintf "bench-run: %d runs, wall %.0f ms, %.0f events/s\n%!"
+       (List.length rs) wall
+       (if wall > 0. then events /. (wall /. 1000.) else 0.));
   (match timeseries_out with
   | None -> ()
   | Some path ->
@@ -563,6 +588,42 @@ let bench_cache nodes seed keys_per_node ops span out =
     Baton_obs.Json.to_pretty_string
       (E.bench_json ~seed ~n:nodes ~keys_per_node ~ops ~range_span:span cells)
     ^ "\n"
+  in
+  match out with
+  | None -> print_string doc
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc doc);
+    Printf.eprintf "wrote %s\n" path
+
+(* Scale sweep: the driver's canonical per-n configuration (read-heavy
+   mix, domain widened with n, profiling on) at each requested
+   population size; emits the BENCH_scale.json document. *)
+let bench_scale ns seed keys_per_node ops clients out =
+  let ns = List.sort_uniq compare ns in
+  (match ns with
+  | [] ->
+    Printf.eprintf "bench-scale: empty --ns list\n";
+    exit 2
+  | _ -> ());
+  List.iter
+    (fun n ->
+      if n < 2 then begin
+        Printf.eprintf "bench-scale: n must be >= 2 (got %d)\n" n;
+        exit 2
+      end)
+    ns;
+  let t0 = Baton_obs.Profile.now_ms () in
+  let reports =
+    Driver.run_scale ~seed ~keys_per_node ~ops ~clients
+      ~progress:(fun r -> Printf.eprintf "%s\n%!" (Driver.summary r))
+      ns
+  in
+  Printf.eprintf "bench-scale: %d points (n=%d..%d) in %.1f s\n%!"
+    (List.length ns) (List.hd ns)
+    (List.nth ns (List.length ns - 1))
+    ((Baton_obs.Profile.now_ms () -. t0) /. 1000.);
+  let doc =
+    Baton_obs.Json.to_pretty_string (Driver.scale_json reports) ^ "\n"
   in
   match out with
   | None -> print_string doc
@@ -874,6 +935,41 @@ let bench_cache_cmd =
       const bench_cache $ cache_nodes_arg $ seed_arg $ cache_keys_arg
       $ cache_ops_arg $ span_arg $ out_arg)
 
+let scale_ns_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1000; 10_000; 100_000 ]
+    & info [ "ns" ] ~docv:"N,N,..."
+        ~doc:
+          "Population sizes to sweep, comma-separated. Default \
+           1000,10000,100000.")
+
+let scale_keys_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "keys-per-node" ] ~docv:"K"
+        ~doc:"Data volume per peer at each point.")
+
+let scale_ops_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per point.")
+
+let bench_scale_cmd =
+  let doc =
+    "Sweep the population size: at each $(b,--ns) point, build the tree \
+     over a domain widened with n, bulk-load it and run the driver's \
+     read-heavy measured phase profiled — raw engine throughput \
+     (events/s) is reported per n. Simulated metrics are \
+     seed-deterministic, so the emitted document gates with \
+     $(b,bench-diff) against a committed BENCH_scale.json baseline \
+     exactly like the runtime bench."
+  in
+  Cmd.v (Cmd.info "bench-scale" ~doc)
+    Term.(
+      const bench_scale $ scale_ns_arg $ seed_arg $ scale_keys_arg
+      $ scale_ops_arg $ clients_arg $ out_arg)
+
 let inspect_cmd =
   let doc = "Print the structure of a network (freshly built or from a snapshot)." in
   Cmd.v (Cmd.info "inspect" ~doc)
@@ -884,7 +980,7 @@ let main =
   Cmd.group (Cmd.info "baton" ~doc)
     [
       simulate_cmd; churn_cmd; inspect_cmd; trace_cmd; stats_cmd; compare_cmd;
-      bench_run_cmd; bench_cache_cmd; bench_diff_cmd;
+      bench_run_cmd; bench_cache_cmd; bench_scale_cmd; bench_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main)

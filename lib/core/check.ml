@@ -105,8 +105,8 @@ let check_link net ~strict ~what ~(owner : Node.t) (link : Link.info option) exp
           fail "links: node %d %s caches range %a, actual %a" owner.Node.id what
             Range.pp l.Link.range Range.pp target.Node.range;
         if
-          l.Link.has_left_child <> Option.is_some target.Node.left_child
-          || l.Link.has_right_child <> Option.is_some target.Node.right_child
+          l.Link.has_left_child <> Option.is_some (Node.child target `Left)
+          || l.Link.has_right_child <> Option.is_some (Node.child target `Right)
         then fail "links: node %d %s caches stale child flags" owner.Node.id what
       end)
 
@@ -115,16 +115,20 @@ let links ?(strict = true) net =
     (fun (n : Node.t) ->
       let pos = n.Node.pos in
       let expect p = if Wiring.occupied net p then Some p else None in
-      check_link net ~strict ~what:"parent" ~owner:n n.Node.parent
-        (if Position.is_root pos then None else expect (Position.parent pos));
-      check_link net ~strict ~what:"left child" ~owner:n n.Node.left_child
-        (expect (Position.left_child pos));
-      check_link net ~strict ~what:"right child" ~owner:n n.Node.right_child
-        (expect (Position.right_child pos));
-      check_link net ~strict ~what:"left adjacent" ~owner:n n.Node.left_adjacent
-        (Wiring.in_order_predecessor net pos);
-      check_link net ~strict ~what:"right adjacent" ~owner:n n.Node.right_adjacent
-        (Wiring.in_order_successor net pos);
+      let expected : Link.kind -> Position.t option = function
+        | Link.Parent ->
+          if Position.is_root pos then None else expect (Position.parent pos)
+        | Link.Child `Left -> expect (Position.left_child pos)
+        | Link.Child `Right -> expect (Position.right_child pos)
+        | Link.Adjacent `Left -> Wiring.in_order_predecessor net pos
+        | Link.Adjacent `Right -> Wiring.in_order_successor net pos
+      in
+      List.iter
+        (fun k ->
+          check_link net ~strict
+            ~what:(Format.asprintf "%a" Link.pp_kind k)
+            ~owner:n (Node.link n k) (expected k))
+        Link.all_kinds;
       List.iter
         (fun side ->
           let table = Node.table n side in

@@ -44,14 +44,17 @@ let regenerate net (guardian_node : Node.t) (dead : Node.t) =
       Some (Node.info t)
     | None -> None
   in
-  dead.Node.parent <-
-    (if Position.is_root pos then None else consult (Position.parent pos));
-  dead.Node.left_child <- consult (Position.left_child pos);
-  dead.Node.right_child <- consult (Position.right_child pos);
-  dead.Node.left_adjacent <-
-    Option.bind (Wiring.in_order_predecessor net pos) consult;
-  dead.Node.right_adjacent <-
-    Option.bind (Wiring.in_order_successor net pos) consult;
+  let resolve : Link.kind -> Link.info option = function
+    | Link.Parent ->
+      if Position.is_root pos then None else consult (Position.parent pos)
+    | Link.Child `Left -> consult (Position.left_child pos)
+    | Link.Child `Right -> consult (Position.right_child pos)
+    | Link.Adjacent `Left ->
+      Option.bind (Wiring.in_order_predecessor net pos) consult
+    | Link.Adjacent `Right ->
+      Option.bind (Wiring.in_order_successor net pos) consult
+  in
+  List.iter (fun k -> Node.set_link dead k (resolve k)) Link.all_kinds;
   Node.reset_tables dead;
   List.iter
     (fun side ->

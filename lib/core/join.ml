@@ -9,7 +9,8 @@ type stats = {
 }
 
 let can_accept (n : Node.t) =
-  Node.tables_full n && (Option.is_none n.Node.left_child || Option.is_none n.Node.right_child)
+  Node.tables_full n
+  && (Option.is_none (Node.child n `Left) || Option.is_none (Node.child n `Right))
 
 (* Algorithm 1. The [visited] set breaks the ping-pong that stale
    child-presence flags could otherwise cause; when every listed option
@@ -40,7 +41,7 @@ let find_join_node net ~via =
       let fresh (i : Link.info) = not (Hashtbl.mem visited i.Link.peer) in
       if can_accept n then (n, msgs)
       else if not (Node.tables_full n) then
-        match n.Node.parent with
+        match Node.parent n with
         | Some p when fresh p -> follow n p msgs
         | Some _ | None -> dive n msgs
       else begin
@@ -72,10 +73,12 @@ let find_join_node net ~via =
      leaf always has one, so this terminates. *)
   and dive (n : Node.t) msgs =
     if msgs > budget then failwith "Join.find_join_node: no acceptor found"
-    else if Option.is_none n.Node.left_child || Option.is_none n.Node.right_child
+    else if
+      Option.is_none (Node.child n `Left)
+      || Option.is_none (Node.child n `Right)
     then (n, msgs)
     else
-      match hop n (Option.get n.Node.left_child) with
+      match hop n (Option.get (Node.child n `Left)) with
       | Some next -> dive next (msgs + 1)
       | None -> dive n (msgs + 1)
   in
@@ -96,7 +99,7 @@ let split_point (x : Node.t) =
 let accept net ~acceptor:(x : Node.t) new_id =
   let mcp = Metrics.checkpoint (Net.metrics net) in
   let side =
-    match (x.Node.left_child, x.Node.right_child) with
+    match (Node.child x `Left, Node.child x `Right) with
     | None, _ -> `Left
     | Some _, None -> `Right
     | Some _, Some _ -> invalid_arg "Join.accept: acceptor has both children"
@@ -118,7 +121,7 @@ let accept net ~acceptor:(x : Node.t) new_id =
   (* Parent / child links. *)
   let opposite = match side with `Left -> `Right | `Right -> `Left in
   Node.set_child x side (Some (Node.info y));
-  y.Node.parent <- Some (Node.info x);
+  Node.set_parent y (Some (Node.info x));
   (* Adjacent links: y slides between x and x's old adjacent on that
      side; the displaced adjacent (if any) is told to repoint (1 msg). *)
   let outer = Node.adjacent x side in
@@ -149,7 +152,7 @@ let accept net ~acceptor:(x : Node.t) new_id =
     let y_info = Node.info y in
     Net.notify net ~expect_pos:s_link.Link.pos ~src:x.Node.id ~dst:s_link.Link.peer
       ~kind:Msg.join_update (fun s ->
-        s.Node.parent <- Some x_info;
+        Node.set_parent s (Some x_info);
         set_slot s ypos y_info;
         Net.notify net ~src:s.Node.id ~dst:y.Node.id ~kind:Msg.join_update (fun y ->
             set_slot y s.Node.pos (Node.info s)))
@@ -182,8 +185,8 @@ let accept net ~acceptor:(x : Node.t) new_id =
                   Net.notify net ~src:c.Node.id ~dst:y.Node.id ~kind:Msg.join_update
                     (fun y -> set_slot y c.Node.pos (Node.info c)))
           in
-          (match w.Node.left_child with Some c -> forward c | None -> ());
-          (match w.Node.right_child with Some c -> forward c | None -> ())))
+          (match Node.child w `Left with Some c -> forward c | None -> ());
+          (match Node.child w `Right with Some c -> forward c | None -> ())))
     (Node.neighbor_entries x);
   (* Constant-size refreshes: x's parent, other child and far adjacent
      cache x's range, which just changed. *)
@@ -191,7 +194,7 @@ let accept net ~acceptor:(x : Node.t) new_id =
     Net.notify net ~src:x.Node.id ~dst:peer.Link.peer ~kind:Msg.join_update (fun p ->
         Node.update_links_for_peer p x.Node.id (fun _ -> x_info))
   in
-  (match x.Node.parent with Some p -> refresh_x p | None -> ());
+  (match Node.parent x with Some p -> refresh_x p | None -> ());
   (match Node.adjacent x opposite with Some a -> refresh_x a | None -> ());
   (y, Metrics.since (Net.metrics net) mcp)
 

@@ -33,7 +33,7 @@ let direct_departure net (x : Node.t) ~kind =
       | None -> failwith "Leave.direct_departure: parent position empty"
     in
     let p =
-      match x.Node.parent with
+      match Node.parent x with
       | None -> detour ()
       | Some p_link -> (
         match Net.send net ~src:x.Node.id ~dst:p_link.Link.peer ~kind with
@@ -107,7 +107,7 @@ let find_replacement net (x : Node.t) =
     Hashtbl.replace visited n.Node.id ();
     if msgs > budget then failwith "Leave.find_replacement: walk did not terminate"
     else
-      match (n.Node.left_child, n.Node.right_child) with
+      match (Node.child n `Left, Node.child n `Right) with
       | Some c, _ | None, Some c -> follow n c msgs
       | None, None -> (
         match child_bearing n with
@@ -124,7 +124,7 @@ let find_replacement net (x : Node.t) =
   let start_walk () =
     if Node.is_leaf x then walk x 0
     else
-      match (x.Node.left_adjacent, x.Node.right_adjacent) with
+      match (Node.adjacent x `Left, Node.adjacent x `Right) with
       | Some a, _ | None, Some a -> (
         match hop_opt x a with Some n -> walk n 1 | None -> walk x 1)
       | None, None -> assert false (* an internal node has a subtree *)

@@ -6,6 +6,28 @@ type info = {
   has_right_child : bool;
 }
 
+type side = [ `Left | `Right ]
+type kind = Parent | Child of side | Adjacent of side
+
+let kind_index = function
+  | Parent -> 0
+  | Child `Left -> 1
+  | Child `Right -> 2
+  | Adjacent `Left -> 3
+  | Adjacent `Right -> 4
+
+let num_kinds = 5
+
+let all_kinds =
+  [ Parent; Child `Left; Child `Right; Adjacent `Left; Adjacent `Right ]
+
+let pp_kind fmt = function
+  | Parent -> Format.pp_print_string fmt "parent"
+  | Child `Left -> Format.pp_print_string fmt "left child"
+  | Child `Right -> Format.pp_print_string fmt "right child"
+  | Adjacent `Left -> Format.pp_print_string fmt "left adjacent"
+  | Adjacent `Right -> Format.pp_print_string fmt "right adjacent"
+
 let has_both_children i = i.has_left_child && i.has_right_child
 let has_spare_child_slot i = not (has_both_children i)
 

@@ -15,6 +15,24 @@ type info = {
   has_right_child : bool;
 }
 
+type side = [ `Left | `Right ]
+
+type kind = Parent | Child of side | Adjacent of side
+(** The five per-node link slots the paper prescribes (Section III):
+    one parent, two children, two adjacent nodes. A [kind] addresses
+    one slot uniformly, so traversals over "every link of a node" are
+    folds over {!all_kinds} rather than copy-pasted field walks. *)
+
+val kind_index : kind -> int
+(** Dense index of a kind in [0, num_kinds): the layout of the
+    per-node link arena in {!Node}. Parent is 0; children then
+    adjacents, left before right. *)
+
+val num_kinds : int
+val all_kinds : kind list
+
+val pp_kind : Format.formatter -> kind -> unit
+
 val has_both_children : info -> bool
 val has_spare_child_slot : info -> bool
 

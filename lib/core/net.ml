@@ -20,7 +20,12 @@ type t = {
   domain : Range.t;
   mutable next_id : int;
   mutable defer : bool;
-  deferred : (unit -> unit) Dyn_array.t;
+  deferred : pending Dyn_array.t;
+  (* Recycled notification records. A deferred notify reuses one of
+     these instead of allocating a fresh closure per call; the [p_f]
+     callback is cleared when the record returns to the pool, so an
+     idle pool holds no closures and the network still marshals. *)
+  pool : pending Dyn_array.t;
   shifts : Histogram.t;
   (* Resilient-messaging state: bounded retransmissions on Timeout and
      the per-peer suspicion counters behind lazy failure detection. *)
@@ -68,6 +73,16 @@ type t = {
 
 and hop_outcome = Delivered | Timed_out
 
+(* One deferred notification, pooled. All fields are dummies while the
+   record sits in the free pool. *)
+and pending = {
+  mutable p_src : int;
+  mutable p_dst : int;
+  mutable p_kind : string;
+  mutable p_expect : Position.t option;
+  mutable p_f : (Node.t -> unit) option;
+}
+
 and hop_wait = src:int -> dst:int -> kind:string -> outcome:hop_outcome -> unit
 
 let default_retry_limit = 3
@@ -90,6 +105,7 @@ let create ?(seed = 42) ~domain () =
     next_id = 0;
     defer = false;
     deferred = Dyn_array.create ();
+    pool = Dyn_array.create ();
     shifts = Histogram.create ();
     retry_limit = default_retry_limit;
     suspicions = Hashtbl.create 64;
@@ -257,9 +273,10 @@ let link_kind t ~src ~dst ~kind =
       let in_table tbl =
         Option.is_some (Routing_table.find tbl (fun i -> i.Link.peer = dst))
       in
-      if is n.Node.parent then Msg.link_parent
-      else if is n.Node.left_child || is n.Node.right_child then Msg.link_child
-      else if is n.Node.left_adjacent || is n.Node.right_adjacent then
+      if is (Node.parent n) then Msg.link_parent
+      else if is (Node.child n `Left) || is (Node.child n `Right) then
+        Msg.link_child
+      else if is (Node.adjacent n `Left) || is (Node.adjacent n `Right) then
         Msg.link_adjacent
       else if in_table n.Node.left_table || in_table n.Node.right_table then
         Msg.link_sideways
@@ -455,9 +472,19 @@ let apply_notification t ~src ~dst ~kind ~expect_pos f =
       ev Msg.ev_notify_dropped)
 
 let notify ?expect_pos t ~src ~dst ~kind f =
-  if t.defer then
-    Baton_util.Dyn_array.push t.deferred (fun () ->
-        apply_notification t ~src ~dst ~kind ~expect_pos f)
+  if t.defer then begin
+    let p =
+      if Dyn_array.is_empty t.pool then
+        { p_src = 0; p_dst = 0; p_kind = ""; p_expect = None; p_f = None }
+      else Dyn_array.pop t.pool
+    in
+    p.p_src <- src;
+    p.p_dst <- dst;
+    p.p_kind <- kind;
+    p.p_expect <- expect_pos;
+    p.p_f <- Some f;
+    Dyn_array.push t.deferred p
+  end
   else apply_notification t ~src ~dst ~kind ~expect_pos f
 
 let set_defer t flag = t.defer <- flag
@@ -466,10 +493,24 @@ let deferring t = t.defer
 let flush_deferred t =
   (* Notifications may enqueue follow-ups while flushing; drain fully. *)
   t.defer <- false;
-  while not (Baton_util.Dyn_array.is_empty t.deferred) do
-    let batch = Baton_util.Dyn_array.to_array t.deferred in
-    Baton_util.Dyn_array.clear t.deferred;
-    Array.iter (fun f -> f ()) batch
+  while not (Dyn_array.is_empty t.deferred) do
+    let batch = Dyn_array.to_array t.deferred in
+    Dyn_array.clear t.deferred;
+    Array.iter
+      (fun p ->
+        let f = Option.get p.p_f in
+        let src = p.p_src
+        and dst = p.p_dst
+        and kind = p.p_kind
+        and expect_pos = p.p_expect in
+        (* Recycle before running: the callback may defer follow-ups,
+           which can then reuse this very record. *)
+        p.p_f <- None;
+        p.p_kind <- "";
+        p.p_expect <- None;
+        Dyn_array.push t.pool p;
+        apply_notification t ~src ~dst ~kind ~expect_pos f)
+      batch
   done
 
 let record_shift t n = Histogram.add t.shifts n
@@ -478,7 +519,7 @@ let shift_histogram t = t.shifts
 (* Snapshot format: a magic string (to fail fast on foreign files)
    followed by the marshalled record. The record holds no closures once
    the deferred queue is empty and the bus trace hook is cleared. *)
-let snapshot_magic = "BATON-NET-v5"
+let snapshot_magic = "BATON-NET-v6"
 
 let save t path =
   if not (Baton_util.Dyn_array.is_empty t.deferred) then

@@ -3,11 +3,7 @@ module Sorted_store = Baton_util.Sorted_store
 type t = {
   id : int;
   mutable pos : Position.t;
-  mutable parent : Link.info option;
-  mutable left_child : Link.info option;
-  mutable right_child : Link.info option;
-  mutable left_adjacent : Link.info option;
-  mutable right_adjacent : Link.info option;
+  links : Link.info option array;
   mutable left_table : Routing_table.t;
   mutable right_table : Routing_table.t;
   mutable range : Range.t;
@@ -21,11 +17,7 @@ let create ~id ~pos ~range =
   {
     id;
     pos;
-    parent = None;
-    left_child = None;
-    right_child = None;
-    left_adjacent = None;
-    right_adjacent = None;
+    links = Array.make Link.num_kinds None;
     left_table = Routing_table.create pos `Left;
     right_table = Routing_table.create pos `Right;
     range;
@@ -43,33 +35,27 @@ let set_range t range =
     bump_epoch t
   end
 
+let link t kind = Array.unsafe_get t.links (Link.kind_index kind)
+let set_link t kind l = Array.unsafe_set t.links (Link.kind_index kind) l
+let parent t = link t Link.Parent
+let set_parent t l = set_link t Link.Parent l
+let child t side = link t (Link.Child side)
+let set_child t side l = set_link t (Link.Child side) l
+let adjacent t side = link t (Link.Adjacent side)
+let set_adjacent t side l = set_link t (Link.Adjacent side) l
+
 let info t =
   {
     Link.peer = t.id;
     pos = t.pos;
     range = t.range;
-    has_left_child = Option.is_some t.left_child;
-    has_right_child = Option.is_some t.right_child;
+    has_left_child = Option.is_some (child t `Left);
+    has_right_child = Option.is_some (child t `Right);
   }
 
 let level t = t.pos.Position.level
 let is_root t = Position.is_root t.pos
-let is_leaf t = Option.is_none t.left_child && Option.is_none t.right_child
-
-let child t = function `Left -> t.left_child | `Right -> t.right_child
-
-let set_child t side link =
-  match side with
-  | `Left -> t.left_child <- link
-  | `Right -> t.right_child <- link
-
-let adjacent t = function `Left -> t.left_adjacent | `Right -> t.right_adjacent
-
-let set_adjacent t side link =
-  match side with
-  | `Left -> t.left_adjacent <- link
-  | `Right -> t.right_adjacent <- link
-
+let is_leaf t = Option.is_none (child t `Left) && Option.is_none (child t `Right)
 let table t = function `Left -> t.left_table | `Right -> t.right_table
 
 let tables_full t =
@@ -84,32 +70,23 @@ let reset_tables t =
   t.left_table <- Routing_table.create t.pos `Left;
   t.right_table <- Routing_table.create t.pos `Right
 
-let map_link f = function
-  | Some (info : Link.info) -> Some (f info)
-  | None -> None
-
 let update_links_for_peer t peer f =
-  let refresh link =
-    map_link (fun (i : Link.info) -> if i.Link.peer = peer then f i else i) link
-  in
-  t.parent <- refresh t.parent;
-  t.left_child <- refresh t.left_child;
-  t.right_child <- refresh t.right_child;
-  t.left_adjacent <- refresh t.left_adjacent;
-  t.right_adjacent <- refresh t.right_adjacent;
+  for i = 0 to Link.num_kinds - 1 do
+    match Array.unsafe_get t.links i with
+    | Some (l : Link.info) when l.Link.peer = peer ->
+      Array.unsafe_set t.links i (Some (f l))
+    | Some _ | None -> ()
+  done;
   Routing_table.update_peer t.left_table peer f;
   Routing_table.update_peer t.right_table peer f
 
 let drop_links_for_peer t peer =
-  let drop = function
-    | Some (i : Link.info) when i.Link.peer = peer -> None
-    | link -> link
-  in
-  t.parent <- drop t.parent;
-  t.left_child <- drop t.left_child;
-  t.right_child <- drop t.right_child;
-  t.left_adjacent <- drop t.left_adjacent;
-  t.right_adjacent <- drop t.right_adjacent;
+  for i = 0 to Link.num_kinds - 1 do
+    match Array.unsafe_get t.links i with
+    | Some (l : Link.info) when l.Link.peer = peer ->
+      Array.unsafe_set t.links i None
+    | Some _ | None -> ()
+  done;
   Routing_table.remove_peer t.left_table peer;
   Routing_table.remove_peer t.right_table peer
 

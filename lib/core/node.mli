@@ -3,16 +3,19 @@
     Exactly the state the paper prescribes (Section III): a parent
     link, two child links, two adjacent links, a left and a right
     routing table, the managed key range and the locally stored data.
-    All remote knowledge is held as {!Link.info} snapshots. *)
+    All remote knowledge is held as {!Link.info} snapshots.
+
+    The five link slots live in one {!Link.kind}-indexed arena
+    ([links]) rather than five optional record fields, so the hot
+    routing paths walk a flat array and "every link of this node"
+    operations are folds over {!Link.all_kinds}. *)
 
 type t = {
   id : int;  (** physical peer id on the bus *)
   mutable pos : Position.t;
-  mutable parent : Link.info option;
-  mutable left_child : Link.info option;
-  mutable right_child : Link.info option;
-  mutable left_adjacent : Link.info option;
-  mutable right_adjacent : Link.info option;
+  links : Link.info option array;
+      (** the five link slots, indexed by {!Link.kind_index}; address
+          through {!link}/{!set_link} or the named accessors below *)
   mutable left_table : Routing_table.t;
   mutable right_table : Routing_table.t;
   mutable range : Range.t;
@@ -50,6 +53,14 @@ val level : t -> int
 val is_root : t -> bool
 val is_leaf : t -> bool
 
+val link : t -> Link.kind -> Link.info option
+(** The link held in the given slot. *)
+
+val set_link : t -> Link.kind -> Link.info option -> unit
+
+val parent : t -> Link.info option
+val set_parent : t -> Link.info option -> unit
+
 val child : t -> [ `Left | `Right ] -> Link.info option
 val set_child : t -> [ `Left | `Right ] -> Link.info option -> unit
 
@@ -74,8 +85,9 @@ val reset_tables : t -> unit
     position. Used when a node moves during restructuring. *)
 
 val update_links_for_peer : t -> int -> (Link.info -> Link.info) -> unit
-(** Apply a refresh function to every link (parent, children,
-    adjacents, both tables) whose target is the given peer. *)
+(** Apply a refresh function to every link slot (parent, children,
+    adjacents) and both routing tables whose target is the given
+    peer — one fold over the link arena. *)
 
 val drop_links_for_peer : t -> int -> unit
 (** Null out every link whose target is the given peer. *)

@@ -13,7 +13,7 @@ let holder_of t owner =
   Option.map (fun e -> e.holder) (Hashtbl.find_opt t.replicas owner)
 
 let adjacent_holder (owner : Node.t) =
-  match (owner.Node.right_adjacent, owner.Node.left_adjacent) with
+  match (Node.adjacent owner `Right, Node.adjacent owner `Left) with
   | Some a, _ | None, Some a -> Some a.Link.peer
   | None, None -> None
 

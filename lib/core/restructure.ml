@@ -124,7 +124,7 @@ let rec forced_join net ~parent:(x : Node.t) new_id =
           forced_join_run net ~parent:x new_id))
 
 and forced_join_run net ~parent:(x : Node.t) new_id =
-  if Option.is_none x.Node.left_child && Node.tables_full x then begin
+  if Option.is_none (Node.child x `Left) && Node.tables_full x then begin
     (* Safe: a plain accept (left slot is free, so the joiner becomes
        the left child and takes the lower half). *)
     let y, _msgs = Join.accept net ~acceptor:x new_id in

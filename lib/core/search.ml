@@ -67,7 +67,7 @@ let exact_walk net ~kind ~from v =
            the parent — one more of Section III-D's alternative paths —
            before declaring the neighbourhood silent. *)
         let escape =
-          match node.Node.parent with
+          match Node.parent node with
           | Some p when tried <> [] -> [ p ]
           | Some _ | None -> []
         in

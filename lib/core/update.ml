@@ -70,14 +70,28 @@ let bulk_insert net ~from keys =
       end
     in
     (* Distribute along the in-order chain; each handover is one
-       message carrying the remaining batch. *)
+       message carrying the remaining batch. [remaining] is sorted, so
+       instead of a full List.partition scan per node — O(n·K) over the
+       whole chain — each node slices its own segment off the front in
+       time proportional to that segment: keys below its range (only
+       possible after a stranded handover), then the keys it owns.
+       The result is exactly the stable partition by Range.contains. *)
+    let rec take_seg lo hi acc = function
+      | k :: tl when k >= lo && k < hi -> take_seg lo hi (k :: acc) tl
+      | l -> (List.rev acc, l)
+    in
+    let rec take_below lo acc = function
+      | k :: tl when k < lo -> take_below lo (k :: acc) tl
+      | l -> (acc, l)
+    in
     let rec distribute (node : Node.t) remaining =
       match remaining with
       | [] -> ()
       | _ -> (
-        let mine, rest =
-          List.partition (fun k -> Range.contains node.Node.range k) remaining
-        in
+        let r = node.Node.range in
+        let below_rev, from_lo = take_below r.Range.lo [] remaining in
+        let mine, after = take_seg r.Range.lo r.Range.hi [] from_lo in
+        let rest = List.rev_append below_rev after in
         if mine <> [] then begin
           count_once node;
           List.iter (Sorted_store.insert node.Node.store) mine
@@ -85,7 +99,7 @@ let bulk_insert net ~from keys =
         match rest with
         | [] -> ()
         | _ -> (
-          match node.Node.right_adjacent with
+          match Node.adjacent node `Right with
           | Some next -> (
             match
               Net.send net ~src:node.Node.id ~dst:next.Link.peer ~kind:Msg.insert

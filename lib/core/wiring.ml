@@ -107,12 +107,15 @@ let rebuild_links ?(skip_failed = false) net (node : Node.t) ~kind =
       | Some info -> Some info
       | None -> if skip_failed then adjacent_link step q else None)
   in
-  node.Node.parent <-
-    (if Position.is_root pos then None else link_to (Position.parent pos));
-  node.Node.left_child <- link_to (Position.left_child pos);
-  node.Node.right_child <- link_to (Position.right_child pos);
-  node.Node.left_adjacent <- adjacent_link in_order_predecessor pos;
-  node.Node.right_adjacent <- adjacent_link in_order_successor pos;
+  let resolve : Link.kind -> Link.info option = function
+    | Link.Parent ->
+      if Position.is_root pos then None else link_to (Position.parent pos)
+    | Link.Child `Left -> link_to (Position.left_child pos)
+    | Link.Child `Right -> link_to (Position.right_child pos)
+    | Link.Adjacent `Left -> adjacent_link in_order_predecessor pos
+    | Link.Adjacent `Right -> adjacent_link in_order_successor pos
+  in
+  List.iter (fun k -> Node.set_link node k (resolve k)) Link.all_kinds;
   Node.reset_tables node;
   let fill side =
     let table = Node.table node side in
@@ -166,13 +169,14 @@ let announce net (node : Node.t) ~kind =
     if
       (not (Position.is_root watcher.Node.pos))
       && Position.equal (Position.parent watcher.Node.pos) pos
-    then watcher.Node.parent <- Some info;
-    (match adjacent_position net watcher.Node.pos `Left with
-    | Some p when Position.equal p pos -> watcher.Node.left_adjacent <- Some info
-    | Some _ | None -> ());
-    (match adjacent_position net watcher.Node.pos `Right with
-    | Some p when Position.equal p pos -> watcher.Node.right_adjacent <- Some info
-    | Some _ | None -> ());
+    then Node.set_parent watcher (Some info);
+    List.iter
+      (fun side ->
+        match adjacent_position net watcher.Node.pos side with
+        | Some p when Position.equal p pos ->
+          Node.set_adjacent watcher side (Some info)
+        | Some _ | None -> ())
+      [ `Left; `Right ];
     List.iter
       (fun side ->
         let table = Node.table watcher side in

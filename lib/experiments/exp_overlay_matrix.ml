@@ -32,14 +32,15 @@ module Partition = Baton_sim.Partition
    streams, costs read off the shared metrics counter. *)
 let sweep_point (module O : Overlay.S) ~seed ~n ~(p : Params.t) =
   let t = O.create ~seed ~n in
+  let msgs () = (O.stats t).Overlay.total in
   let gen = Datagen.uniform (Rng.create ((seed * 31) + 7)) in
   let keys = Datagen.take gen (p.Params.keys_per_node * n) in
   O.bulk_load t (Array.to_list keys);
   let rng = Rng.create (seed + 23) in
   let q = p.Params.queries in
-  let before = O.messages t in
+  let before = msgs () in
   Array.iter (fun k -> ignore (O.lookup t k)) (Querygen.exact_targets rng ~keys q);
-  let exact = float_of_int (O.messages t - before) /. float_of_int q in
+  let exact = float_of_int (msgs () - before) /. float_of_int q in
   let range =
     if not O.supports_range then None
     else begin
@@ -47,11 +48,11 @@ let sweep_point (module O : Overlay.S) ~seed ~n ~(p : Params.t) =
         Querygen.ranges rng ~span:p.Params.range_span ~lo:Datagen.domain_lo
           ~hi:(Datagen.domain_hi - 1) q
       in
-      let before = O.messages t in
+      let before = msgs () in
       Array.iter
         (fun { Querygen.lo; hi } -> ignore (O.range_query t ~lo ~hi))
         spans;
-      Some (float_of_int (O.messages t - before) /. float_of_int q)
+      Some (float_of_int (msgs () - before) /. float_of_int q)
     end
   in
   O.check t;

@@ -19,7 +19,6 @@ module type S = sig
   val name : string
   val create : seed:int -> n:int -> t
   val size : t -> int
-  val messages : t -> int
   val stats : t -> stats
   val supports_range : bool
   val insert : t -> int -> unit
@@ -38,7 +37,6 @@ module Baton_overlay : S = struct
   let name = "baton"
   let create ~seed ~n = Baton.Network.build ~seed n
   let size = Baton.Network.size
-  let messages = Baton.Network.messages
   let stats t = stats_of_metrics (Baton.Net.metrics t)
   let supports_range = true
   let insert = Baton.Network.insert
@@ -68,7 +66,6 @@ module Chord_overlay : S = struct
     t
 
   let size = Chord.size
-  let messages t = Baton_sim.Metrics.total (Chord.metrics t)
   let stats t = stats_of_metrics (Chord.metrics t)
   let supports_range = false
   let insert t k = ignore (Chord.insert t k)
@@ -110,7 +107,6 @@ module Multiway_overlay : S = struct
     t
 
   let size = Multiway.size
-  let messages t = Baton_sim.Metrics.total (Multiway.metrics t)
   let stats t = stats_of_metrics (Multiway.metrics t)
   let supports_range = true
   let insert t k = ignore (Multiway.insert t k)
@@ -144,7 +140,6 @@ module Skip_graph_overlay : S = struct
     t
 
   let size = Skip_graph.size
-  let messages t = Baton_sim.Metrics.total (Skip_graph.metrics t)
   let stats t = stats_of_metrics (Skip_graph.metrics t)
   let supports_range = true
   let insert t k = ignore (Skip_graph.insert t k)

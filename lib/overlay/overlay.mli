@@ -33,11 +33,10 @@ module type S = sig
   (** Build an [n]-peer network. *)
 
   val size : t -> int
-  val messages : t -> int
-  (** Protocol messages so far (equals [(stats t).total]). *)
 
   val stats : t -> stats
-  (** Full message accounting, split by category. *)
+  (** Full message accounting, split by category; [(stats t).total] is
+      the protocol-message count — the paper's metric. *)
 
   val supports_range : bool
   (** Can this overlay answer range queries at all? *)

@@ -72,6 +72,7 @@ type config = {
   range_span : int;
   theta : float;
   mix : mix;
+  domain : Baton.Range.t option;  (* None = the paper's 1..10^9 domain *)
   timeout_ms : float;
   route_cache : bool;
   monitor_every_ms : float;  (* 0. = health monitoring off *)
@@ -83,7 +84,7 @@ type config = {
 
 let config ?(overlay = "baton") ?(seed = 2005) ?(keys_per_node = 5)
     ?(clients = 32) ?(ops = 2000) ?(arrival = Closed { think_ms = 0. })
-    ?(range_span = 2_000_000) ?(theta = 1.0)
+    ?(range_span = 2_000_000) ?(theta = 1.0) ?domain
     ?(timeout_ms = Runtime.default_timeout_ms) ?(route_cache = false)
     ?(monitor_every_ms = 0.) ?(series_every_ms = 0.) ?(profile = false)
     ?(fault_schedule = []) ?(oracle = false) ~n ~mix () =
@@ -107,7 +108,9 @@ let config ?(overlay = "baton") ?(seed = 2005) ?(keys_per_node = 5)
       invalid_arg "Driver.config: the route cache is baton-only";
     if monitor_every_ms > 0. || series_every_ms > 0. || profile then
       invalid_arg
-        "Driver.config: monitor/series/profile require the baton runtime"
+        "Driver.config: monitor/series/profile require the baton runtime";
+    if Option.is_some domain then
+      invalid_arg "Driver.config: custom domains require the baton runtime"
   end;
   {
     overlay;
@@ -120,6 +123,7 @@ let config ?(overlay = "baton") ?(seed = 2005) ?(keys_per_node = 5)
     range_span;
     theta;
     mix;
+    domain;
     timeout_ms;
     route_cache;
     monitor_every_ms;
@@ -151,10 +155,18 @@ let kind_order = [ "exact"; "range"; "insert"; "join"; "leave" ]
    exact keys Zipf-skewed over the loaded key set, ranges uniform with
    a fixed span, churn alternating join/leave so the size stays near
    [n]. *)
+(* The key-space bounds this run draws from: the paper's canonical
+   domain unless the config widened it (scale sweeps). *)
+let domain_bounds cfg =
+  match cfg.domain with
+  | None -> (Datagen.domain_lo, Datagen.domain_hi)
+  | Some r -> (r.Baton.Range.lo, r.Baton.Range.hi)
+
 let plan_ops cfg ~keys =
   let m = cfg.mix in
   let total_w = m.exact_w + m.range_w + m.insert_w + m.churn_w in
   if total_w <= 0 then invalid_arg "Driver.plan_ops: empty mix";
+  let dlo, dhi = domain_bounds cfg in
   let rng = Rng.create ((cfg.seed * 131) + 9) in
   let zipf = Zipf.create ~n:(Array.length keys) ~theta:cfg.theta in
   let churn_flip = ref false in
@@ -162,14 +174,11 @@ let plan_ops cfg ~keys =
       let r = Rng.int rng total_w in
       if r < m.exact_w then Exact keys.(Zipf.sample zipf rng - 1)
       else if r < m.exact_w + m.range_w then begin
-        let lo =
-          Rng.int_in_range rng ~lo:Datagen.domain_lo
-            ~hi:(max Datagen.domain_lo (Datagen.domain_hi - cfg.range_span))
-        in
+        let lo = Rng.int_in_range rng ~lo:dlo ~hi:(max dlo (dhi - cfg.range_span)) in
         Range (lo, lo + cfg.range_span)
       end
       else if r < m.exact_w + m.range_w + m.insert_w then
-        Insert (Rng.int_in_range rng ~lo:Datagen.domain_lo ~hi:(Datagen.domain_hi - 1))
+        Insert (Rng.int_in_range rng ~lo:dlo ~hi:(dhi - 1))
       else begin
         churn_flip := not !churn_flip;
         if !churn_flip then Join else Leave
@@ -205,8 +214,9 @@ type report = {
 let run_baton cfg =
   (* Phase 1 — synchronous setup (excluded from all measurements):
      build the tree, load the data. *)
-  let net = Baton.Network.build ~seed:cfg.seed cfg.n in
-  let gen = Datagen.uniform (Rng.create ((cfg.seed * 31) + 7)) in
+  let net = Baton.Network.build ~seed:cfg.seed ?domain:cfg.domain cfg.n in
+  let dlo, dhi = domain_bounds cfg in
+  let gen = Datagen.uniform ~lo:dlo ~hi:dhi (Rng.create ((cfg.seed * 31) + 7)) in
   let keys = Datagen.take gen (cfg.keys_per_node * cfg.n) in
   (* Batched placement: one locate plus an in-order distribution pass,
      instead of a routed insert per key. *)
@@ -666,6 +676,53 @@ let run cfg =
   if String.equal cfg.overlay "baton" then run_baton cfg
   else run_overlay cfg (Overlay.of_name cfg.overlay)
 
+(* --- Scale sweep ----------------------------------------------------
+
+   The n-sweep behind `bench-scale`: the same read-heavy measured phase
+   at each population size, profiled, so raw engine throughput
+   (events/s) is reported per n. Two scale-dependent knobs keep the
+   workload self-similar instead of degenerate:
+
+   - the key domain widens with n (2^26 keys of room per peer, never
+     below the canonical 10^9): a fixed 10^9-wide domain runs out of
+     integer width around n = 10^5 — [Range.midpoint] cannot split a
+     unit interval. Per peer, 2^26 is deliberately lavish: rotations
+     decouple a node's range width from its depth, so the deepest
+     split chain runs ~2x the tree height (measured: 24 halvings at
+     n = 10^4, 31 at 10^5, ~38 extrapolated at 10^6), and the domain
+     must absorb the chain maximum, not the balanced average;
+
+   - the range-query span stays at 1/500 of the domain (the canonical
+     2·10^6 over 10^9), so a range op sweeps a comparable slice of the
+     tree at every n.
+
+   Each point is an ordinary [report] whose mix is named "n=<n>", so
+   the document's top-level "runs" list is exactly the layout
+   [Bench_diff.labeled_runs] already labels, exact-compares (simulated
+   fields) and gates (profile.events_per_s) — the scale baseline needs
+   no new diff machinery. *)
+
+let scale_domain n =
+  Baton.Range.make ~lo:1 ~hi:(max Datagen.domain_hi (n * 67_108_864))
+
+let scale_config ?(seed = 2005) ?(keys_per_node = 2) ?(ops = 2000)
+    ?(clients = 32) n =
+  let domain = scale_domain n in
+  let width = domain.Baton.Range.hi - domain.Baton.Range.lo in
+  config ~seed ~keys_per_node ~ops ~clients ~range_span:(width / 500) ~domain
+    ~profile:true ~n
+    ~mix:{ read_heavy with mix_name = Printf.sprintf "n=%d" n }
+    ()
+
+let run_scale ?seed ?keys_per_node ?ops ?clients ?(progress = fun _ -> ()) ns =
+  if ns = [] then invalid_arg "Driver.run_scale: empty n list";
+  List.map
+    (fun n ->
+      let r = run_baton (scale_config ?seed ?keys_per_node ?ops ?clients n) in
+      progress r;
+      r)
+    ns
+
 (* --- Serialization -------------------------------------------------- *)
 
 let arrival_json = function
@@ -745,6 +802,15 @@ let report_json r =
     ]
 
 let schema_version = "baton-bench-runtime-v6"
+
+let scale_schema_version = "baton-bench-scale-v1"
+
+let scale_json reports =
+  Json.Obj
+    [
+      ("schema", Json.String scale_schema_version);
+      ("runs", Json.List (List.map report_json reports));
+    ]
 
 (* v6: runs grouped per overlay. A run object is unchanged from v5, so
    a baton-only document differs from its v5 counterpart only by this

@@ -63,6 +63,11 @@ type config = {
   range_span : int;
   theta : float;  (** Zipf exponent for exact-query key skew *)
   mix : mix;
+  domain : Baton.Range.t option;
+      (** key space to build over and draw keys from; [None] (the
+          default) is the paper's canonical [1, 10^9) domain. Scale
+          sweeps widen it with [n] so repeated range splits never
+          exhaust an interval's integer width. Baton-only. *)
   timeout_ms : float;
   route_cache : bool;  (** enable the adaptive route cache before the
                            measured phase *)
@@ -103,6 +108,7 @@ val config :
   ?arrival:arrival ->
   ?range_span:int ->
   ?theta:float ->
+  ?domain:Baton.Range.t ->
   ?timeout_ms:float ->
   ?route_cache:bool ->
   ?monitor_every_ms:float ->
@@ -197,6 +203,43 @@ val run : config -> report
     the message clock as virtual time (runtime-only fields — retries,
     cache event counts, queue depths, health, profile, series — are
     zero/[Null]/[None] there). *)
+
+val scale_config :
+  ?seed:int -> ?keys_per_node:int -> ?ops:int -> ?clients:int -> int -> config
+(** The canonical configuration for one point of the scale sweep: the
+    read-heavy mix renamed to ["n=<n>"], profiling on, and a key
+    domain widened with [n] (2²⁶ keys of room per peer, never below
+    the canonical 10⁹) so repeated range splits cannot exhaust an
+    interval's integer width even at n = 10⁶ — the deepest split chain
+    runs about twice the tree height, so the per-peer room must absorb
+    that maximum. The range-query span stays at 1/500 of the domain,
+    the canonical proportion.
+    Defaults: seed 2005, 2 keys/node, 2000 ops, 32 clients. *)
+
+val run_scale :
+  ?seed:int ->
+  ?keys_per_node:int ->
+  ?ops:int ->
+  ?clients:int ->
+  ?progress:(report -> unit) ->
+  int list ->
+  report list
+(** Run {!scale_config} at each population size, in order, calling
+    [progress] after each point (for live per-n reporting). Simulated
+    metrics of every point are pure functions of the seed; the profile
+    sections carry the per-n events/s the scale gate compares.
+    @raise Invalid_argument on an empty list. *)
+
+val scale_schema_version : string
+(** Value of the ["schema"] field of {!scale_json}:
+    ["baton-bench-scale-v1"]. *)
+
+val scale_json : report list -> Baton_obs.Json.t
+(** The BENCH_scale.json document: [{schema; runs: [...]}], one run
+    object per swept n, labeled by its ["n=<n>"] mix name. The flat
+    top-level ["runs"] list is the v5-era layout {!Bench_diff} already
+    labels and gates, so the scale baseline reuses the same diff
+    machinery. *)
 
 val report_json : report -> Baton_obs.Json.t
 (** Every field except the ["profile"] subtree is a pure function of

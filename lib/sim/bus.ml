@@ -260,6 +260,15 @@ let gray_dropped t ~src ~dst =
 
 let sending_ctx t = t.in_flight
 
+(* Explicit recursion instead of [List.iter (fun ...)] so the hot
+   delivery path allocates no iteration closure. *)
+let rec run_hooks subs ~src ~dst ~kind =
+  match subs with
+  | [] -> ()
+  | (_, hook) :: rest ->
+    hook ~src ~dst ~kind;
+    run_hooks rest ~src ~dst ~kind
+
 let deliver ?ctx t ~src ~dst ~kind =
   begin
     (* The message is transmitted — and therefore counted — whether or
@@ -267,7 +276,7 @@ let deliver ?ctx t ~src ~dst ~kind =
        answer is how the sender discovers the problem (Section III-C). *)
     Metrics.record t.metrics ~dst ~kind;
     t.in_flight <- ctx;
-    List.iter (fun (_, hook) -> hook ~src ~dst ~kind) (subscribers t);
+    run_hooks (subscribers t) ~src ~dst ~kind;
     t.in_flight <- None;
     if is_failed t dst then raise (Unreachable dst);
     (* Fault layers, outermost first: a partition blocks the message
@@ -296,11 +305,18 @@ let send ?ctx t ~src ~dst ~kind =
   if src <> dst then
     match t.probe with
     | None -> deliver ?ctx t ~src ~dst ~kind
-    | Some p ->
+    | Some p -> (
       (* Timeouts and unreachables are ordinary outcomes here, so the
-         probe's closing half must survive them. *)
+         probe's closing half must survive them. Bracketed by hand
+         (rather than [Fun.protect]) so a probed send allocates no
+         thunk. *)
       p.before ();
-      Fun.protect ~finally:p.after (fun () -> deliver ?ctx t ~src ~dst ~kind)
+      match deliver ?ctx t ~src ~dst ~kind with
+      | () -> p.after ()
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        p.after ();
+        Printexc.raise_with_backtrace e bt)
 
 let clear_stun t id =
   match t.faults with None -> () | Some f -> Hashtbl.remove f.stunned id

@@ -1,8 +1,11 @@
 (** Priority queue of timestamped events.
 
-    A binary min-heap ordered by (time, insertion sequence): events
-    scheduled for the same instant are delivered in FIFO order, which
-    keeps simulations deterministic. *)
+    An implicit 4-ary min-heap over parallel arrays, ordered by
+    (time, insertion sequence): events scheduled for the same instant
+    are delivered in FIFO order, which keeps simulations
+    deterministic. Since the sequence number makes the ordering key
+    total, the heap arity is unobservable — any min-heap pops the
+    same schedule. *)
 
 type 'a t
 

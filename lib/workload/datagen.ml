@@ -5,22 +5,25 @@ let domain_lo = 1
 let domain_hi = 1_000_000_000
 
 type t =
-  | Uniform of Rng.t
-  | Zipfian of { z : Zipf.t; rng : Rng.t; region : int }
+  | Uniform of { rng : Rng.t; lo : int; hi : int }
+  | Zipfian of { z : Zipf.t; rng : Rng.t; region : int; lo : int; hi : int }
 
-let uniform rng = Uniform rng
+(* Generators default to the canonical 10⁹ domain; scale sweeps pass
+   their widened bounds so the key population tracks the key space. *)
+let uniform ?(lo = domain_lo) ?(hi = domain_hi) rng = Uniform { rng; lo; hi }
 
-let zipf ?(theta = 1.0) ?(universe = 100_000) rng =
-  let region = max 1 ((domain_hi - domain_lo) / universe) in
-  Zipfian { z = Zipf.create ~n:universe ~theta; rng; region }
+let zipf ?(theta = 1.0) ?(universe = 100_000) ?(lo = domain_lo)
+    ?(hi = domain_hi) rng =
+  let region = max 1 ((hi - lo) / universe) in
+  Zipfian { z = Zipf.create ~n:universe ~theta; rng; region; lo; hi }
 
 (* A Zipfian rank maps to a fixed region of the domain; the key is
    uniform within the region, so a hot rank is a hot (but splittable)
    neighbourhood rather than a single unsplittable key. *)
 let next = function
-  | Uniform rng -> Rng.int_in_range rng ~lo:domain_lo ~hi:(domain_hi - 1)
-  | Zipfian { z; rng; region } ->
-    let base = Zipf.sample_key z rng ~lo:domain_lo ~hi:(domain_hi - region) in
+  | Uniform { rng; lo; hi } -> Rng.int_in_range rng ~lo ~hi:(hi - 1)
+  | Zipfian { z; rng; region; lo; hi } ->
+    let base = Zipf.sample_key z rng ~lo ~hi:(hi - region) in
     base + Rng.int rng region
 
 let take t n = Array.init n (fun _ -> next t)

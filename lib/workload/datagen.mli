@@ -11,10 +11,11 @@ val domain_lo : int
 val domain_hi : int
 (** The paper's domain: [1] and [10^9]. *)
 
-val uniform : Baton_util.Rng.t -> t
-(** Uniform keys over the domain. *)
+val uniform : ?lo:int -> ?hi:int -> Baton_util.Rng.t -> t
+(** Uniform keys over [\[lo, hi)] (default: the paper's domain). *)
 
-val zipf : ?theta:float -> ?universe:int -> Baton_util.Rng.t -> t
+val zipf :
+  ?theta:float -> ?universe:int -> ?lo:int -> ?hi:int -> Baton_util.Rng.t -> t
 (** Zipfian keys: [universe] regions of the domain (default 100 000)
     with rank frequencies proportional to [1/rank^theta] (default 1.0,
     the paper's parameter). Each rank owns a fixed region scattered

@@ -32,7 +32,7 @@ let test_adjacent_balancing_moves_load () =
   let net = N.build ~seed:2 30 in
   (* Overload one node directly, then balance with its adjacent. *)
   let node =
-    List.find (fun (n : Node.t) -> Option.is_some n.Node.right_adjacent) (Net.peers net)
+    List.find (fun (n : Node.t) -> Option.is_some (Node.adjacent n `Right)) (Net.peers net)
   in
   let r = node.Node.range in
   let width = Baton.Range.width r in

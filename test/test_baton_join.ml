@@ -89,16 +89,16 @@ let test_adjacent_links_after_joins () =
   let nodes = Check.in_order_nodes net in
   let rec chain = function
     | (a : Node.t) :: (b : Node.t) :: rest ->
-      (match a.Node.right_adjacent with
+      (match Node.adjacent a `Right with
       | Some link -> Alcotest.(check int) "right adjacent" b.Node.id link.Baton.Link.peer
       | None -> Alcotest.fail "missing right adjacent");
-      (match b.Node.left_adjacent with
+      (match Node.adjacent b `Left with
       | Some link -> Alcotest.(check int) "left adjacent" a.Node.id link.Baton.Link.peer
       | None -> Alcotest.fail "missing left adjacent");
       chain (b :: rest)
     | [ last ] ->
       Alcotest.(check bool) "rightmost has no successor" true
-        (last.Node.right_adjacent = None)
+        (Node.adjacent last `Right = None)
     | [] -> ()
   in
   chain nodes
@@ -110,7 +110,8 @@ let test_acceptor_has_full_tables () =
     let acceptor, _ = Join.find_join_node net ~via:(Net.random_peer net) in
     Alcotest.(check bool) "tables full at acceptor" true (Node.tables_full acceptor);
     Alcotest.(check bool) "has spare slot" true
-      (Option.is_none acceptor.Node.left_child || Option.is_none acceptor.Node.right_child);
+      (Option.is_none (Node.child acceptor `Left)
+      || Option.is_none (Node.child acceptor `Right));
     ignore (Join.join net ~via:(Net.random_peer net))
   done
 

@@ -79,13 +79,13 @@ let test_forced_leave_safe_case () =
   in
   let victim = Option.get deepest in
   (* Hand its data off first, as the balancer does. *)
-  (match victim.Node.left_adjacent with
+  (match Node.adjacent victim `Left with
   | Some l ->
     let ln = Net.peer net l.Baton.Link.peer in
     Store.absorb ln.Node.store victim.Node.store;
     ln.Node.range <- Baton.Range.merge ln.Node.range victim.Node.range
   | None -> (
-    match victim.Node.right_adjacent with
+    match Node.adjacent victim `Right with
     | Some r ->
       let rn = Net.peer net r.Baton.Link.peer in
       Store.absorb rn.Node.store victim.Node.store;
@@ -104,13 +104,13 @@ let test_forced_leave_with_shift () =
       (Net.peers net)
   in
   (* Hand off its data to its in-order predecessor. *)
-  (match victim.Node.left_adjacent with
+  (match Node.adjacent victim `Left with
   | Some l ->
     let ln = Net.peer net l.Baton.Link.peer in
     Store.absorb ln.Node.store victim.Node.store;
     ln.Node.range <- Baton.Range.merge ln.Node.range victim.Node.range
   | None ->
-    let r = Option.get victim.Node.right_adjacent in
+    let r = Option.get (Node.adjacent victim `Right) in
     let rn = Net.peer net r.Baton.Link.peer in
     Store.absorb rn.Node.store victim.Node.store;
     rn.Node.range <- Baton.Range.merge rn.Node.range victim.Node.range);

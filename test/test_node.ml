@@ -43,18 +43,59 @@ let test_accessors () =
   Alcotest.(check bool) "other side empty" true (Node.adjacent n `Right = None);
   Alcotest.(check int) "left table side size" 1 (Routing_table.size (Node.table n `Left))
 
+(* The uniform kind-addressed slot store: every kind round-trips
+   through [set_link]/[link] independently — setting one slot never
+   aliases another — and the per-kind fold of [drop_links_for_peer]
+   clears exactly the matching slots. *)
+let test_link_roundtrip_every_kind () =
+  let n = make_node () in
+  List.iter
+    (fun k -> Alcotest.(check bool) "fresh slot empty" true (Node.link n k = None))
+    Link.all_kinds;
+  let infos =
+    List.mapi
+      (fun i k -> (k, Node.info (make_node ~id:(10 + i) ~level:3 ~number:(1 + i) ())))
+      Link.all_kinds
+  in
+  List.iter (fun (k, i) -> Node.set_link n k (Some i)) infos;
+  List.iter
+    (fun (k, i) ->
+      let what = Format.asprintf "%a round-trips" Link.pp_kind k in
+      Alcotest.(check bool) what true (Node.link n k = Some i))
+    infos;
+  (* The named accessors are views of the same slots. *)
+  Alcotest.(check bool) "parent view" true
+    (Node.parent n = Node.link n Link.Parent);
+  Alcotest.(check bool) "child view" true
+    (Node.child n `Right = Node.link n (Link.Child `Right));
+  Alcotest.(check bool) "adjacent view" true
+    (Node.adjacent n `Left = Node.link n (Link.Adjacent `Left));
+  (* Dropping one peer clears only its slots. *)
+  Node.drop_links_for_peer n 10;
+  List.iter
+    (fun (k, i) ->
+      let expect = if i.Link.peer = 10 then None else Some i in
+      let what = Format.asprintf "%a after drop" Link.pp_kind k in
+      Alcotest.(check bool) what true (Node.link n k = expect))
+    infos;
+  (* Clearing every kind empties the store. *)
+  List.iter (fun k -> Node.set_link n k None) Link.all_kinds;
+  List.iter
+    (fun k -> Alcotest.(check bool) "cleared" true (Node.link n k = None))
+    Link.all_kinds
+
 let test_update_and_drop_links () =
   let n = make_node () in
   let target = Node.info (make_node ~id:9 ~level:2 ~number:1 ()) in
-  n.Node.parent <- Some target;
+  Node.set_parent n (Some target);
   Node.set_adjacent n `Left (Some target);
   Routing_table.set (Node.table n `Left) 0 (Some target);
   Node.update_links_for_peer n 9 (fun i -> { i with Link.has_left_child = true });
-  (match n.Node.parent with
+  (match Node.parent n with
   | Some i -> Alcotest.(check bool) "parent refreshed" true i.Link.has_left_child
   | None -> Alcotest.fail "parent lost");
   Node.drop_links_for_peer n 9;
-  Alcotest.(check bool) "parent dropped" true (n.Node.parent = None);
+  Alcotest.(check bool) "parent dropped" true (Node.parent n = None);
   Alcotest.(check bool) "adjacent dropped" true (Node.adjacent n `Left = None);
   Alcotest.(check int) "table slot dropped" 0 (Routing_table.filled_count (Node.table n `Left))
 
@@ -89,38 +130,40 @@ let test_check_detects_corruption () =
 let test_check_detects_stale_link () =
   let net = N.build ~seed:2 20 in
   let victim =
-    List.find (fun (n : Node.t) -> Option.is_some n.Node.parent) (Net.peers net)
+    List.find (fun (n : Node.t) -> Option.is_some (Node.parent n)) (Net.peers net)
   in
-  let saved = victim.Node.parent in
-  victim.Node.parent <-
-    Option.map (fun i -> { i with Link.range = Range.make ~lo:0 ~hi:1 }) saved;
+  let saved = Node.parent victim in
+  Node.set_parent victim
+    (Option.map (fun i -> { i with Link.range = Range.make ~lo:0 ~hi:1 }) saved);
   Alcotest.(check bool) "strict links check trips" true
     (match Check.links ~strict:true net with
     | () -> false
     | exception Failure _ -> true);
   (* Non-strict mode tolerates stale cached ranges. *)
   Check.links ~strict:false net;
-  victim.Node.parent <- saved;
+  Node.set_parent victim saved;
   Check.all net
 
 let test_check_detects_missing_link () =
   let net = N.build ~seed:3 20 in
   let victim =
-    List.find (fun (n : Node.t) -> Option.is_some n.Node.parent) (Net.peers net)
+    List.find (fun (n : Node.t) -> Option.is_some (Node.parent n)) (Net.peers net)
   in
-  let saved = victim.Node.parent in
-  victim.Node.parent <- None;
+  let saved = Node.parent victim in
+  Node.set_parent victim None;
   Alcotest.(check bool) "missing link detected" true
     (match Check.links ~strict:false net with
     | () -> false
     | exception Failure _ -> true);
-  victim.Node.parent <- saved
+  Node.set_parent victim saved
 
 let suite =
   [
     Alcotest.test_case "fresh node" `Quick test_fresh_node;
     Alcotest.test_case "info snapshot" `Quick test_info_snapshot;
     Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "link round-trips every kind" `Quick
+      test_link_roundtrip_every_kind;
     Alcotest.test_case "update/drop links" `Quick test_update_and_drop_links;
     Alcotest.test_case "reset tables" `Quick test_reset_tables;
     Alcotest.test_case "neighbour entry order" `Quick test_neighbor_entries_order;

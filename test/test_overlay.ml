@@ -42,9 +42,10 @@ let test_churn_preserves_structure () =
 let test_messages_increase () =
   for_each_overlay (fun (module M : O.S) ->
       let t = M.create ~seed:4 ~n:10 in
-      let a = M.messages t in
+      let a = (M.stats t).O.total in
       M.insert t 123;
-      Alcotest.(check bool) (M.name ^ " counted") true (M.messages t >= a))
+      Alcotest.(check bool) (M.name ^ " counted") true
+        ((M.stats t).O.total >= a))
 
 let test_range_support_matrix () =
   let supports (module M : O.S) = M.supports_range in
@@ -97,8 +98,8 @@ let test_stats_split () =
       let t = M.create ~seed:9 ~n:15 in
       M.insert t 42;
       let s = M.stats t in
-      Alcotest.(check int) (M.name ^ " stats total") (M.messages t)
-        s.O.total;
+      Alcotest.(check bool) (M.name ^ " stats total counted") true
+        (s.O.total > 0);
       Alcotest.(check bool)
         (M.name ^ " per-kind sums to total+cache")
         true
@@ -131,10 +132,10 @@ let test_registry_covers_four () =
     O.names
 
 (* Parity: after an identical seeded op sequence, every overlay's stats
-   split must stay internally consistent — total equals [messages],
-   the per-kind breakdown sums to total + cache, and the aux (cache)
-   share never goes negative. The sequence exercises every S operation
-   so no message kind escapes the accounting. *)
+   split must stay internally consistent — the per-kind breakdown sums
+   to total + cache, and the aux (cache) share never goes negative. The
+   sequence exercises every S operation so no message kind escapes the
+   accounting. *)
 let test_stats_parity_after_identical_ops () =
   for_each_overlay (fun (module M : O.S) ->
       let t = M.create ~seed:21 ~n:30 in
@@ -152,8 +153,6 @@ let test_stats_parity_after_identical_ops () =
       if M.supports_range then
         ignore (M.range_query t ~lo:100_000_000 ~hi:900_000_000);
       let s = M.stats t in
-      Alcotest.(check int) (M.name ^ " total = messages") (M.messages t)
-        s.O.total;
       Alcotest.(check bool) (M.name ^ " aux non-negative") true (s.O.cache >= 0);
       Alcotest.(check int)
         (M.name ^ " per-kind sums to total + aux")

@@ -110,7 +110,7 @@ let test_rebuild_links_restores_strict_state () =
   let victim = Net.random_peer net in
   (* Wreck the node's local view, then rebuild. *)
   Node.drop_links_for_peer victim
-    (match victim.Node.parent with Some p -> p.Baton.Link.peer | None -> victim.Node.id);
+    (match Node.parent victim with Some p -> p.Baton.Link.peer | None -> victim.Node.id);
   Baton.Node.reset_tables victim;
   Wiring.rebuild_links net victim ~kind:"test";
   Check.links ~strict:true net
@@ -136,9 +136,7 @@ let test_retract_drops_all_references () =
           match l with Some i -> i.Baton.Link.peer = victim.Node.id | None -> false
         in
         Alcotest.(check bool) "no link remains" false
-          (refers w.Node.parent || refers w.Node.left_child
-          || refers w.Node.right_child || refers w.Node.left_adjacent
-          || refers w.Node.right_adjacent
+          (List.exists (fun k -> refers (Node.link w k)) Baton.Link.all_kinds
           || List.exists
                (fun (_, i) -> i.Baton.Link.peer = victim.Node.id)
                (Node.neighbor_entries w))
