@@ -397,7 +397,7 @@ let compare_overlays nodes seed ops =
    as interleaved fibers on the discrete-event runtime; comparison
    overlays run the same plan sequentially). *)
 let bench_run nodes seed keys_per_node ops clients overlay_names mix_names
-    arrival rate think_ms route_cache monitor_every series_every profile
+    arrival rate think_ms route_cache monitor_every series_every profile heat
     faults oracle out timeseries_out =
   let overlays =
     let names = match overlay_names with [] -> [ "baton" ] | ns -> ns in
@@ -432,10 +432,10 @@ let bench_run nodes seed keys_per_node ops clients overlay_names mix_names
        keep --overlay baton\n";
     exit 2
   end;
-  if has_non_baton && (monitor_every > 0. || series_every > 0. || profile)
+  if has_non_baton && (monitor_every > 0. || series_every > 0. || profile || heat)
   then
     Printf.eprintf
-      "note: monitoring, time series and profiling apply to the baton \
+      "note: monitoring, time series, profiling and heat apply to the baton \
        runtime only; disabled for the other overlays\n";
   let fault_schedule =
     match faults with
@@ -486,8 +486,8 @@ let bench_run nodes seed keys_per_node ops clients overlay_names mix_names
                   ~arrival ~route_cache
                   ~monitor_every_ms:(if baton then monitor_every else 0.)
                   ~series_every_ms:(if baton then series_every else 0.)
-                  ~profile:(baton && profile) ~fault_schedule ~oracle ~n:nodes
-                  ~mix ()
+                  ~profile:(baton && profile) ~heat:(baton && heat)
+                  ~fault_schedule ~oracle ~n:nodes ~mix ()
               in
               Printf.eprintf "running %s/%s (n=%d, %d ops)...\n%!" overlay
                 mix.Driver.mix_name nodes ops;
@@ -540,6 +540,78 @@ let bench_run nodes seed keys_per_node ops clients overlay_names mix_names
   | Some path ->
     Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc doc);
     Printf.eprintf "wrote %s\n" path
+
+(* Render a bench-run report's demand sections — ASCII key-space
+   heatmap, heavy-hitter table, per-class attribution — from the JSON
+   document on disk. Reads v7 documents; runs without a [load] section
+   (heat was off) are skipped, and if nothing renders the exit status
+   says how to get one. *)
+let heat_render path overlay_filter mix_filter =
+  let contents =
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> contents
+    | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 3
+  in
+  let doc =
+    match Baton_obs.Json.parse contents with
+    | Ok doc -> doc
+    | Error msg ->
+      Printf.eprintf "%s: JSON parse error: %s\n" path msg;
+      exit 3
+  in
+  let module Json = Baton_obs.Json in
+  let str = function Some (Json.String s) -> s | _ -> "" in
+  let wanted filter name =
+    match filter with None -> true | Some f -> String.equal f name
+  in
+  let overlays =
+    match Json.member "overlays" doc with
+    | Some (Json.List l) -> l
+    | _ ->
+      Printf.eprintf
+        "%s: no overlays section — not a bench-run document?\n" path;
+      exit 3
+  in
+  let rendered = ref 0 in
+  List.iter
+    (fun section ->
+      let overlay = str (Json.member "overlay" section) in
+      let runs =
+        match Json.member "runs" section with
+        | Some (Json.List l) -> l
+        | _ -> []
+      in
+      if wanted overlay_filter overlay then
+        List.iter
+          (fun run ->
+            let mix = str (Json.member "mix" run) in
+            if wanted mix_filter mix then
+              match Json.member "load" run with
+              | None | Some Json.Null -> ()
+              | Some load -> (
+                match Baton_obs.Heat.render load with
+                | Ok text ->
+                  if !rendered > 0 then print_newline ();
+                  Printf.printf "=== %s / %s ===\n%s" overlay mix text;
+                  incr rendered
+                | Error msg ->
+                  Printf.eprintf "%s: %s/%s: malformed load section: %s\n"
+                    path overlay mix msg;
+                  exit 3))
+          runs)
+    overlays;
+  if !rendered = 0 then begin
+    Printf.eprintf
+      "%s: no load sections%s — generate one with `baton bench-run --heat \
+       ...` (heat is on by default for the baton overlay)\n"
+      path
+      (match (overlay_filter, mix_filter) with
+      | None, None -> ""
+      | _ -> " matching the requested overlay/mix");
+    exit 1
+  end
 
 (* Bench regression gate: exact on the simulated sections, tolerance on
    the wall-clock throughput. Exit 0 pass, 1 simulated/schema mismatch
@@ -821,6 +893,19 @@ let profile_arg =
            $(b,--profile=false) for byte-comparable same-seed output \
            ($(b,profile) becomes null).")
 
+let heat_flag_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "heat" ] ~docv:"BOOL"
+        ~doc:
+          "Install the demand-heat instrument for the measured phase: \
+           per-peer serve/route/maint/aux load attribution, a top-k \
+           heavy-hitter sketch over accessed keys and a key-space heat \
+           histogram land in each run's $(b,load) section (rendered by \
+           $(b,baton heat)). Deterministic and metrics-neutral: heat on \
+           vs. off leaves every other field byte-identical. Baton-only; \
+           pass $(b,--heat=false) to omit the section. On by default.")
+
 let timeseries_out_arg =
   Arg.(
     value & opt (some string) None
@@ -867,7 +952,38 @@ let bench_run_cmd =
       const bench_run $ nodes_arg $ seed_arg $ keys_arg $ bench_ops_arg
       $ clients_arg $ overlay_arg $ mix_arg $ arrival_arg $ rate_arg
       $ think_arg $ route_cache_arg $ monitor_every_arg $ series_every_arg
-      $ profile_arg $ faults_arg $ oracle_arg $ out_arg $ timeseries_out_arg)
+      $ profile_arg $ heat_flag_arg $ faults_arg $ oracle_arg $ out_arg
+      $ timeseries_out_arg)
+
+let heat_report_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"REPORT.json"
+        ~doc:"A bench-run document containing $(b,load) sections.")
+
+let heat_overlay_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "overlay" ] ~docv:"NAME"
+        ~doc:"Render only this overlay's runs. Default: every overlay.")
+
+let heat_mix_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "mix" ] ~docv:"MIX"
+        ~doc:"Render only this mix's run. Default: every run.")
+
+let heat_cmd =
+  let doc =
+    "Render the demand sections of a bench-run report: an ASCII key-space \
+     heatmap, the heavy-hitter top-k table and the per-class \
+     (serve/route/maint/aux) attribution summary, one block per run that \
+     carried heat instrumentation. Exits 1 when the document has no \
+     $(b,load) sections (re-run $(b,bench-run) with $(b,--heat))."
+  in
+  Cmd.v (Cmd.info "heat" ~doc)
+    Term.(const heat_render $ heat_report_arg $ heat_overlay_arg $ heat_mix_arg)
 
 let bench_diff_old_arg =
   Arg.(
@@ -981,6 +1097,7 @@ let main =
     [
       simulate_cmd; churn_cmd; inspect_cmd; trace_cmd; stats_cmd; compare_cmd;
       bench_run_cmd; bench_cache_cmd; bench_scale_cmd; bench_diff_cmd;
+      heat_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -22,6 +22,7 @@
 
 module Metrics = Baton_sim.Metrics
 module Gauge = Baton_obs.Gauge
+module Heat = Baton_obs.Heat
 module Json = Baton_obs.Json
 
 type level = Ok | Degraded | Violated
@@ -39,8 +40,9 @@ let c_tiling = "tiling"
 let c_links = "links"
 let c_load = "load"
 let c_cache = "cache"
+let c_hotspot = "hotspot"
 let c_overall = "overall"
-let components = [ c_balance; c_tiling; c_links; c_load; c_cache ]
+let components = [ c_balance; c_tiling; c_links; c_load; c_cache; c_hotspot ]
 
 type thresholds = {
   max_skew : float;
@@ -50,9 +52,22 @@ type thresholds = {
   persist : int;
       (** consecutive failing samples before a component escalates from
           [Degraded] to [Violated] *)
+  max_topk_factor : float;
+      (** hotspot: multiple of the sketch's uniform-demand baseline the
+          top-k share may reach before [hotspot] degrades *)
+  min_hot_accesses : int;
+      (** hotspot: sketch accesses below which the alert stays quiet
+          (too little demand to call anything hot) *)
 }
 
-let default_thresholds = { max_skew = 4.0; max_stale_rate = 0.5; persist = 3 }
+let default_thresholds =
+  {
+    max_skew = 4.0;
+    max_stale_rate = 0.5;
+    persist = 3;
+    max_topk_factor = 4.0;
+    min_hot_accesses = 64;
+  }
 
 type event = {
   e_time : float;
@@ -68,6 +83,9 @@ type sample = {
   height : int;
   skew : float;  (** max/mean per-node load, 0 with no load yet *)
   stale_rate : float;  (** stale fraction of this interval's cache probes *)
+  hot_share : float;
+      (** heavy-hitter top-k demand share from the heat sketch, 0 when
+          no heat instrument is installed or nothing was accessed *)
   levels : (string * level) list;  (** per component, in {!components} order *)
   overall : level;
 }
@@ -93,6 +111,10 @@ let create ?(capacity = 4096) ?(thresholds = default_thresholds) net =
   if thresholds.max_skew <= 0. then invalid_arg "Monitor.create: max_skew <= 0";
   if thresholds.max_stale_rate < 0. || thresholds.max_stale_rate > 1. then
     invalid_arg "Monitor.create: max_stale_rate outside [0, 1]";
+  if thresholds.max_topk_factor <= 0. then
+    invalid_arg "Monitor.create: max_topk_factor <= 0";
+  if thresholds.min_hot_accesses < 0 then
+    invalid_arg "Monitor.create: min_hot_accesses < 0";
   let states = Hashtbl.create 8 in
   List.iter
     (fun c -> Hashtbl.add states c { fails = 0; current = Ok })
@@ -189,6 +211,28 @@ let tick t ~time =
     else float_of_int stale /. float_of_int (hits + stale)
   in
   let cache_failing = stale_rate > t.thresholds.max_stale_rate in
+  (* Hotspot: the heat sketch's top-k demand share against a multiple
+     of its uniform baseline (what the k hottest keys would hold if
+     demand were spread evenly over the touched key span). Quiet with
+     no heat instrument, and below [min_hot_accesses] — too little
+     demand to call anything hot. *)
+  let hot_share, hot_failing, hot_detail =
+    match Net.heat t.net with
+    | None -> (0., false, "")
+    | Some h ->
+      let share = Heat.topk_share h in
+      let uniform = Heat.uniform_share h in
+      let failing =
+        Heat.accesses h >= t.thresholds.min_hot_accesses
+        && share > t.thresholds.max_topk_factor *. uniform
+      in
+      ( share,
+        failing,
+        if failing then
+          Printf.sprintf "top-k share %.2f (uniform baseline %.4f)" share
+            uniform
+        else "" )
+  in
   t.mark <- Metrics.checkpoint metrics;
   let level component ~failing ~detail =
     transition t ~time
@@ -213,6 +257,7 @@ let tick t ~time =
             ~detail:
               (if cache_failing then Printf.sprintf "stale rate %.2f" stale_rate
                else "") );
+        (c_hotspot, level c_hotspot ~failing:hot_failing ~detail:hot_detail);
       ]
   in
   let worst =
@@ -243,6 +288,7 @@ let tick t ~time =
       height = Check.height t.net;
       skew;
       stale_rate;
+      hot_share;
       levels;
       overall = worst;
     }
@@ -285,6 +331,7 @@ let sample_json s =
        ("height", Json.Int s.height);
        ("skew", Json.Float s.skew);
        ("stale_rate", Json.Float s.stale_rate);
+       ("hot_share", Json.Float s.hot_share);
        ("overall", Json.String (level_label s.overall));
      ]
     @ List.map (fun (c, l) -> (c, Json.String (level_label l))) s.levels)

@@ -45,6 +45,13 @@ val c_cache : string
 (** Route-cache staleness rate over the last interval, against
     [max_stale_rate]. *)
 
+val c_hotspot : string
+(** Heavy-hitter demand concentration from the installed
+    {!Baton_obs.Heat} instrument: fails when the sketch's top-k share
+    exceeds [max_topk_factor] times its uniform-demand baseline (with
+    at least [min_hot_accesses] accesses recorded). Always [Ok] when no
+    heat instrument is installed. *)
+
 val c_overall : string
 (** Worst of all components — the single stream to alert on. *)
 
@@ -59,10 +66,17 @@ type thresholds = {
   persist : int;
       (** consecutive failing samples before a component escalates from
           [Degraded] to [Violated] *)
+  max_topk_factor : float;
+      (** hotspot: multiple of the sketch's uniform-demand baseline the
+          top-k share may reach before [hotspot] degrades *)
+  min_hot_accesses : int;
+      (** hotspot: sketch accesses below which the alert stays quiet
+          (too little demand to call anything hot) *)
 }
 
 val default_thresholds : thresholds
-(** [max_skew = 4.0], [max_stale_rate = 0.5], [persist = 3]. *)
+(** [max_skew = 4.0], [max_stale_rate = 0.5], [persist = 3],
+    [max_topk_factor = 4.0], [min_hot_accesses = 64]. *)
 
 type event = {
   e_time : float;
@@ -78,6 +92,9 @@ type sample = {
   height : int;
   skew : float;  (** max/mean per-node load, 0 with no load yet *)
   stale_rate : float;  (** stale fraction of this interval's cache probes *)
+  hot_share : float;
+      (** heavy-hitter top-k demand share from the heat sketch, 0 when
+          no heat instrument is installed or nothing was accessed *)
   levels : (string * level) list;  (** per component, in {!components} order *)
   overall : level;
 }

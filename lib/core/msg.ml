@@ -18,6 +18,24 @@ let cache_probe = "cache.probe"
 let cache_invalid = "cache.invalid"
 let cache_kinds = [ cache_probe; cache_invalid ]
 
+(* Tree-maintenance kinds: messages that keep the overlay's structure
+   healthy rather than carry client demand. The heat layer attributes
+   a delivered message of one of these kinds to the handling peer's
+   [maint] class; cache kinds go to [aux]; everything else (search,
+   insert, delete) is demand and defaults to [route] until the
+   protocol layer promotes the terminal hop to [serve]. *)
+let maint_kinds =
+  [
+    join_search;
+    join_update;
+    leave_search;
+    leave_update;
+    expand;
+    balance;
+    restructure;
+    repair;
+  ]
+
 (* Link-kind labels for causal trace hops: which overlay link the
    sender used to pick the destination. [link_sideways] is a
    routing-table (left/right table) jump — the BATON long link;

@@ -55,6 +55,12 @@ val cache_kinds : string list
     [Metrics.mark_aux] so cache traffic is counted honestly on the bus
     yet reported apart from the paper's message-total metric. *)
 
+val maint_kinds : string list
+(** The tree-maintenance kinds (join/leave traffic, [expand],
+    [balance], [restructure], [repair]): delivered messages of these
+    kinds are attributed to the handling peer's [maint] heat class.
+    Disjoint from {!cache_kinds}; every other kind is client demand. *)
+
 val all : string list
 
 (** {2 Link kinds}

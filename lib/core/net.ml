@@ -3,6 +3,7 @@ module Metrics = Baton_sim.Metrics
 module Recorder = Baton_obs.Recorder
 module Trace = Baton_obs.Trace
 module Profile = Baton_obs.Profile
+module Heat = Baton_obs.Heat
 module Rng = Baton_util.Rng
 module Histogram = Baton_util.Histogram
 
@@ -51,6 +52,14 @@ type t = {
      paths time themselves via [profile]; removing it restores the
      probe-free fast path. *)
   mutable profiler : Profile.t option;
+  (* Optional demand-heat instrument. A fourth pure observer: every
+     *delivered* message is attributed to the handling peer's heat
+     class by kind ([send_raw] and [apply_notification]), and the
+     protocol layer promotes terminal hops to [serve] and records key
+     accesses. Nothing here sends a message or consults a protocol
+     PRNG, so heat on vs. off leaves [Metrics.total] and the latency
+     digests byte-identical. *)
+  mutable heat : Heat.t option;
   (* Hop-suspension hook for the concurrent runtime: called after every
      transmitted protocol message so the runtime can suspend the
      running operation until the simulated delivery (or timeout)
@@ -113,6 +122,7 @@ let create ?(seed = 42) ~domain () =
     recorder = None;
     tracer = None;
     profiler = None;
+    heat = None;
     hop_wait = None;
     repair_serializer = None;
     cache_capacity = None;
@@ -234,6 +244,43 @@ let set_profiler t p =
         })
 
 let profiler t = t.profiler
+
+(* --- Demand heat ---------------------------------------------------- *)
+
+let set_heat t h = t.heat <- h
+let heat t = t.heat
+
+(* Default heat class of a delivered message, by kind: cache traffic
+   is [Aux], tree maintenance is [Maint], everything else — the demand
+   kinds (search, insert, delete) — starts as [Route] and is promoted
+   to [Serve] by the protocol layer when the operation terminates at
+   the receiver. *)
+let heat_class kind =
+  if List.mem kind Msg.cache_kinds then Heat.Aux
+  else if List.mem kind Msg.maint_kinds then Heat.Maint
+  else Heat.Route
+
+(* Attribute one delivered message to its handling peer — only when an
+   instrument is installed, so the uninstrumented hot path pays one
+   match. *)
+let heat_hop t ~dst ~kind =
+  match t.heat with
+  | None -> ()
+  | Some h -> Heat.hop h ~peer:dst (heat_class kind)
+
+(* Promote the hop that terminated an operation at [peer] from its
+   default class to [serve]. Used by {!Search} and {!Update} at the
+   points where "this peer owns the answer" becomes known. *)
+let heat_serve t ~peer ~kind =
+  match t.heat with
+  | None -> ()
+  | Some h -> Heat.promote h ~peer ~was:(heat_class kind)
+
+let heat_access t ~peer key =
+  match t.heat with None -> () | Some h -> Heat.access h ~peer key
+
+let heat_access_range t ~peer ~lo ~hi =
+  match t.heat with None -> () | Some h -> Heat.access_range h ~peer ~lo ~hi
 
 (* Time a protocol hot region when a profiler is installed; otherwise
    one match and straight into [f]. Regions that suspend under the
@@ -366,6 +413,7 @@ let send_raw t ~src ~dst ~kind =
     match Bus.send ?ctx t.bus ~src ~dst ~kind with
     | () ->
       wait_hop t ~src ~dst ~kind Delivered;
+      heat_hop t ~dst ~kind;
       (* Recorded after the wait, so [done_at] is the delivery instant
          under the runtime's clock; the delivered message becomes the
          ambient causal parent of whatever the receiver does next. *)
@@ -458,6 +506,10 @@ let apply_notification t ~src ~dst ~kind ~expect_pos f =
     match Bus.send ?ctx t.bus ~src ~dst ~kind with
     | () -> (
       record Trace.Delivered;
+      (* The peer handled the notification (even if only to ignore a
+         stale one) — attribute it. Notifications to absent peers get
+         no heat: nobody handled them. *)
+      heat_hop t ~dst ~kind;
       (* A peer that changed position since the message was addressed
          ignores it: the update concerns a role it no longer holds. *)
       match expect_pos with
@@ -519,7 +571,7 @@ let shift_histogram t = t.shifts
 (* Snapshot format: a magic string (to fail fast on foreign files)
    followed by the marshalled record. The record holds no closures once
    the deferred queue is empty and the bus trace hook is cleared. *)
-let snapshot_magic = "BATON-NET-v6"
+let snapshot_magic = "BATON-NET-v7"
 
 let save t path =
   if not (Baton_util.Dyn_array.is_empty t.deferred) then
@@ -533,11 +585,13 @@ let save t path =
   let recorder0 = t.recorder
   and tracer0 = t.tracer
   and profiler0 = t.profiler
+  and heat0 = t.heat
   and hop_wait0 = t.hop_wait
   and serializer0 = t.repair_serializer in
   set_recorder t None;
   set_tracer t None;
   set_profiler t None;
+  set_heat t None;
   set_hop_wait t None;
   set_repair_serializer t None;
   Bus.clear_subscribers t.bus;
@@ -553,6 +607,7 @@ let save t path =
     set_recorder t recorder0;
     set_tracer t tracer0;
     set_profiler t profiler0;
+    set_heat t heat0;
     set_hop_wait t hop_wait0;
     set_repair_serializer t serializer0;
     Printexc.raise_with_backtrace e bt

@@ -123,6 +123,43 @@ val set_profiler : t -> Baton_obs.Profile.t option -> unit
 
 val profiler : t -> Baton_obs.Profile.t option
 
+(** {1 Demand heat}
+
+    An optional {!Baton_obs.Heat} instrument attributes every
+    {e delivered} message to the peer that handled it: cache kinds
+    ({!Msg.cache_kinds}) as [Aux], maintenance kinds
+    ({!Msg.maint_kinds}) as [Maint], demand kinds (search, insert,
+    delete) as [Route] — promoted to [Serve] by the protocol layer at
+    the hop where the operation terminates — while accessed keys and
+    ranges feed its heavy-hitter sketch and key-space histogram.
+    Timed-out and unreachable attempts, and notifications to absent
+    peers, are never attributed: nobody handled them. A fourth pure
+    observer — it sends nothing and consults no protocol PRNG, so heat
+    on vs. off leaves [Metrics.total] and the latency digests
+    byte-identical (guard-tested). Detached by {!save} like every
+    observer. *)
+
+val set_heat : t -> Baton_obs.Heat.t option -> unit
+val heat : t -> Baton_obs.Heat.t option
+
+val heat_class : string -> Baton_obs.Heat.cls
+(** Default heat class of a message kind (the class {!send} attributes
+    a delivered message of that kind to, before any promotion). *)
+
+val heat_serve : t -> peer:int -> kind:string -> unit
+(** Promote one already-attributed hop of [kind]'s default class at
+    [peer] to [Serve] — called by {!Search}/{!Update} where "this peer
+    owns the answer" becomes known. A no-op without an instrument. *)
+
+val heat_access : t -> peer:int -> int -> unit
+(** Record demand for one key served at [peer] on the installed
+    instrument (sketch + histogram + decayed counter); a no-op without
+    one. *)
+
+val heat_access_range : t -> peer:int -> lo:int -> hi:int -> unit
+(** Record one range access (see {!Baton_obs.Heat.access_range}); a
+    no-op without an instrument. *)
+
 val profile : t -> string -> (unit -> 'a) -> 'a
 (** [profile t name f] times [f] under the installed profiler's [name]
     region — just [f ()] when no profiler is installed. Used by the
@@ -263,7 +300,7 @@ val save : t -> string -> unit
     state) to a file, so an expensive build can be reused across runs.
     The network must be quiescent: deferred notifications pending from
     {!set_defer} cannot be serialised. Observers (recorder, tracer,
-    profiler, hop-wait hook, bus subscribers) hold closures and are detached
+    profiler, heat, hop-wait hook, bus subscribers) hold closures and are detached
     before marshalling; on success they stay detached, but if the save
     fails they are all reattached before the exception escapes.
     @raise Invalid_argument if deferred notifications are pending. *)

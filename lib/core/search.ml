@@ -54,13 +54,19 @@ let exact_walk net ~kind ~from v =
      visit; it resets whenever a hop succeeds. A dead (unreachable)
      peer is handled the stronger way: drop the link and reconstitute
      the missing links through the surviving neighbourhood, so the
-     detour costs messages exactly as the paper predicts. *)
-  let rec loop (node : Node.t) hops ~tried =
-    if Range.contains node.Node.range v then (node, hops)
+     detour costs messages exactly as the paper predicts.
+
+     [arrived] tracks whether the current node was entered via a
+     delivered message (false only for the origin, or after every
+     forward path from a node went silent): the heat layer promotes the
+     terminal hop to [serve] only when a message was actually handled
+     there. *)
+  let rec loop (node : Node.t) hops ~tried ~arrived =
+    if Range.contains node.Node.range v then (node, hops, arrived)
     else if hops > budget then raise (Routing_stuck hops)
     else
       match candidates node v with
-      | [] -> (node, hops)
+      | [] -> (node, hops, arrived)
       | primary -> (
         let fresh (i : Link.info) = not (List.mem i.Link.peer tried) in
         (* When every forward link has timed out, escape upwards via
@@ -78,10 +84,10 @@ let exact_walk net ~kind ~from v =
              route on. *)
           List.iter (Node.drop_links_for_peer node) tried;
           Wiring.rebuild_links ~skip_failed:true net node ~kind;
-          loop node (hops + 1) ~tried:[]
+          loop node (hops + 1) ~tried:[] ~arrived
         | target :: _ -> (
         match Net.send net ~src:node.Node.id ~dst:target.Link.peer ~kind with
-        | next -> loop next (hops + 1) ~tried:[]
+        | next -> loop next (hops + 1) ~tried:[] ~arrived:true
         | exception Bus.Unreachable dead ->
           (* Fault tolerance (Section III-D): drop the dead link,
              reconstitute the missing links through the surviving
@@ -90,20 +96,20 @@ let exact_walk net ~kind ~from v =
           Failure.observe_unreachable net ~observer:node dead;
           Node.drop_links_for_peer node dead;
           Wiring.rebuild_links ~skip_failed:true net node ~kind;
-          loop node (hops + 1) ~tried:[]
+          loop node (hops + 1) ~tried:[] ~arrived
         | exception Bus.Timeout silent ->
           (* The peer may be alive behind a lossy link: keep the link,
              file a suspicion, and try the next-best candidate. *)
           Net.obs_note net ~peer:silent Span.n_timeout;
           Failure.observe_timeout net ~observer:node silent;
-          loop node (hops + 1) ~tried:(silent :: tried)
+          loop node (hops + 1) ~tried:(silent :: tried) ~arrived
         | exception Not_found ->
           (* The target peer left the network and the link is stale. *)
           Node.drop_links_for_peer node target.Link.peer;
           Wiring.rebuild_links ~skip_failed:true net node ~kind;
-          loop node (hops + 1) ~tried:[]))
+          loop node (hops + 1) ~tried:[] ~arrived))
   in
-  loop from 0 ~tried:[]
+  loop from 0 ~tried:[] ~arrived:false
 
 (* --- Adaptive route cache ------------------------------------------ *)
 
@@ -192,10 +198,19 @@ let cache_learn net ~(from : Node.t) (dest : Node.t) v ~hops =
 let exact_routed net ~kind ~from v =
   Net.profile net Baton_obs.Profile.s_exact @@ fun () ->
   match cache_consult net ~from v with
-  | Some node -> (node, 1, true)
+  | Some node ->
+    (* The validated probe — booked [aux] at [node] — terminated the
+       routing step there: promote it to a serve. *)
+    Net.heat_serve net ~peer:node.Node.id ~kind:Msg.cache_probe;
+    (node, 1, true)
   | None ->
-    let node, hops = exact_walk net ~kind ~from v in
+    let node, hops, arrived = exact_walk net ~kind ~from v in
     cache_learn net ~from node v ~hops;
+    (* The walk's final delivered hop carried the operation to its
+       terminal node (even a negative answer is served there). Walks
+       that never delivered into the terminal node — zero hops, or a
+       neighbourhood gone silent — promote nothing. *)
+    if arrived then Net.heat_serve net ~peer:node.Node.id ~kind;
     (node, hops, false)
 
 (* Wrap an operation so the result reports its true bus cost: protocol
@@ -226,6 +241,10 @@ let exact ?(kind = Msg.search_exact) net ~from v =
            callers (and the consistency oracle) can tell "definitely
            absent" from "could not be determined". *)
         let owns = Range.contains node.Node.range v in
+        (* Demand observability: the searched key heats the sketch and
+           histogram either way; the serving peer's decayed counter
+           bumps only when it actually owns the answer. *)
+        Net.heat_access net ~peer:(if owns then node.Node.id else -1) v;
         {
           node;
           found = owns;
@@ -316,6 +335,9 @@ let sweep net (node : Node.t) side ~lo ~hi =
         | next_node ->
           incr msgs;
           incr visited;
+          (* Each sweep hop serves its slice of the range: promote the
+             delivered hop from [route]. *)
+          Net.heat_serve net ~peer:next_node.Node.id ~kind:Msg.search_range;
           (* Live ranges tile the domain; a hole between consecutive
              ranges is a crashed peer whose links an earlier detour
              already spliced around. Its keys died with it, so a gap
@@ -374,6 +396,9 @@ let range_walk ?par net ~from ~lo ~hi =
         (node, hops + h1 + h2, cached))
   in
   let here = Sorted_store.keys_in node.Node.store ~lo ~hi in
+  (* One access per range operation, recorded at the first serving
+     node; the histogram heats every overlapped bucket. *)
+  Net.heat_access_range net ~peer:node.Node.id ~lo ~hi;
   let sweep_left () = sweep net node `Left ~lo ~hi in
   let sweep_right () = sweep net node `Right ~lo ~hi in
   let ( (left_keys, left_visited, left_msgs, left_holes),

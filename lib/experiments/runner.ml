@@ -19,7 +19,8 @@ let experiments =
     ( "fault-resilience+resilience",
       fun p -> [ Exp_fault.run p; Exp_resilience.run p ] );
     ("replication", fun p -> [ Exp_replication.run p ]);
-    ("moving-hotspot", fun p -> [ Exp_hotspot.run p ]);
+    ( "moving-hotspot+demand-heat",
+      fun p -> [ Exp_hotspot.run p; Exp_hotspot.demand p ] );
     ("latency", fun p -> [ Exp_latency.run p ]);
     ("churn-sweep", fun p -> [ Exp_churn_sweep.run p ]);
     ("route-cache", fun p -> [ Exp_cache.run p ]);

@@ -1,0 +1,26 @@
+(** Serialize recorder state: JSONL span traces (one event per line,
+    schema-stable field order, deterministic number formatting — two
+    same-seed runs emit byte-identical files), a JSON stats summary
+    with per-kind percentile digests, and a human-readable span
+    tree. *)
+
+val event_json : Span.entry -> Json.t
+(** One span event as an object: [seq]/[op], [t] when stamped, then the
+    event body keyed by [ev] ("begin"/"end"/"hop"/"note"). *)
+
+val events_jsonl : Recorder.t -> string
+(** The recorder's surviving events, one compact JSON object per line,
+    oldest first. *)
+
+val hist_json : Baton_util.Histogram.t -> Json.t
+(** [mean]/[p50]/[p95]/[p99]/[max] summary; [Null] when empty. *)
+
+val gauge_sample_json : Gauge.sample -> Json.t
+
+val stats_json : ?load:Gauge.t -> Recorder.t -> Json.t
+(** Per-kind operation digests plus recorded/dropped event counts; with
+    [load], the gauge's samples under a ["load"] field. *)
+
+val span_tree : Recorder.t -> string
+(** Human-readable rendering: operations indent under their parent,
+    with their hop/note events listed in order. *)

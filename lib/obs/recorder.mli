@@ -1,0 +1,88 @@
+(** The telemetry recorder: collects span events into a bounded ring
+    buffer and streams per-operation-kind digests.
+
+    Purely an observer. It never sends a message, so attaching a
+    recorder cannot change [Metrics.total] — the paper's metric — by a
+    single count. Million-message runs stay O(capacity) in memory: old
+    events are overwritten (and tallied in {!dropped}), while the
+    digests are streaming histograms whose size is bounded by the
+    number of distinct per-operation costs. *)
+
+type t
+
+val default_capacity : int
+(** 65536 ring slots. *)
+
+val create : ?capacity:int -> unit -> t
+(** @raise Invalid_argument on a non-positive capacity. *)
+
+val set_clock : t -> (unit -> float) option -> unit
+(** Timestamp source for recorded events; [None] (the default) stamps
+    nothing and the sequence number orders events. *)
+
+val use_engine : t -> Baton_sim.Engine.t -> unit
+(** Point the clock at an engine's virtual time. *)
+
+(** {1 Write side} *)
+
+val on_hop : t -> ?span:int -> src:int -> dst:int -> kind:string -> unit -> unit
+(** Record one bus transmission, charging it to every open operation.
+    [span] is the hop's causal span id ([-1], the default, for untraced
+    traffic). {!attach} wires this to a bus automatically. *)
+
+val note : ?peer:int -> t -> string -> unit
+(** Record a named marker event (see the [n_*] constants in {!Span}). *)
+
+val retry : t -> peer:int -> unit
+(** Record a retransmission: already counted as a hop (the retry passes
+    over the bus again), so this additionally marks it as a retry to
+    keep hop counts (distinct forward progress) separate from message
+    costs. *)
+
+val begin_op : t -> kind:Span.kind -> int
+(** Open an operation (nested under the innermost open one, if any) and
+    return its id. *)
+
+val end_op : t -> ok:bool -> unit
+(** Close the innermost open operation, folding its hop/message totals
+    into the per-kind digest. @raise Invalid_argument with no open
+    operation. *)
+
+val with_op : t -> kind:Span.kind -> (unit -> 'a) -> 'a
+(** Run a thunk inside an operation; an exception closes it with
+    [ok = false] and re-raises. *)
+
+val attach : t -> Baton_sim.Bus.t -> unit
+(** Subscribe to a bus so every transmission is recorded (tagged with
+    its causal span when the message carries a trace context).
+    @raise Invalid_argument if already attached. *)
+
+val detach : t -> unit
+(** Undo {!attach}; a no-op when not attached. *)
+
+(** {1 Read side} *)
+
+val recorded : t -> int
+(** Events recorded so far, including any the ring has dropped. *)
+
+val dropped : t -> int
+val open_ops : t -> int
+
+val events : t -> Span.entry list
+(** Surviving events, oldest first. *)
+
+val kinds : t -> string list
+(** Kinds with at least one completed operation, sorted. *)
+
+(** {2 Per-kind digests} *)
+
+type digest
+
+val digest : t -> string -> digest option
+val digest_ops : digest -> int
+
+val digest_hops : digest -> Baton_util.Histogram.t
+(** Distribution of per-operation hop counts (first transmissions). *)
+
+val digest_msgs : digest -> Baton_util.Histogram.t
+(** Distribution of per-operation message costs (retries included). *)

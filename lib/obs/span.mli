@@ -1,0 +1,47 @@
+(** Span model: one {e operation} (a join, a range query, a repair...)
+    is a span; everything observed while it runs — bus hops, retries,
+    timeouts, repair steps — is a timestamped event tagged with the
+    operation's id. Operations nest (a search can trigger a repair), so
+    an event belongs to the innermost open operation.
+
+    Time is virtual: [Engine.now] when the recorder is given a clock,
+    otherwise the event's global sequence number doubles as a hop index
+    — either way a pure function of the run's seed, never the wall
+    clock, so traces are byte-reproducible. *)
+
+type kind = string
+(** Operation kind. Plain strings so extensions (replication,
+    balancing...) can add kinds without touching this module; the
+    constants below are the taxonomy the core protocols emit. *)
+
+val join : kind
+val leave : kind
+val exact : kind
+val range : kind
+val insert : kind
+val delete : kind
+val restructure : kind
+val repair : kind
+
+(** {1 Event names carried by [Note]} *)
+
+val n_retry : string
+val n_give_up : string
+val n_timeout : string
+val n_unreachable : string
+val n_repair_triggered : string
+
+type event =
+  | Op_begin of { kind : kind; parent : int option }
+  | Op_end of { ok : bool; hops : int; msgs : int }
+  | Hop of { src : int; dst : int; msg : string; span : int }
+      (** [span] is the message's causal span id when it carried a
+          {!Baton_sim.Bus.trace_ctx}, [-1] for untraced traffic. *)
+  | Note of { name : string; peer : int option }
+
+type entry = {
+  seq : int;  (** global event index; the hop index when there is no clock *)
+  op : int;  (** owning operation id, -1 when outside any operation *)
+  time : float option;  (** virtual time, when the recorder has a clock *)
+  ev : event;
+}

@@ -18,6 +18,7 @@ module Json = Baton_obs.Json
 module Trace = Baton_obs.Trace
 module Oracle = Baton_obs.Oracle
 module Profile = Baton_obs.Profile
+module Heat = Baton_obs.Heat
 module Series = Baton_obs.Series
 module Metrics = Baton_sim.Metrics
 module Bus = Baton_sim.Bus
@@ -78,6 +79,7 @@ type config = {
   monitor_every_ms : float;  (* 0. = health monitoring off *)
   series_every_ms : float;  (* 0. = time-series sampling off *)
   profile : bool;  (* meter the simulator process (wall clock + GC) *)
+  heat : bool;  (* demand attribution + heavy-hitter sketch + heatmap *)
   fault_schedule : Partition.schedule;  (* [] = no injected scenario *)
   oracle : bool;  (* check every completed op against the oracle *)
 }
@@ -87,7 +89,7 @@ let config ?(overlay = "baton") ?(seed = 2005) ?(keys_per_node = 5)
     ?(range_span = 2_000_000) ?(theta = 1.0) ?domain
     ?(timeout_ms = Runtime.default_timeout_ms) ?(route_cache = false)
     ?(monitor_every_ms = 0.) ?(series_every_ms = 0.) ?(profile = false)
-    ?(fault_schedule = []) ?(oracle = false) ~n ~mix () =
+    ?(heat = false) ?(fault_schedule = []) ?(oracle = false) ~n ~mix () =
   (* Canonicalize eagerly so an unknown name fails here, with the valid
      list in the exception, not deep inside [run]. *)
   let overlay =
@@ -109,6 +111,8 @@ let config ?(overlay = "baton") ?(seed = 2005) ?(keys_per_node = 5)
     if monitor_every_ms > 0. || series_every_ms > 0. || profile then
       invalid_arg
         "Driver.config: monitor/series/profile require the baton runtime";
+    if heat then
+      invalid_arg "Driver.config: heat instrumentation is baton-only";
     if Option.is_some domain then
       invalid_arg "Driver.config: custom domains require the baton runtime"
   end;
@@ -129,6 +133,7 @@ let config ?(overlay = "baton") ?(seed = 2005) ?(keys_per_node = 5)
     monitor_every_ms;
     series_every_ms;
     profile;
+    heat;
     fault_schedule;
     oracle;
   }
@@ -203,6 +208,7 @@ type report = {
   depth_max : int;
   depth_mean : float;
   health : Json.t;  (** Monitor.json time series, [Json.Null] when off *)
+  load_json : Json.t;  (** Heat.json demand section, [Json.Null] when off *)
   profile_json : Json.t;  (** Profile.json, [Json.Null] when off *)
   series : Series.t option;  (** periodic telemetry samples, when on *)
   partition_timeouts : int;  (** messages blocked by an active partition *)
@@ -244,6 +250,23 @@ let run_baton cfg =
       Trace.use_engine tr engine;
       Net.set_tracer net (Some tr);
       Some o
+    end
+  in
+  (* Demand-heat instrument: installed before the measured phase so
+     every workload message is attributed (setup traffic — the bulk
+     load — is excluded, like every other measurement). The decayed
+     counters run on the engine's virtual clock. A pure observer: heat
+     on vs. off counts byte-identical metrics and latency digests. *)
+  let heat =
+    if not cfg.heat then None
+    else begin
+      let dom = Net.domain net in
+      let h =
+        Heat.create ~lo:dom.Baton.Range.lo ~hi:dom.Baton.Range.hi ()
+      in
+      Heat.set_clock h (Some (fun () -> Engine.now engine));
+      Net.set_heat net (Some h);
+      Some h
     end
   in
   (* Adversarial scenario: translate the fault schedule into engine
@@ -479,8 +502,8 @@ let run_baton cfg =
                 float_of_int (Baton.Monitor.level_rank smp.Baton.Monitor.overall))
           in
           Series.record s ~time:(Engine.now engine)
-            [
-              ("completed", float_of_int !completed);
+            ([
+               ("completed", float_of_int !completed);
               ("failed", float_of_int !failed);
               ("messages", float_of_int (Metrics.since metrics cp));
               ("cache_messages", float_of_int (Metrics.aux_since metrics cp));
@@ -492,9 +515,18 @@ let run_baton cfg =
               );
               ("live_fibers", float_of_int (Runtime.live_fibers rt));
               ("pending_events", float_of_int (Engine.pending engine));
-              ("queue_depth_max", float_of_int (Runtime.queue_depth_max rt));
-              ("health_rank", health_rank);
-            ];
+               ("queue_depth_max", float_of_int (Runtime.queue_depth_max rt));
+               ("health_rank", health_rank);
+             ]
+            @
+            (* Skew trajectory in the shared ring: the decayed-counter
+               max/mean at each sample instant — how concentration
+               moves over time, next to the counters it explains. Only
+               present when the heat instrument is on, so heat-off
+               series stay byte-identical to pre-heat builds. *)
+            (match heat with
+            | None -> []
+            | Some h -> [ ("heat_skew", Heat.skew h) ]));
           Runtime.live_fibers rt > 0);
       Some s
     end
@@ -552,6 +584,7 @@ let run_baton cfg =
       (match monitor with
       | None -> Json.Null
       | Some mon -> Baton.Monitor.json mon);
+    load_json = (match heat with Some h -> Heat.json h | None -> Json.Null);
     profile_json =
       (match profiler with Some p -> Profile.json p | None -> Json.Null);
     series;
@@ -664,6 +697,7 @@ let run_overlay cfg (module O : Overlay.S) =
     depth_max = 0;
     depth_mean = 0.;
     health = Json.Null;
+    load_json = Json.Null;
     profile_json = Json.Null;
     series = None;
     partition_timeouts = 0;
@@ -733,7 +767,7 @@ let arrival_json = function
 
 let report_json r =
   Json.Obj
-    [
+    ([
       ("mix", Json.String r.cfg.mix.mix_name);
       ("n", Json.Int r.cfg.n);
       ("seed", Json.Int r.cfg.seed);
@@ -800,8 +834,22 @@ let report_json r =
       ( "oracle",
         match r.oracle with None -> Json.Null | Some o -> Oracle.json o );
     ]
+    @
+    (* The demand section exists only when the heat instrument was on:
+       heat-off reports are byte-identical to pre-heat builds (the
+       neutrality guard tests exactly this), and the scale/overlay
+       documents that run heatless keep their committed bytes. *)
+    (match r.load_json with
+    | Json.Null -> []
+    | load -> [ ("load", load) ]))
 
-let schema_version = "baton-bench-runtime-v6"
+(* v7: a run object gains an optional [load] section (per-peer
+   serve/route/maint/aux attribution, top-k heavy hitters, key-space
+   heatmap, decayed-skew summary) when heat instrumentation is on, the
+   time-series samples gain a [heat_skew] field alongside it, and
+   health samples carry [hot_share] plus the [hotspot] component.
+   Every pre-existing field is byte-identical to its v6 value. *)
+let schema_version = "baton-bench-runtime-v7"
 
 let scale_schema_version = "baton-bench-scale-v1"
 

@@ -87,6 +87,13 @@ type config = {
           observe the machine, never the simulated world — but its
           numbers are inherently non-deterministic and appear only
           inside the report's ["profile"] subtree. *)
+  heat : bool;
+      (** install the demand-heat instrument ({!Baton_obs.Heat}) on the
+          network for the measured phase: per-peer load attribution
+          (serve/route/maint/aux), a top-k heavy-hitter sketch over
+          accessed keys, and a key-space heat histogram, exported as the
+          report's ["load"] section. A pure observer — heat on vs. off
+          leaves every other report field byte-identical. Baton-only. *)
   fault_schedule : Baton_sim.Partition.schedule;
       (** adversarial scenario injected into the measured phase
           (partitions, subtree crashes, gray peers); [[]] (the default)
@@ -114,6 +121,7 @@ val config :
   ?monitor_every_ms:float ->
   ?series_every_ms:float ->
   ?profile:bool ->
+  ?heat:bool ->
   ?fault_schedule:Baton_sim.Partition.schedule ->
   ?oracle:bool ->
   n:int ->
@@ -123,8 +131,8 @@ val config :
 (** Defaults: overlay "baton", seed 2005, 5 keys/node, 32 clients,
     2000 ops, closed loop with zero think time, span 2·10⁶, theta 1.0
     (the paper's Zipf parameter), timeout {!Runtime.default_timeout_ms},
-    monitoring off, time series off, profiling off, no fault schedule,
-    oracle off. The overlay name is canonicalized (aliases resolve).
+    monitoring off, time series off, profiling off, heat off, no fault
+    schedule, oracle off. The overlay name is canonicalized (aliases resolve).
     @raise Invalid_argument on non-positive sizes, a negative sampling
     period, or a baton-only feature requested for another overlay.
     @raise P2p_overlay.Overlay.Unknown_overlay for an unregistered
@@ -174,6 +182,12 @@ type report = {
           Sampling is a pure observation: the same seed with monitoring
           on and off counts identical messages and finishes at the same
           virtual instant. *)
+  load_json : Baton_obs.Json.t;
+      (** {!Baton_obs.Heat.json} demand snapshot taken after the drain
+          — per-peer class attribution, heavy hitters, key-space
+          heatmap, decayed skew; [Json.Null] when [cfg.heat] is off.
+          Deterministic: driven only by the virtual clock and the
+          seeded workload. *)
   profile_json : Baton_obs.Json.t;
       (** {!Baton_obs.Profile.json} snapshot taken when the drain
           finished; [Json.Null] when [cfg.profile] is off *)
@@ -250,7 +264,11 @@ val report_json : report -> Baton_obs.Json.t
 
 val schema_version : string
 (** Value of the ["schema"] field of {!bench_json}:
-    ["baton-bench-runtime-v6"]. *)
+    ["baton-bench-runtime-v7"]. v7 adds an optional per-run ["load"]
+    section (present iff the run had heat instrumentation on), a
+    ["heat_skew"] time-series field alongside it, and the health
+    samples' ["hot_share"]/["hotspot"] readings; every pre-existing
+    field keeps its v6 bytes. *)
 
 val bench_json : (string * report list) list -> Baton_obs.Json.t
 (** The BENCH_runtime.json document, one section per overlay:

@@ -1,0 +1,294 @@
+(* Demand-heat layer: decayed-counter laws, space-saving sketch bounds
+   against an exact-count model, attribution conservation, export
+   determinism, the monitor's hotspot alert, and the driver-level
+   heat-on/off neutrality guard. *)
+
+module Heat = Baton_obs.Heat
+module Json = Baton_obs.Json
+module N = Baton.Network
+module Net = Baton.Net
+module Driver = Baton_runtime.Driver
+
+(* --- Decayed counters ---------------------------------------------- *)
+
+(* The pure decay law: values never grow with elapsed time, halve
+   exactly at one half-life, and clamp backwards time to no decay. *)
+let decay_law_prop =
+  let open QCheck2 in
+  Test.make ~name:"decay law: monotone in elapsed time, exact at half-life"
+    ~count:200
+    Gen.(triple (float_bound_inclusive 1000.) (float_bound_inclusive 500.)
+           (float_bound_inclusive 500.))
+    (fun (v, dt1, dt2) ->
+      let half_life = 100. in
+      let read dt = Heat.Decay.decayed ~half_life v ~at:0. ~now:dt in
+      let lo, hi = if dt1 < dt2 then (dt1, dt2) else (dt2, dt1) in
+      read hi <= read lo +. 1e-9
+      && abs_float (read half_life -. (v /. 2.)) < 1e-6 *. (1. +. v)
+      && read (-50.) = v)
+
+let test_decay_counters () =
+  let d = Heat.Decay.create ~half_life:100. in
+  Heat.Decay.bump d 3 ~now:0.;
+  Heat.Decay.bump d 3 ~now:0.;
+  Alcotest.(check (float 1e-9)) "two bumps" 2. (Heat.Decay.value d 3 ~now:0.);
+  Alcotest.(check (float 1e-9)) "one half-life halves" 1.
+    (Heat.Decay.value d 3 ~now:100.);
+  Alcotest.(check (float 1e-9)) "untouched peer is zero" 0.
+    (Heat.Decay.value d 7 ~now:100.);
+  (* A bump at t=100 lands on the decayed value. *)
+  Heat.Decay.bump d 3 ~now:100.;
+  Alcotest.(check (float 1e-9)) "bump adds to decayed value" 2.
+    (Heat.Decay.value d 3 ~now:100.);
+  let mx, mean, touched = Heat.Decay.stats d ~now:100. in
+  Alcotest.(check int) "one touched peer" 1 touched;
+  Alcotest.(check (float 1e-9)) "max = mean with one peer" mx mean
+
+(* --- Space-saving sketch ------------------------------------------- *)
+
+(* Error bounds against an exact-count model, for arbitrary access
+   sequences over a small alphabet (small enough to force evictions):
+   - a monitored key's true count lies in [count - err, count];
+   - every per-entry err is at most total/k;
+   - any key with true frequency > total/k is monitored;
+   - monitored raw counts sum to the total number of adds. *)
+let sketch_bounds_prop =
+  let open QCheck2 in
+  Test.make ~name:"space-saving bounds vs exact counts" ~count:300
+    Gen.(list_size (int_range 1 400) (int_range 0 40))
+    (fun keys ->
+      let k = 8 in
+      let s = Heat.Sketch.create k in
+      let exact = Hashtbl.create 64 in
+      List.iter
+        (fun key ->
+          Heat.Sketch.add s key;
+          Hashtbl.replace exact key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt exact key)))
+        keys;
+      let total = List.length keys in
+      assert (Heat.Sketch.total s = total);
+      let entries = Heat.Sketch.entries s in
+      let sum = List.fold_left (fun a (_, c, _) -> a + c) 0 entries in
+      sum = total
+      && List.for_all
+           (fun (key, count, err) ->
+             let true_count =
+               Option.value ~default:0 (Hashtbl.find_opt exact key)
+             in
+             count >= true_count
+             && count - err <= true_count
+             && err * k <= total)
+           entries
+      && Hashtbl.fold
+           (fun key true_count ok ->
+             ok
+             && (true_count * k <= total
+                || Option.is_some (Heat.Sketch.estimate s key)))
+           exact true)
+
+(* Identical access sequences export identical tables: the sketch has
+   no hashing or randomization, and ties break deterministically. *)
+let test_sketch_deterministic () =
+  let feed () =
+    let s = Heat.Sketch.create 4 in
+    let rng = Baton_util.Rng.create 42 in
+    for _ = 1 to 500 do
+      Heat.Sketch.add s (Baton_util.Rng.int_in_range rng ~lo:0 ~hi:30)
+    done;
+    Heat.Sketch.entries s
+  in
+  Alcotest.(check bool) "same sequence, same table" true (feed () = feed ())
+
+(* --- Attribution conservation -------------------------------------- *)
+
+let test_attribution_conservation () =
+  let h = Heat.create ~lo:0 ~hi:1000 () in
+  Heat.hop h ~peer:1 Heat.Route;
+  Heat.hop h ~peer:1 Heat.Route;
+  Heat.hop h ~peer:2 Heat.Maint;
+  Heat.hop h ~peer:3 Heat.Aux;
+  (* Promotion reclassifies an existing hop — the total is conserved. *)
+  Heat.promote h ~peer:1 ~was:Heat.Route;
+  let total c = Heat.class_total h c in
+  Alcotest.(check int) "serve after promotion" 1 (total Heat.Serve);
+  Alcotest.(check int) "route decremented" 1 (total Heat.Route);
+  Alcotest.(check int) "maint untouched" 1 (total Heat.Maint);
+  Alcotest.(check int) "aux untouched" 1 (total Heat.Aux);
+  Alcotest.(check int) "grand total conserved" 4
+    (total Heat.Serve + total Heat.Route + total Heat.Maint + total Heat.Aux);
+  Alcotest.(check int) "per-peer view agrees" 1 (Heat.count h Heat.Serve 1);
+  (* Promoting a hop that was already Serve is a no-op. *)
+  Heat.promote h ~peer:1 ~was:Heat.Serve;
+  Alcotest.(check int) "serve promote no-op" 1 (total Heat.Serve)
+
+let test_access_feeds_all_views () =
+  let h = Heat.create ~k:4 ~buckets:10 ~lo:0 ~hi:100 () in
+  for _ = 1 to 5 do
+    Heat.access h ~peer:2 7
+  done;
+  Heat.access_range h ~peer:3 ~lo:40 ~hi:79;
+  Alcotest.(check int) "accesses counted" 6 (Heat.accesses h);
+  Alcotest.(check bool) "hot key monitored" true
+    (match Heat.Sketch.estimate (Heat.sketch h) 7 with
+    | Some (c, _) -> c >= 5
+    | None -> false);
+  (* The range heated buckets 4..7; the point key heated bucket 0. *)
+  (match Heat.json h with
+  | Json.Obj _ as doc -> (
+    match Json.member "heatmap" doc with
+    | Some hm -> (
+      match Json.member "counts" hm with
+      | Some (Json.List counts) ->
+        let nth i =
+          match List.nth counts i with Json.Int c -> c | _ -> -1
+        in
+        Alcotest.(check int) "point bucket heated" 5 (nth 0);
+        Alcotest.(check int) "range bucket heated" 1 (nth 4);
+        Alcotest.(check int) "range end bucket heated" 1 (nth 7);
+        Alcotest.(check int) "outside range cold" 0 (nth 9)
+      | _ -> Alcotest.fail "heatmap.counts missing")
+    | None -> Alcotest.fail "heatmap missing")
+  | _ -> Alcotest.fail "json not an object");
+  (* peer = -1 records the key without peer attribution. *)
+  Heat.access h ~peer:(-1) 7;
+  Alcotest.(check int) "anonymous access counted" 7 (Heat.accesses h)
+
+(* --- Export determinism and rendering ------------------------------ *)
+
+let test_json_deterministic_and_renderable () =
+  let build () =
+    let h = Heat.create ~lo:0 ~hi:10_000 () in
+    let rng = Baton_util.Rng.create 7 in
+    for i = 0 to 399 do
+      let key = Baton_util.Rng.int_in_range rng ~lo:0 ~hi:9_999 in
+      let peer = i mod 17 in
+      Heat.hop h ~peer Heat.Route;
+      Heat.access h ~peer key
+    done;
+    Heat.promote h ~peer:5 ~was:Heat.Route;
+    Json.to_string (Heat.json h)
+  in
+  let a = build () in
+  Alcotest.(check string) "same inputs, byte-identical export" a (build ());
+  match Json.parse a with
+  | Error msg -> Alcotest.failf "export does not parse: %s" msg
+  | Ok doc -> (
+    match Heat.render doc with
+    | Error msg -> Alcotest.failf "render failed: %s" msg
+    | Ok text ->
+      let contains needle =
+        try
+          ignore (Str.search_forward (Str.regexp_string needle) text 0);
+          true
+        with Not_found -> false
+      in
+      Alcotest.(check bool) "render shows attribution" true
+        (contains "serve" && contains "route");
+      Alcotest.(check bool) "render shows the heavy hitters" true
+        (contains "heavy hitters");
+      Alcotest.(check bool) "render shows the key space" true
+        (contains "key space"))
+
+(* --- Monitor hotspot alert ----------------------------------------- *)
+
+let test_monitor_hotspot_escalates () =
+  let net = N.build ~seed:11 40 in
+  let h = Heat.create ~lo:1 ~hi:1_000_000_000 () in
+  Net.set_heat net (Some h);
+  let mon = Baton.Monitor.create net in
+  (* Quiet below min_hot_accesses even with concentrated demand. *)
+  for _ = 1 to 8 do
+    Heat.access h ~peer:0 123_456
+  done;
+  let s = Baton.Monitor.tick mon ~time:10. in
+  Alcotest.(check bool) "quiet under the access floor" true
+    (List.assoc Baton.Monitor.c_hotspot s.Baton.Monitor.levels
+    = Baton.Monitor.Ok);
+  (* All demand on one key: top-k share 1, far above 4x uniform. *)
+  for _ = 1 to 200 do
+    Heat.access h ~peer:0 123_456
+  done;
+  let s = Baton.Monitor.tick mon ~time:20. in
+  Alcotest.(check bool) "first failing tick degrades" true
+    (List.assoc Baton.Monitor.c_hotspot s.Baton.Monitor.levels
+    = Baton.Monitor.Degraded);
+  Alcotest.(check bool) "hot share reported" true
+    (s.Baton.Monitor.hot_share > 0.9);
+  ignore (Baton.Monitor.tick mon ~time:30.);
+  let s = Baton.Monitor.tick mon ~time:40. in
+  Alcotest.(check bool) "persistent concentration violates" true
+    (List.assoc Baton.Monitor.c_hotspot s.Baton.Monitor.levels
+    = Baton.Monitor.Violated);
+  Alcotest.(check bool) "overall tracks the hotspot" true
+    (s.Baton.Monitor.overall = Baton.Monitor.Violated)
+
+(* --- Driver neutrality guard --------------------------------------- *)
+
+(* The acceptance guard: heat attribution observes deliveries, never
+   causes them — the same seed with heat on and off must count
+   identical messages, complete the same ops at the same virtual
+   instants and produce byte-identical latency digests; only the
+   [load] section may differ (absent vs. present). *)
+let test_heat_is_metrics_neutral () =
+  let cfg ~heat =
+    Driver.config ~seed:99 ~keys_per_node:3 ~clients:8 ~ops:120 ~n:60 ~heat
+      ~mix:Driver.read_heavy ()
+  in
+  let off = Driver.run (cfg ~heat:false) in
+  let on = Driver.run (cfg ~heat:true) in
+  Alcotest.(check int) "messages unchanged" off.Driver.messages
+    on.Driver.messages;
+  Alcotest.(check int) "cache messages unchanged" off.Driver.cache_messages
+    on.Driver.cache_messages;
+  Alcotest.(check int) "retries unchanged" off.Driver.retries
+    on.Driver.retries;
+  Alcotest.(check (pair int int)) "same completions and failures"
+    (off.Driver.completed, off.Driver.failed)
+    (on.Driver.completed, on.Driver.failed);
+  Alcotest.(check (float 0.)) "same virtual duration" off.Driver.duration_ms
+    on.Driver.duration_ms;
+  let digests r =
+    Json.to_string
+      (Json.Obj
+         (List.map
+            (fun (k, d) -> (k, Baton_obs.Timing.json d))
+            r.Driver.latencies))
+  in
+  Alcotest.(check string) "latency digests byte-identical" (digests off)
+    (digests on);
+  (* Heat off: the report has no load section at all — its JSON is
+     byte-identical to a pre-heat build's. Heat on: a non-empty one. *)
+  Alcotest.(check bool) "heat-off report has no load field" true
+    (Json.member "load" (Driver.report_json off) = None);
+  (match Json.member "load" (Driver.report_json on) with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "heat-on report lacks a load object");
+  Alcotest.(check bool) "load json populated" true
+    (match Json.member "classes" on.Driver.load_json with
+    | Some (Json.Obj _) -> true
+    | _ -> false);
+  (* And the load section itself is deterministic. *)
+  let again = Driver.run (cfg ~heat:true) in
+  Alcotest.(check string) "same seed, byte-identical load section"
+    (Json.to_string on.Driver.load_json)
+    (Json.to_string again.Driver.load_json)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest decay_law_prop;
+    QCheck_alcotest.to_alcotest sketch_bounds_prop;
+    Alcotest.test_case "decayed counters" `Quick test_decay_counters;
+    Alcotest.test_case "sketch is deterministic" `Quick
+      test_sketch_deterministic;
+    Alcotest.test_case "attribution is conserved" `Quick
+      test_attribution_conservation;
+    Alcotest.test_case "access feeds sketch, histogram and counters" `Quick
+      test_access_feeds_all_views;
+    Alcotest.test_case "export is deterministic and renderable" `Quick
+      test_json_deterministic_and_renderable;
+    Alcotest.test_case "monitor hotspot escalates" `Quick
+      test_monitor_hotspot_escalates;
+    Alcotest.test_case "heat is metrics-neutral" `Quick
+      test_heat_is_metrics_neutral;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("sim.latency", Test_latency.suite);
       ("obs", Test_obs.suite);
       ("obs.trace", Test_trace.suite);
+      ("obs.heat", Test_heat.suite);
       ("baton.position", Test_position.suite);
       ("baton.range", Test_range.suite);
       ("baton.routing_table", Test_routing_table.suite);
